@@ -1,0 +1,90 @@
+// Command loom-bench regenerates every table of EXPERIMENTS.md: the
+// paper's figures (F1–F3), its claims (C1–C3) and the future-work
+// evaluation (E1–E11).
+//
+// Usage:
+//
+//	loom-bench              # run everything at full size
+//	loom-bench -quick       # run everything at reduced size (seconds)
+//	loom-bench -run C2,E9   # run selected experiments
+//	loom-bench -list        # list experiment IDs
+//	loom-bench -seed 7      # change the global seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"loom/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced instance sizes (seconds instead of minutes)")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 42, "global random seed")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if *run != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			spec, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "loom-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, spec)
+		}
+	}
+
+	r := &experiments.Runner{Seed: *seed, Quick: *quick, Out: os.Stderr}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	if !*csvOut {
+		fmt.Printf("loom-bench: %d experiment(s), %s mode, seed %d\n\n", len(selected), mode, *seed)
+	}
+
+	failed := 0
+	for _, spec := range selected {
+		start := time.Now()
+		tab, err := spec.Run(r)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "loom-bench: %s FAILED after %v: %v\n", spec.ID, elapsed, err)
+			continue
+		}
+		if *csvOut {
+			fmt.Printf("## %s\n", spec.ID)
+			if err := tab.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "loom-bench: render %s: %v\n", spec.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "loom-bench: render %s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", spec.ID, elapsed)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "loom-bench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

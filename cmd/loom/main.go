@@ -1,0 +1,473 @@
+// Command loom is the command-line front end to the LOOM workload-aware
+// streaming graph partitioner.
+//
+// Usage:
+//
+//	loom generate  -kind ba -n 10000 -out graph.txt [-labels 4] [-seed 1]
+//	loom partition -graph graph.txt -k 8 [-partitioner loom|ldg|fennel|hash|multilevel]
+//	               [-order random|bfs|dfs|adversarial|temporal]
+//	               [-window 256] [-threshold 0.05] [-workload n] [-out assignment.txt]
+//	loom evaluate  -graph graph.txt -assign assignment.txt [-workload n] [-samples 200]
+//	loom inspect   [-workload n] [-threshold 0.1]
+//
+// The graph file format is the text codec of internal/graph ("v <id>
+// <label>" / "e <u> <v>" lines). Workloads are synthesised with -workload N
+// (N queries of the default path/star/cycle/tree mix over the graph's
+// label alphabet); deterministic under -seed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loom/internal/cluster"
+	"loom/internal/core"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/metrics"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/signature"
+	"loom/internal/stream"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "partition":
+		err = cmdPartition(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "loom: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loom: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `loom - workload-aware streaming graph partitioner
+
+commands:
+  generate   synthesise a labelled graph (ba, er, ws, rmat, community, grid)
+  partition  partition a graph stream (loom, ldg, fennel, hash, multilevel)
+  evaluate   score an assignment: cut, balance, traversal probability
+  inspect    print the TPSTry++ of a synthetic workload
+
+run 'loom <command> -h' for flags`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "ba", "generator: ba|er|ws|rmat|community|grid")
+	n := fs.Int("n", 10000, "vertex count (scale for rmat)")
+	m := fs.Int("m", 2, "edges per vertex (ba), total edges (er), ring degree (ws), edge factor (rmat)")
+	k := fs.Int("k", 8, "communities (community)")
+	labels := fs.Int("labels", 4, "label alphabet size")
+	zipf := fs.Float64("zipf", 0, "label Zipf skew (0 = uniform)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(*seed))
+	alphabet := gen.DefaultAlphabet(*labels)
+	var lab gen.Labeler
+	if *zipf > 0 {
+		lab = gen.NewZipfLabeler(alphabet, *zipf, r)
+	} else {
+		lab = &gen.UniformLabeler{Alphabet: alphabet, Rand: r}
+	}
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "ba":
+		g, err = gen.BarabasiAlbert(*n, *m, lab, r)
+	case "er":
+		g, err = gen.ErdosRenyi(*n, *m, lab, r)
+	case "ws":
+		g, err = gen.WattsStrogatz(*n, *m, 0.1, lab, r)
+	case "rmat":
+		g, err = gen.RMAT(*n, *m, 0.57, 0.19, 0.19, 0.05, lab, r)
+	case "community":
+		pIn := 40.0 / float64(*n)
+		g, err = gen.PlantedPartition(*n, *k, pIn*8, pIn/4, lab, r)
+	case "grid":
+		g, err = gen.Grid(*n, *n, lab)
+	default:
+		return fmt.Errorf("unknown generator %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	fmt.Fprintf(bw, "# %s graph |V|=%d |E|=%d seed=%d\n", *kind, g.NumVertices(), g.NumEdges(), *seed)
+	return graph.Write(bw, g)
+}
+
+// loadGraph reads a graph file.
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(bufio.NewReader(f))
+}
+
+// makeWorkload synthesises the default query mix over the graph's labels.
+func makeWorkload(g *graph.Graph, count int, seed int64) (*query.Workload, error) {
+	return query.GenerateWorkload(query.DefaultMix(count), g.Labels(), rand.New(rand.NewSource(seed)))
+}
+
+// buildTrie captures a workload into a TPSTry++ over the graph's alphabet.
+func buildTrie(g *graph.Graph, w *query.Workload) (*motif.Trie, error) {
+	trie := motif.New(signature.NewFactoryForAlphabet(g.Labels()), motif.Options{MaxMotifVertices: 4})
+	if w != nil {
+		if err := w.BuildTrie(trie); err != nil {
+			return nil, err
+		}
+	}
+	return trie, nil
+}
+
+func parseOrder(s string) (stream.Order, error) {
+	switch s {
+	case "random":
+		return stream.RandomOrder, nil
+	case "bfs":
+		return stream.BFSOrdering, nil
+	case "dfs":
+		return stream.DFSOrdering, nil
+	case "adversarial":
+		return stream.AdversarialOrder, nil
+	case "temporal":
+		return stream.TemporalOrder, nil
+	}
+	return 0, fmt.Errorf("unknown order %q", s)
+}
+
+func cmdPartition(args []string) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (required)")
+	k := fs.Int("k", 8, "number of partitions")
+	part := fs.String("partitioner", "loom", "loom|ldg|fennel|hash|greedy|balanced|chunking|multilevel")
+	orderName := fs.String("order", "random", "stream order: random|bfs|dfs|adversarial|temporal")
+	window := fs.Int("window", 256, "LOOM window size")
+	threshold := fs.Float64("threshold", 0.05, "LOOM motif frequency threshold T")
+	workloadN := fs.Int("workload", 16, "synthetic workload size for LOOM (0 = none)")
+	workloadFile := fs.String("workload-file", "", "workload file (query text format); overrides -workload")
+	weighted := fs.Bool("weighted", false, "LOOM: weight LDG edges by TPSTry++ traversal probabilities (future-work E12)")
+	maxGroup := fs.Int("maxgroup", 0, "LOOM: split motif groups larger than this (0 = unlimited, future-work E13)")
+	slack := fs.Float64("slack", 1.2, "capacity slack factor")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "assignment output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	order, err := parseOrder(*orderName)
+	if err != nil {
+		return err
+	}
+	cfg := partition.Config{K: *k, ExpectedVertices: g.NumVertices(), Slack: *slack, Seed: *seed}
+	rng := rand.New(rand.NewSource(*seed + 100))
+
+	var a *partition.Assignment
+	switch *part {
+	case "loom":
+		var w *query.Workload
+		switch {
+		case *workloadFile != "":
+			f, err := os.Open(*workloadFile)
+			if err != nil {
+				return err
+			}
+			w, err = query.ParseWorkload(bufio.NewReader(f))
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(os.Stderr, query.Describe(w))
+		case *workloadN > 0:
+			if w, err = makeWorkload(g, *workloadN, *seed); err != nil {
+				return err
+			}
+		}
+		trie, err := buildTrie(g, w)
+		if err != nil {
+			return err
+		}
+		elems, err := stream.FromGraph(g, order, rng)
+		if err != nil {
+			return err
+		}
+		p, err := core.New(core.Config{
+			Partition: cfg, WindowSize: *window, Threshold: *threshold,
+			TraversalWeighting: *weighted, MaxGroupSize: *maxGroup,
+		}, trie)
+		if err != nil {
+			return err
+		}
+		if a, err = p.Run(stream.NewSliceSource(elems)); err != nil {
+			return err
+		}
+		st := p.Stats()
+		fmt.Fprintf(os.Stderr, "loom: %d motif groups, %d grouped vertices, largest group %d\n",
+			st.MotifGroups, st.GroupedVertices, st.LargestGroup)
+	case "multilevel":
+		ml := &partition.Multilevel{K: *k, Seed: *seed}
+		if a, err = ml.Partition(g); err != nil {
+			return err
+		}
+	default:
+		var s partition.Streaming
+		switch *part {
+		case "ldg":
+			s, err = partition.NewLDG(cfg)
+		case "fennel":
+			s, err = partition.NewFennel(partition.FennelConfig{Config: cfg, ExpectedEdges: g.NumEdges()})
+		case "hash":
+			s, err = partition.NewHash(cfg)
+		case "greedy":
+			s, err = partition.NewDeterministicGreedy(cfg)
+		case "balanced":
+			s, err = partition.NewBalanced(cfg)
+		case "chunking":
+			s, err = partition.NewChunking(cfg)
+		default:
+			return fmt.Errorf("unknown partitioner %q", *part)
+		}
+		if err != nil {
+			return err
+		}
+		vs, err := stream.VertexOrder(g, order, rng)
+		if err != nil {
+			return err
+		}
+		a = partition.PartitionStream(g, vs, s)
+	}
+
+	q := metrics.Evaluate(*part, g, a)
+	fmt.Fprintln(os.Stderr, q)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeAssignment(w, a)
+}
+
+// writeAssignment serialises "p <vertex> <partition>" lines, sorted.
+func writeAssignment(w io.Writer, a *partition.Assignment) error {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	type pair struct {
+		v graph.VertexID
+		p partition.ID
+	}
+	var pairs []pair
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		pairs = append(pairs, pair{v, p})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	fmt.Fprintf(bw, "# k=%d\n", a.K())
+	for _, pr := range pairs {
+		if _, err := fmt.Fprintf(bw, "p %d %d\n", pr.v, pr.p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAssignment parses the writeAssignment format.
+func readAssignment(path string) (*partition.Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	k := 0
+	type rec struct {
+		v graph.VertexID
+		p partition.ID
+	}
+	var recs []rec
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# k=") {
+			if k, err = strconv.Atoi(strings.TrimPrefix(line, "# k=")); err != nil {
+				return nil, fmt.Errorf("bad k header: %v", err)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var v, p int64
+		if _, err := fmt.Sscanf(line, "p %d %d", &v, &p); err != nil {
+			return nil, fmt.Errorf("bad assignment line %q: %v", line, err)
+		}
+		recs = append(recs, rec{graph.VertexID(v), partition.ID(p)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if k == 0 {
+		for _, r := range recs {
+			if int(r.p)+1 > k {
+				k = int(r.p) + 1
+			}
+		}
+	}
+	a, err := partition.NewAssignment(k)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := a.Set(r.v, r.p); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (required)")
+	assignPath := fs.String("assign", "", "assignment file (required)")
+	workloadN := fs.Int("workload", 16, "synthetic workload size (0 = structural metrics only)")
+	samples := fs.Int("samples", 0, "sampled executions (0 = exhaustive weighted run)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *assignPath == "" {
+		return fmt.Errorf("-graph and -assign are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	a, err := readAssignment(*assignPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println(metrics.Evaluate("assignment", g, a))
+	if *workloadN == 0 {
+		return nil
+	}
+	w, err := makeWorkload(g, *workloadN, *seed)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(g, a, cluster.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	var res cluster.WorkloadResult
+	if *samples > 0 {
+		res = c.RunWorkload(w, *samples, rand.New(rand.NewSource(*seed)))
+	} else {
+		res = c.RunWorkloadExhaustive(w)
+	}
+	fmt.Printf("workload: queries=%d executions=%d matches=%d\n", w.Len(), res.Executions, res.Aggregate.Matches)
+	fmt.Printf("traversal probability: %.4f\n", res.TraversalProbability())
+	fmt.Printf("match-edge cut fraction: %.4f\n", res.MatchCutFraction())
+	fmt.Printf("visits: %d (cross: %d)\n", res.Aggregate.Visits, res.Aggregate.CrossVisits)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	workloadN := fs.Int("workload", 16, "synthetic workload size (0 = Figure 1 workload)")
+	labels := fs.Int("labels", 4, "label alphabet size")
+	threshold := fs.Float64("threshold", 0.1, "frequency threshold T")
+	seed := fs.Int64("seed", 1, "random seed")
+	dot := fs.String("dot", "", "write the TPSTry++ as Graphviz DOT to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alphabet := gen.DefaultAlphabet(*labels)
+	var w *query.Workload
+	var err error
+	if *workloadN == 0 {
+		w = query.Fig1Workload()
+	} else {
+		w, err = query.GenerateWorkload(query.DefaultMix(*workloadN), alphabet, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+	}
+	trie := motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{MaxMotifVertices: 4})
+	if err := w.BuildTrie(trie); err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d queries, total weight %.2f\n", w.Len(), w.TotalWeight())
+	fmt.Printf("TPSTry++: %d motif nodes, %d roots\n", trie.NumNodes(), len(trie.Roots()))
+	freq := trie.FrequentMotifs(*threshold)
+	fmt.Printf("frequent motifs at T=%.2f: %d\n", *threshold, len(freq))
+	for _, n := range freq {
+		fmt.Printf("  p=%.3f |V|=%d |E|=%d %s\n", trie.P(n), n.NumVertices(), n.NumEdges(), n.Rep)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := motif.WriteDOT(f, trie, *threshold); err != nil {
+			return err
+		}
+		fmt.Printf("wrote DOT to %s\n", *dot)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/stream"
+)
+
+func TestParseOrder(t *testing.T) {
+	cases := map[string]stream.Order{
+		"random":      stream.RandomOrder,
+		"bfs":         stream.BFSOrdering,
+		"dfs":         stream.DFSOrdering,
+		"adversarial": stream.AdversarialOrder,
+		"temporal":    stream.TemporalOrder,
+	}
+	for s, want := range cases {
+		got, err := parseOrder(s)
+		if err != nil || got != want {
+			t.Errorf("parseOrder(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseOrder("nope"); err == nil {
+		t.Error("unknown order should error")
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := partition.MustNewAssignment(3)
+	for i := 0; i < 10; i++ {
+		if err := a.Set(graph.VertexID(i*7), partition.ID(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "a.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAssignment(f, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readAssignment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != 3 || back.Len() != 10 {
+		t.Fatalf("round trip k=%d len=%d", back.K(), back.Len())
+	}
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if back.Get(v) != p {
+			t.Errorf("vertex %d: %d != %d", v, back.Get(v), p)
+		}
+	})
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("p x y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAssignment(bad); err == nil {
+		t.Error("malformed line should error")
+	}
+	if _, err := readAssignment(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadAssignmentInfersK(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.txt")
+	if err := os.WriteFile(path, []byte("p 1 0\np 2 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := readAssignment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K() != 5 {
+		t.Fatalf("inferred k = %d, want 5", a.K())
+	}
+}
+
+// TestCLIEndToEnd drives generate -> partition -> evaluate through the
+// command functions with real files.
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	apath := filepath.Join(dir, "a.txt")
+
+	if err := cmdGenerate([]string{"-kind", "ba", "-n", "300", "-m", "2", "-labels", "3", "-seed", "5", "-out", gpath}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	g, err := loadGraph(gpath)
+	if err != nil {
+		t.Fatalf("loadGraph: %v", err)
+	}
+	if g.NumVertices() != 300 {
+		t.Fatalf("|V| = %d, want 300", g.NumVertices())
+	}
+
+	for _, p := range []string{"hash", "ldg", "fennel", "multilevel", "loom"} {
+		args := []string{"-graph", gpath, "-k", "4", "-partitioner", p, "-seed", "5", "-out", apath}
+		if p == "loom" {
+			args = append(args, "-window", "64", "-workload", "6")
+		}
+		if err := cmdPartition(args); err != nil {
+			t.Fatalf("partition %s: %v", p, err)
+		}
+		a, err := readAssignment(apath)
+		if err != nil {
+			t.Fatalf("readAssignment after %s: %v", p, err)
+		}
+		if a.Len() != 300 {
+			t.Fatalf("%s assigned %d, want 300", p, a.Len())
+		}
+	}
+
+	// LOOM with the future-work flags.
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-k", "4", "-partitioner", "loom", "-seed", "5",
+		"-window", "64", "-workload", "6", "-weighted", "-maxgroup", "4",
+		"-out", apath,
+	}); err != nil {
+		t.Fatalf("partition loom (future-work flags): %v", err)
+	}
+	if a, err := readAssignment(apath); err != nil || a.Len() != 300 {
+		t.Fatalf("future-work run: %v, len=%d", err, a.Len())
+	}
+
+	// LOOM with an explicit workload file.
+	wpath := filepath.Join(dir, "w.txt")
+	wl := "query probe 2 path a b c\nquery ring 1 cycle a b c\n"
+	if err := os.WriteFile(wpath, []byte(wl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-k", "4", "-partitioner", "loom", "-seed", "5",
+		"-window", "64", "-workload-file", wpath, "-out", apath,
+	}); err != nil {
+		t.Fatalf("partition loom (workload file): %v", err)
+	}
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-partitioner", "loom", "-workload-file", filepath.Join(dir, "missing.txt"),
+	}); err == nil {
+		t.Fatal("missing workload file should error")
+	}
+
+	if err := cmdEvaluate([]string{"-graph", gpath, "-assign", apath, "-workload", "4", "-seed", "5"}); err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if err := cmdInspect([]string{"-workload", "0"}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestCmdGenerateErrors(t *testing.T) {
+	if err := cmdGenerate([]string{"-kind", "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown generator") {
+		t.Errorf("unknown generator should error, got %v", err)
+	}
+}
+
+func TestCmdPartitionErrors(t *testing.T) {
+	if err := cmdPartition([]string{}); err == nil {
+		t.Error("missing -graph should error")
+	}
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(gpath, []byte("v 1 a\nv 2 b\ne 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPartition([]string{"-graph", gpath, "-partitioner", "nope"}); err == nil {
+		t.Error("unknown partitioner should error")
+	}
+	if err := cmdPartition([]string{"-graph", gpath, "-order", "nope"}); err == nil {
+		t.Error("unknown order should error")
+	}
+}

@@ -1,0 +1,94 @@
+// Fraud detection example: keeping transaction rings partition-local.
+//
+// Fraud detection (paper §1, citing Tong et al.) hunts for small cyclic
+// money-movement patterns — an account pays a mule, the mule pays a shell,
+// the shell pays the account back. Those cycle queries run continuously
+// over a growing transaction graph. This example builds a community-
+// structured account graph, defines a cycle-heavy detection workload, and
+// shows how LOOM's motif placement cuts the simulated per-query latency
+// versus workload-agnostic LDG: crossing a partition costs a network round
+// trip (100µs) while a local hop costs 1µs.
+//
+// Run with:
+//
+//	go run ./examples/fraud
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"loom"
+)
+
+func main() {
+	const (
+		accounts = 3000
+		k        = 6
+		seed     = 23
+	)
+	// Labels model account kinds: "a" retail, "b" business, "c" high-risk
+	// corridor, "d" dormant. Transaction graphs are sparse with a few
+	// high-degree hubs (exchanges, payment processors), so the power-law
+	// generator fits.
+	alphabet := loom.DefaultAlphabet(4)
+	g, err := loom.BarabasiAlbertGraph(accounts, 2, alphabet, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction graph: %d accounts, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// Detection rules: ring patterns (cycles) dominate, with a few path
+	// probes. Weights reflect how often each rule fires.
+	rules := []loom.Query{
+		{ID: "ring3-retail", Pattern: loom.CycleQuery("a", "b", "c"), Weight: 5},
+		{ID: "ring3-corridor", Pattern: loom.CycleQuery("c", "c", "b"), Weight: 4},
+		{ID: "ring4", Pattern: loom.CycleQuery("a", "b", "a", "b"), Weight: 3},
+		{ID: "probe-chain", Pattern: loom.PathQuery("a", "b", "c"), Weight: 2},
+		{ID: "probe-corridor", Pattern: loom.PathQuery("c", "b", "c"), Weight: 2},
+		{ID: "fanout", Pattern: loom.StarQuery("b", "a", "a", "c"), Weight: 1},
+	}
+	workload, err := loom.NewWorkload(rules...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trie, err := loom.CaptureWorkload(workload, loom.CaptureOptions{Alphabet: alphabet})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detection rules: %d, TPSTry++ motifs: %d\n", workload.Len(), trie.NumNodes())
+	fmt.Println("hot motifs at T=0.25:")
+	for _, m := range trie.FrequentMotifs(0.25) {
+		fmt.Printf("  p=%.2f %s\n", trie.P(m), m.Rep)
+	}
+	fmt.Println()
+
+	pcfg := loom.PartitionConfig{K: k, ExpectedVertices: accounts, Slack: 1.2, Seed: seed}
+
+	ldgA, err := loom.PartitionWithLDG(g, loom.RandomOrder, rand.New(rand.NewSource(seed)), pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loomA, err := loom.PartitionGraph(g, loom.RandomOrder, rand.New(rand.NewSource(seed)),
+		loom.Config{Partition: pcfg, WindowSize: 256, Threshold: 0.1}, trie)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	costs := loom.DefaultCostModel() // 1µs local hop, 100µs cross-partition
+	for _, entry := range []struct {
+		name string
+		a    *loom.Assignment
+	}{{"ldg", ldgA}, {"loom", loomA}} {
+		c, err := loom.NewCluster(g, entry.a, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := c.RunWorkloadExhaustive(workload)
+		perQuery := res.Aggregate.Latency / 6 // 6 rules, one exhaustive run each
+		fmt.Printf("%-5s traversal-prob=%.4f  simulated latency/rule=%v  matches=%d\n",
+			entry.name, res.TraversalProbability(), perQuery, res.Aggregate.Matches)
+	}
+	fmt.Println("\nthe latency gap is the cost of rings straddling partitions")
+}

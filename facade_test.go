@@ -1,0 +1,271 @@
+package loom_test
+
+// Tests for the public façade: every exported helper in loom.go should be
+// exercised here, since downstream users touch the library through it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom"
+)
+
+func TestDefaultAlphabetFacade(t *testing.T) {
+	a := loom.DefaultAlphabet(4)
+	if len(a) != 4 || a[0] != "a" || a[3] != "d" {
+		t.Fatalf("alphabet = %v", a)
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	p := loom.PathQuery("a", "b", "c")
+	if p.NumVertices() != 3 || p.NumEdges() != 2 {
+		t.Fatal("PathQuery shape wrong")
+	}
+	c := loom.CycleQuery("a", "b", "c")
+	if c.NumEdges() != 3 {
+		t.Fatal("CycleQuery shape wrong")
+	}
+	s := loom.StarQuery("h", "x", "y")
+	if s.Degree(0) != 2 {
+		t.Fatal("StarQuery shape wrong")
+	}
+	if loom.NewGraph().NumVertices() != 0 {
+		t.Fatal("NewGraph should be empty")
+	}
+}
+
+func TestCaptureWorkloadWithoutAlphabet(t *testing.T) {
+	trie, err := loom.CaptureWorkload(loom.Fig1Workload(), loom.CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trie.NumNodes() != 14 {
+		t.Fatalf("nodes = %d, want 14", trie.NumNodes())
+	}
+}
+
+func TestEmptyTrieUsable(t *testing.T) {
+	trie := loom.EmptyTrie()
+	if trie.NumNodes() != 0 {
+		t.Fatal("empty trie should have no nodes")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	alphabet := loom.DefaultAlphabet(3)
+	ba, err := loom.BarabasiAlbertGraph(200, 2, alphabet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.NumVertices() != 200 {
+		t.Fatalf("|V| = %d", ba.NumVertices())
+	}
+	cg, err := loom.CommunityGraph(120, 4, alphabet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.NumVertices() != 120 {
+		t.Fatalf("|V| = %d", cg.NumVertices())
+	}
+}
+
+func TestDefaultWorkloadFacade(t *testing.T) {
+	w, err := loom.DefaultWorkload(8, loom.DefaultAlphabet(3), 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 8 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+func TestBaselineWrappers(t *testing.T) {
+	alphabet := loom.DefaultAlphabet(3)
+	g, err := loom.BarabasiAlbertGraph(300, 2, alphabet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loom.PartitionConfig{K: 4, ExpectedVertices: 300, Slack: 1.1, Seed: 3}
+
+	ha, err := loom.PartitionWithHash(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := loom.PartitionWithLDG(g, loom.RandomOrder, rand.New(rand.NewSource(3)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := loom.PartitionWithFennel(g, loom.RandomOrder, rand.New(rand.NewSource(3)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range map[string]*loom.Assignment{"hash": ha, "ldg": la, "fennel": fa} {
+		if a.Len() != 300 {
+			t.Errorf("%s assigned %d, want 300", name, a.Len())
+		}
+		if f := loom.CutFraction(g, a); f < 0 || f > 1 {
+			t.Errorf("%s cut fraction %v out of range", name, f)
+		}
+		if b := loom.VertexImbalance(a); b < 1 {
+			t.Errorf("%s imbalance %v < 1", name, b)
+		}
+	}
+	// Structure-aware LDG must beat structure-blind hash.
+	if loom.CutFraction(g, la) >= loom.CutFraction(g, ha) {
+		t.Error("LDG should cut fewer edges than hash")
+	}
+}
+
+func TestStreamFacade(t *testing.T) {
+	g := loom.Fig1Graph()
+	elems, err := loom.StreamFromGraph(g, loom.AdversarialOrder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != g.NumVertices()+g.NumEdges() {
+		t.Fatalf("elements = %d", len(elems))
+	}
+	src := loom.NewSliceSource(elems)
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != len(elems) {
+		t.Fatalf("source yielded %d of %d", n, len(elems))
+	}
+}
+
+func TestEvaluateQualityFacade(t *testing.T) {
+	g := loom.Fig1Graph()
+	a, err := loom.PartitionWithHash(g, loom.PartitionConfig{K: 2, ExpectedVertices: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := loom.EvaluateQuality("hash", g, a)
+	if q.Partitioner != "hash" || q.Vertices != 8 {
+		t.Fatalf("quality = %+v", q)
+	}
+}
+
+func TestMultilevelFacade(t *testing.T) {
+	g, err := loom.CommunityGraph(400, 4, loom.DefaultAlphabet(2), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := loom.PartitionWithMultilevel(g, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 400 {
+		t.Fatalf("assigned %d", a.Len())
+	}
+}
+
+func TestStoreFacade(t *testing.T) {
+	g := loom.Fig1Graph()
+	a, err := loom.PartitionWithHash(g, loom.PartitionConfig{K: 2, ExpectedVertices: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := loom.DeployStore(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := loom.NewStoreEngine(st)
+	if _, err := e.KHop(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	adv := loom.NewReplicationAdvisor(st)
+	e.SetObserver(adv.Observe)
+	if _, err := e.KHop(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The engine ran; stats must be self-consistent.
+	if e.Stats().LocalReads == 0 {
+		t.Fatal("expected local reads")
+	}
+}
+
+func TestLiveSourceThroughLoom(t *testing.T) {
+	// The paper's target setting end to end: a live stochastic stream
+	// consumed by LOOM as it is generated.
+	alphabet := loom.DefaultAlphabet(4)
+	w, err := loom.DefaultWorkload(8, alphabet, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie, err := loom.CaptureWorkload(w, loom.CaptureOptions{Alphabet: alphabet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := loom.NewLiveSource(500, 2, alphabet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loom.New(loom.Config{
+		Partition:  loom.PartitionConfig{K: 4, ExpectedVertices: 500, Slack: 1.2, Seed: 3},
+		WindowSize: 64,
+		Threshold:  0.05,
+	}, trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 500 {
+		t.Fatalf("assigned %d, want 500", a.Len())
+	}
+}
+
+func TestRebalanceFacade(t *testing.T) {
+	g, err := loom.BarabasiAlbertGraph(200, 2, loom.DefaultAlphabet(2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately lopsided: everything on partition 0 of 4.
+	a, err := loom.PartitionWithHash(g, loom.PartitionConfig{K: 4, ExpectedVertices: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lop := a.Clone()
+	for _, v := range g.Vertices() {
+		if err := lop.Set(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := loom.Rebalance(g, lop, 1.1, 500)
+	if res.Moves == 0 {
+		t.Fatal("rebalance should move vertices")
+	}
+	if loom.VertexImbalance(lop) > 1.15 {
+		t.Fatalf("still unbalanced: %.3f", loom.VertexImbalance(lop))
+	}
+}
+
+func TestFutureWorkOptionsThroughFacade(t *testing.T) {
+	g := loom.Fig1Graph()
+	trie, err := loom.CaptureWorkload(loom.Fig1Workload(), loom.CaptureOptions{Alphabet: loom.DefaultAlphabet(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loom.Config{
+		Partition:          loom.PartitionConfig{K: 2, ExpectedVertices: 8, Slack: 1.5, Seed: 1},
+		WindowSize:         8,
+		Threshold:          0.3,
+		TraversalWeighting: true,
+		MaxGroupSize:       3,
+	}
+	a, err := loom.PartitionGraph(g, loom.TemporalOrder, nil, cfg, trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 8 {
+		t.Fatalf("assigned %d", a.Len())
+	}
+}

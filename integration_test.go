@@ -1,0 +1,152 @@
+package loom_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom"
+	"loom/internal/gen"
+	"loom/internal/iso"
+	"loom/internal/metrics"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/stream"
+)
+
+// TestFig1EndToEnd reproduces the paper's running example end to end: the
+// Figure 1 graph and workload, captured into a TPSTry++, partitioned by
+// LOOM into 2 parts, and queried. The q1 square {1,2,5,6} must be the
+// unique q1 answer, and with motif grouping it should land on a single
+// partition.
+func TestFig1EndToEnd(t *testing.T) {
+	g := loom.Fig1Graph()
+	w := loom.Fig1Workload()
+
+	trie, err := loom.CaptureWorkload(w, loom.CaptureOptions{Alphabet: loom.DefaultAlphabet(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trie.NumNodes() == 0 {
+		t.Fatal("TPSTry++ should contain motifs")
+	}
+
+	cfg := loom.Config{
+		Partition:  loom.PartitionConfig{K: 2, ExpectedVertices: g.NumVertices(), Slack: 1.5, Seed: 7},
+		WindowSize: 8,
+		Threshold:  0.3, // every edge motif of Q clears 1/3
+	}
+	a, err := loom.PartitionGraph(g, loom.TemporalOrder, nil, cfg, trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.NumVertices() {
+		t.Fatalf("assigned %d of %d vertices", a.Len(), g.NumVertices())
+	}
+
+	// q1's unique match must be {1,2,5,6}.
+	q1 := loom.CycleQuery("a", "b", "a", "b")
+	matches := iso.DistinctMatches(q1, g, iso.Options{})
+	if len(matches) != 1 {
+		t.Fatalf("q1 distinct matches = %d, want 1", len(matches))
+	}
+	wantVs := []loom.VertexID{1, 2, 5, 6}
+	for i, v := range matches[0].Vertices {
+		if v != wantVs[i] {
+			t.Fatalf("q1 match vertices = %v, want %v", matches[0].Vertices, wantVs)
+		}
+	}
+
+	// The square must not be split by LOOM.
+	p0 := a.Get(1)
+	for _, v := range wantVs {
+		if a.Get(v) != p0 {
+			t.Errorf("motif vertex %d on partition %d, want %d (square split)", v, a.Get(v), p0)
+		}
+	}
+}
+
+// TestLoomBeatsHashOnTraversals checks the headline C2 shape on a small
+// synthetic instance: LOOM's inter-partition traversal probability for a
+// motif workload is at most hash partitioning's.
+func TestLoomBeatsHashOnTraversals(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	alphabet := loom.DefaultAlphabet(4)
+	lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: r}
+	g, err := gen.BarabasiAlbert(600, 2, lab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := query.GenerateWorkload(query.DefaultMix(12), alphabet, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie, err := loom.CaptureWorkload(w, loom.CaptureOptions{Alphabet: alphabet})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := 4
+	cfg := loom.Config{
+		Partition:  loom.PartitionConfig{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: 1},
+		WindowSize: 128,
+		Threshold:  0.05,
+	}
+	la, err := loom.PartitionGraph(g, loom.RandomOrder, rand.New(rand.NewSource(5)), cfg, trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hash, err := partition.NewHash(partition.Config{K: k, ExpectedVertices: g.NumVertices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := stream.VertexOrder(g, stream.TemporalOrder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := partition.PartitionStream(g, order, hash)
+
+	lc, err := loom.NewCluster(g, la, loom.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := loom.NewCluster(g, ha, loom.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres := lc.RunWorkloadExhaustive(w)
+	hres := hc.RunWorkloadExhaustive(w)
+
+	lp, hp := lres.TraversalProbability(), hres.TraversalProbability()
+	t.Logf("traversal probability: loom=%.4f hash=%.4f", lp, hp)
+	if lp > hp {
+		t.Errorf("LOOM traversal probability %.4f exceeds hash %.4f", lp, hp)
+	}
+
+	// Balance must stay sane despite motif grouping.
+	if bal := metrics.VertexImbalance(la); bal > 1.6 {
+		t.Errorf("LOOM vertex imbalance %.3f > 1.6", bal)
+	}
+}
+
+// TestEmptyTrieDegradesToLDG ensures LOOM without a workload behaves and
+// terminates like windowed LDG.
+func TestEmptyTrieDegradesToLDG(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	lab := &gen.UniformLabeler{Alphabet: loom.DefaultAlphabet(3), Rand: r}
+	g, err := gen.ErdosRenyi(200, 600, lab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loom.Config{
+		Partition:  loom.PartitionConfig{K: 4, ExpectedVertices: 200, Slack: 1.1, Seed: 2},
+		WindowSize: 32,
+	}
+	a, err := loom.PartitionGraph(g, loom.TemporalOrder, nil, cfg, loom.EmptyTrie())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 200 {
+		t.Fatalf("assigned %d, want 200", a.Len())
+	}
+}

@@ -1,0 +1,242 @@
+// Package cluster simulates the distributed graph database a partitioning
+// would be deployed into, so that the paper's target quantity — the
+// probability that executing a query causes inter-partition traversals —
+// can be measured exactly.
+//
+// The substitution (documented in DESIGN.md): instead of a networked GDBMS
+// such as Titan, the cluster holds the whole graph plus the partition
+// assignment and instruments the exact sub-graph isomorphism engine of
+// package iso. Every accepted extension of a partial match from one data
+// vertex to another is a traversal; a traversal whose endpoints live on
+// different partitions is an inter-partition traversal, costing a network
+// message. Candidate probes that are inspected and rejected are accounted
+// separately as visits. Latency follows a simple per-hop cost model.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"loom/internal/graph"
+	"loom/internal/iso"
+	"loom/internal/partition"
+	"loom/internal/query"
+)
+
+// CostModel assigns time costs to simulated operations.
+type CostModel struct {
+	// IntraHop is the cost of a traversal within a partition.
+	IntraHop time.Duration
+	// InterHop is the cost of a traversal crossing partitions (a network
+	// round trip in a real deployment).
+	InterHop time.Duration
+}
+
+// DefaultCostModel reflects the common two-orders-of-magnitude gap between
+// in-memory pointer chasing and a datacenter round trip.
+func DefaultCostModel() CostModel {
+	return CostModel{IntraHop: 1 * time.Microsecond, InterHop: 100 * time.Microsecond}
+}
+
+// DefaultMappingLimit bounds the mappings enumerated per query execution.
+// Highly symmetric patterns on dense graphs can have millions of matches;
+// traversal probabilities converge long before that, so executions stop
+// after this many mappings unless the caller raises the limit.
+const DefaultMappingLimit = 100000
+
+// Cluster is a simulated partitioned graph store.
+type Cluster struct {
+	g     *graph.Graph
+	a     *partition.Assignment
+	costs CostModel
+	// MappingLimit caps mappings enumerated per Execute/MatchCut call;
+	// <= 0 means unlimited. New initialises it to DefaultMappingLimit.
+	MappingLimit int
+}
+
+// New returns a cluster over graph g partitioned by a. Every vertex of g
+// must be assigned.
+func New(g *graph.Graph, a *partition.Assignment, costs CostModel) (*Cluster, error) {
+	for _, v := range g.Vertices() {
+		if !a.Assigned(v) {
+			return nil, fmt.Errorf("cluster: vertex %d unassigned", v)
+		}
+	}
+	return &Cluster{g: g, a: a, costs: costs, MappingLimit: DefaultMappingLimit}, nil
+}
+
+// limit converts MappingLimit to an iso.Options limit.
+func (c *Cluster) limit() int {
+	if c.MappingLimit <= 0 {
+		return 0
+	}
+	return c.MappingLimit
+}
+
+// Result accounts one query execution.
+type Result struct {
+	// Matches is the number of distinct sub-graphs returned.
+	Matches int
+	// Traversals counts accepted match extensions (graph hops).
+	Traversals int
+	// CrossTraversals counts hops whose endpoints are on different
+	// partitions.
+	CrossTraversals int
+	// Visits counts candidate vertices inspected during search.
+	Visits int
+	// CrossVisits counts inspected candidates on a different partition
+	// than the anchor.
+	CrossVisits int
+	// Latency is the modelled execution time.
+	Latency time.Duration
+}
+
+// TraversalProbability returns CrossTraversals / Traversals (0 when no
+// traversals occurred).
+func (r Result) TraversalProbability() float64 {
+	if r.Traversals == 0 {
+		return 0
+	}
+	return float64(r.CrossTraversals) / float64(r.Traversals)
+}
+
+// add accumulates other into r.
+func (r *Result) add(other Result) {
+	r.Matches += other.Matches
+	r.Traversals += other.Traversals
+	r.CrossTraversals += other.CrossTraversals
+	r.Visits += other.Visits
+	r.CrossVisits += other.CrossVisits
+	r.Latency += other.Latency
+}
+
+// Execute runs one pattern query against the cluster and accounts its
+// traversals.
+func (c *Cluster) Execute(pattern *graph.Graph) Result {
+	var res Result
+	opts := iso.Options{
+		Limit: c.limit(),
+		OnTraverse: func(from, to graph.VertexID) {
+			res.Traversals++
+			if c.a.Get(from) != c.a.Get(to) {
+				res.CrossTraversals++
+				res.Latency += c.costs.InterHop
+			} else {
+				res.Latency += c.costs.IntraHop
+			}
+		},
+		OnVisit: func(from, to graph.VertexID) {
+			res.Visits++
+			if c.a.Get(from) != c.a.Get(to) {
+				res.CrossVisits++
+			}
+		},
+	}
+	res.Matches = len(iso.DistinctMatches(pattern, c.g, opts))
+	return res
+}
+
+// MatchCut accounts the partition quality of the result sub-graphs
+// themselves: of all edges belonging to distinct matches of pattern, how
+// many cross partitions. This is the static counterpart of Execute's
+// dynamic traversal counts.
+func (c *Cluster) MatchCut(pattern *graph.Graph) (cut, total int) {
+	for _, m := range iso.DistinctMatches(pattern, c.g, iso.Options{Limit: c.limit()}) {
+		for _, e := range m.Edges {
+			total++
+			if c.a.Get(e.U) != c.a.Get(e.V) {
+				cut++
+			}
+		}
+	}
+	return cut, total
+}
+
+// WorkloadResult aggregates execution of a query workload.
+type WorkloadResult struct {
+	// Executions is the number of queries run.
+	Executions int
+	// Aggregate accumulates all per-query results.
+	Aggregate Result
+	// PerQuery maps query ID to its accumulated result.
+	PerQuery map[string]*Result
+	// MatchEdgeCut / MatchEdgeTotal aggregate MatchCut over the workload,
+	// weighted by execution count.
+	MatchEdgeCut   int
+	MatchEdgeTotal int
+}
+
+// TraversalProbability returns the workload-level probability that a
+// traversal crosses partitions.
+func (w WorkloadResult) TraversalProbability() float64 {
+	return w.Aggregate.TraversalProbability()
+}
+
+// MatchCutFraction returns the fraction of result-sub-graph edges that
+// cross partitions.
+func (w WorkloadResult) MatchCutFraction() float64 {
+	if w.MatchEdgeTotal == 0 {
+		return 0
+	}
+	return float64(w.MatchEdgeCut) / float64(w.MatchEdgeTotal)
+}
+
+// RunWorkload samples n query executions from the workload (by frequency)
+// and accumulates results. Deterministic for a given rand source.
+func (c *Cluster) RunWorkload(w *query.Workload, n int, r *rand.Rand) WorkloadResult {
+	out := WorkloadResult{PerQuery: make(map[string]*Result)}
+	queries := w.Queries()
+	for i := 0; i < n; i++ {
+		qi := w.Sample(r)
+		if qi < 0 {
+			break
+		}
+		q := queries[qi]
+		res := c.Execute(q.Pattern)
+		cut, total := c.MatchCut(q.Pattern)
+		out.MatchEdgeCut += cut
+		out.MatchEdgeTotal += total
+		out.Executions++
+		out.Aggregate.add(res)
+		pq, ok := out.PerQuery[q.ID]
+		if !ok {
+			pq = &Result{}
+			out.PerQuery[q.ID] = pq
+		}
+		pq.add(res)
+	}
+	return out
+}
+
+// RunWorkloadExhaustive executes every query exactly once, weighting the
+// aggregate by each query's normalised frequency. Unlike RunWorkload it is
+// sampling-noise free, at the cost of integer counts becoming weighted
+// (rounded) sums; use it when comparing partitioners on identical terms.
+func (c *Cluster) RunWorkloadExhaustive(w *query.Workload) WorkloadResult {
+	out := WorkloadResult{PerQuery: make(map[string]*Result)}
+	var wTrav, wCross, wCut, wTotal float64
+	for i, q := range w.Queries() {
+		f := w.Frequency(i)
+		res := c.Execute(q.Pattern)
+		cut, total := c.MatchCut(q.Pattern)
+		out.Executions++
+		pq := res
+		out.PerQuery[q.ID] = &pq
+		wTrav += f * float64(res.Traversals)
+		wCross += f * float64(res.CrossTraversals)
+		wCut += f * float64(cut)
+		wTotal += f * float64(total)
+		out.Aggregate.Matches += res.Matches
+		out.Aggregate.Visits += res.Visits
+		out.Aggregate.CrossVisits += res.CrossVisits
+		out.Aggregate.Latency += res.Latency
+	}
+	// Store weighted traversal counts scaled to preserve the probability.
+	const scale = 1 << 20
+	out.Aggregate.Traversals = int(wTrav * scale)
+	out.Aggregate.CrossTraversals = int(wCross * scale)
+	out.MatchEdgeCut = int(wCut * scale)
+	out.MatchEdgeTotal = int(wTotal * scale)
+	return out
+}

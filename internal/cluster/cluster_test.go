@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/query"
+)
+
+// fig1Split places the Fig.1 graph with the q1 square {1,2,5,6} on
+// partition 0 and the rest on partition 1.
+func fig1Split(t *testing.T) (*graph.Graph, *partition.Assignment) {
+	t.Helper()
+	g := graph.Fig1Graph()
+	a := partition.MustNewAssignment(2)
+	for _, v := range []graph.VertexID{1, 2, 5, 6} {
+		if err := a.Set(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.VertexID{3, 4, 7, 8} {
+		if err := a.Set(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, a
+}
+
+func TestNewRequiresFullAssignment(t *testing.T) {
+	g := graph.Fig1Graph()
+	a := partition.MustNewAssignment(2)
+	if _, err := New(g, a, DefaultCostModel()); err == nil {
+		t.Fatal("unassigned vertices should be rejected")
+	}
+}
+
+func TestExecuteSquareStaysLocal(t *testing.T) {
+	g, a := fig1Split(t)
+	c, err := New(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := graph.Cycle("a", "b", "a", "b")
+	res := c.Execute(q1)
+	if res.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", res.Matches)
+	}
+	// The square lives wholly on partition 0: its match edges are never
+	// cross-partition.
+	cut, total := c.MatchCut(q1)
+	if total != 4 || cut != 0 {
+		t.Fatalf("match cut = %d/%d, want 0/4", cut, total)
+	}
+}
+
+func TestExecutePathCrossesSplit(t *testing.T) {
+	g, a := fig1Split(t)
+	c, err := New(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q2 = abc: matches 1-2-3 and 6-2-3; the 2-3 edge crosses partitions.
+	q2 := graph.Path("a", "b", "c")
+	cut, total := c.MatchCut(q2)
+	if total != 4 {
+		t.Fatalf("total match edges = %d, want 4", total)
+	}
+	if cut != 2 {
+		t.Fatalf("cut match edges = %d, want 2 (the 2-3 edge of both matches)", cut)
+	}
+	res := c.Execute(q2)
+	if res.Traversals == 0 || res.CrossTraversals == 0 {
+		t.Fatalf("expected traversals and crossings: %+v", res)
+	}
+	if res.CrossTraversals > res.Traversals {
+		t.Fatal("crossings cannot exceed traversals")
+	}
+	if res.Visits < res.Traversals {
+		t.Fatal("visits cannot be fewer than traversals")
+	}
+	if p := res.TraversalProbability(); p <= 0 || p > 1 {
+		t.Fatalf("probability %v out of (0,1]", p)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	g, a := fig1Split(t)
+	costs := CostModel{IntraHop: 1, InterHop: 1000}
+	c, err := New(g, a, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Execute(graph.Path("a", "b", "c"))
+	wantLat := int64(res.Traversals-res.CrossTraversals)*1 + int64(res.CrossTraversals)*1000
+	if int64(res.Latency) != wantLat {
+		t.Fatalf("latency = %d, want %d", res.Latency, wantLat)
+	}
+}
+
+func TestTraversalProbabilityZeroOnNoTraversals(t *testing.T) {
+	var r Result
+	if r.TraversalProbability() != 0 {
+		t.Fatal("zero traversals should give probability 0")
+	}
+}
+
+func TestRunWorkloadAggregates(t *testing.T) {
+	g, a := fig1Split(t)
+	c, err := New(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Fig1Workload()
+	res := c.RunWorkload(w, 30, rand.New(rand.NewSource(31)))
+	if res.Executions != 30 {
+		t.Fatalf("executions = %d, want 30", res.Executions)
+	}
+	if len(res.PerQuery) == 0 {
+		t.Fatal("per-query results missing")
+	}
+	if res.Aggregate.Matches == 0 {
+		t.Fatal("expected matches")
+	}
+	if p := res.TraversalProbability(); p < 0 || p > 1 {
+		t.Fatalf("probability %v out of range", p)
+	}
+	if f := res.MatchCutFraction(); f < 0 || f > 1 {
+		t.Fatalf("match cut fraction %v out of range", f)
+	}
+}
+
+func TestRunWorkloadExhaustiveDeterministic(t *testing.T) {
+	g, a := fig1Split(t)
+	c, err := New(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Fig1Workload()
+	r1 := c.RunWorkloadExhaustive(w)
+	r2 := c.RunWorkloadExhaustive(w)
+	if r1.TraversalProbability() != r2.TraversalProbability() {
+		t.Fatal("exhaustive run must be deterministic")
+	}
+	if r1.Executions != 3 {
+		t.Fatalf("executions = %d, want 3", r1.Executions)
+	}
+	if len(r1.PerQuery) != 3 {
+		t.Fatalf("per-query entries = %d, want 3", len(r1.PerQuery))
+	}
+}
+
+func TestBetterPlacementLowersProbability(t *testing.T) {
+	// Compare the motif-aware split against a deliberately bad split that
+	// cuts the square: traversal probability must be lower for the former.
+	g, good := fig1Split(t)
+	bad := partition.MustNewAssignment(2)
+	// Split the square down the middle.
+	for _, v := range []graph.VertexID{1, 5, 3, 7} {
+		if err := bad.Set(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.VertexID{2, 6, 4, 8} {
+		if err := bad.Set(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := query.Fig1Workload()
+	cg, err := New(g, good, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := New(g, bad, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := cg.RunWorkloadExhaustive(w).TraversalProbability()
+	pb := cb.RunWorkloadExhaustive(w).TraversalProbability()
+	t.Logf("probability: good=%.3f bad=%.3f", pg, pb)
+	if pg >= pb {
+		t.Fatalf("good placement %.3f should beat bad %.3f", pg, pb)
+	}
+}

@@ -1,0 +1,387 @@
+// Package core implements LOOM, the workload-aware streaming graph
+// partitioner that is the paper's primary contribution (§4).
+//
+// LOOM buffers a sliding window over the incoming graph-stream. Inside the
+// window, a pattern.Tracker detects sub-graphs matching the frequent query
+// motifs of a TPSTry++ built from the workload. When the oldest vertex of
+// the window is due to be assigned, LOOM checks whether it participates in
+// a motif match: if so, the whole matching sub-graph — together with any
+// overlapping matches (§4.4) — is assigned to a single partition at once,
+// using the sub-graph extension of the Linear Deterministic Greedy
+// heuristic; isolated vertices and non-motif sub-graphs are assigned by
+// plain LDG. The result is a partitioning in which the sub-graphs a random
+// workload query traverses tend to live inside one partition.
+package core
+
+import (
+	"fmt"
+
+	"loom/internal/graph"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/pattern"
+	"loom/internal/stream"
+)
+
+// Config parameterises a LOOM partitioner.
+type Config struct {
+	// Partition carries the LDG parameters (k, expected vertices, slack,
+	// seed).
+	Partition partition.Config
+	// WindowSize is the stream-window vertex capacity (paper §4.1). Zero
+	// defaults to 256.
+	WindowSize int
+	// Threshold is the motif frequency threshold T (paper §4.2): TPSTry++
+	// nodes at or above it are motifs worth keeping intact.
+	Threshold float64
+	// DisableMotifs turns off motif tracking entirely, reducing LOOM to a
+	// windowed LDG (ablation E9).
+	DisableMotifs bool
+	// Verify makes the tracker confirm signature matches with exact
+	// isomorphism before trusting them (ablation E10).
+	Verify bool
+	// SplitOverlaps disables the co-assignment of overlapping motif
+	// matches: only the single largest match containing the evicted vertex
+	// is kept together (ablation E11). Default false = paper behaviour.
+	SplitOverlaps bool
+	// MaxMatchesPerVertex bounds tracker memory; see pattern.Options.
+	MaxMatchesPerVertex int
+	// TraversalWeighting enables the paper's future-work extension: LDG
+	// scores each neighbour edge by TraversalBias plus the TPSTry++
+	// probability that the workload traverses an edge with those labels,
+	// instead of counting every edge as 1 (experiment E12).
+	TraversalWeighting bool
+	// TraversalBias is the baseline weight added to every edge under
+	// TraversalWeighting, so structurally useful but never-traversed edges
+	// still attract placement. Zero defaults to 0.1.
+	TraversalBias float64
+	// MaxGroupSize caps motif-group assignments (the paper's future-work
+	// local partitioning of large matched sub-graphs, experiment E13):
+	// larger groups are split into connected blocks of at most this many
+	// vertices, each placed as a unit. Zero = unlimited (paper behaviour).
+	MaxGroupSize int
+}
+
+// DefaultWindowSize is used when Config.WindowSize is zero.
+const DefaultWindowSize = 256
+
+// Stats counts partitioner activity.
+type Stats struct {
+	VerticesAssigned  int
+	EdgesObserved     int
+	EdgesDeferred     int // edges arriving after one endpoint was assigned
+	MotifGroups       int // group assignments performed
+	GroupedVertices   int // vertices assigned as part of a motif group
+	SingletonVertices int // vertices assigned individually
+	LargestGroup      int
+	GroupsSplit       int // oversized groups split by MaxGroupSize
+	Tracker           pattern.Stats
+}
+
+// Partitioner is a LOOM instance. It consumes a graph-stream element by
+// element and accumulates a partition assignment. Not safe for concurrent
+// use.
+type Partitioner struct {
+	cfg     Config
+	trie    *motif.Trie
+	window  *stream.Window
+	tracker *pattern.Tracker
+	ldg     *partition.Greedy
+	// labels remembers every observed vertex label so traversal-weighted
+	// placement can score edges to already-assigned neighbours. A real
+	// deployment would read labels from the store; the simulator keeps
+	// them in memory (O(n) strings).
+	labels map[graph.VertexID]graph.Label
+	stats  Stats
+}
+
+// New returns a LOOM partitioner over the workload summarised by trie.
+// The trie may be empty (or DisableMotifs set), in which case LOOM behaves
+// as windowed LDG.
+func New(cfg Config, trie *motif.Trie) (*Partitioner, error) {
+	if trie == nil {
+		return nil, fmt.Errorf("core: nil TPSTry++ (use an empty trie to run without a workload)")
+	}
+	if cfg.WindowSize == 0 {
+		cfg.WindowSize = DefaultWindowSize
+	}
+	if cfg.WindowSize < 1 {
+		return nil, fmt.Errorf("core: window size %d < 1", cfg.WindowSize)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v out of [0,1]", cfg.Threshold)
+	}
+	w, err := stream.NewWindow(cfg.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	ldg, err := partition.NewLDG(cfg.Partition)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraversalWeighting && cfg.TraversalBias == 0 {
+		cfg.TraversalBias = 0.1
+	}
+	if cfg.MaxGroupSize < 0 {
+		return nil, fmt.Errorf("core: MaxGroupSize %d < 0", cfg.MaxGroupSize)
+	}
+	return &Partitioner{
+		cfg:    cfg,
+		trie:   trie,
+		window: w,
+		tracker: pattern.NewTracker(trie, pattern.Options{
+			Threshold:           cfg.Threshold,
+			MaxMatchesPerVertex: cfg.MaxMatchesPerVertex,
+			Verify:              cfg.Verify,
+		}),
+		ldg:    ldg,
+		labels: make(map[graph.VertexID]graph.Label),
+	}, nil
+}
+
+// Assignment returns the accumulated placement.
+func (p *Partitioner) Assignment() *partition.Assignment { return p.ldg.Assignment() }
+
+// Stats returns a copy of the activity counters (tracker stats included).
+func (p *Partitioner) Stats() Stats {
+	s := p.stats
+	s.Tracker = p.tracker.Stats()
+	return s
+}
+
+// Window exposes the live window (read-only) for inspection tools.
+func (p *Partitioner) Window() *stream.Window { return p.window }
+
+// Consume processes one stream element.
+func (p *Partitioner) Consume(el stream.Element) error {
+	switch el.Kind {
+	case stream.VertexElement:
+		return p.AddVertex(el.V, el.Label)
+	case stream.EdgeElement:
+		return p.AddEdge(el.V, el.U)
+	}
+	return fmt.Errorf("core: unknown element kind %d", el.Kind)
+}
+
+// AddVertex feeds a vertex element. If the window overflows, the oldest
+// vertex (and possibly its motif group) is assigned.
+func (p *Partitioner) AddVertex(v graph.VertexID, l graph.Label) error {
+	if p.Assignment().Assigned(v) {
+		return fmt.Errorf("core: vertex %d already assigned", v)
+	}
+	p.labels[v] = l
+	if ev := p.window.AddVertex(v, l); ev != nil {
+		p.assignEvicted(*ev)
+	}
+	return nil
+}
+
+// AddEdge feeds an edge element. Both endpoints must have been seen as
+// vertex elements (resident or already assigned).
+func (p *Partitioner) AddEdge(u, v graph.VertexID) error {
+	knownU := p.window.Resident(u) || p.Assignment().Assigned(u)
+	knownV := p.window.Resident(v) || p.Assignment().Assigned(v)
+	if !knownU || !knownV {
+		return fmt.Errorf("core: edge {%d,%d} references unseen vertex", u, v)
+	}
+	bothResident, err := p.window.AddEdge(u, v)
+	if err != nil {
+		return err
+	}
+	p.stats.EdgesObserved++
+	if !bothResident {
+		p.stats.EdgesDeferred++
+		return nil
+	}
+	if p.cfg.DisableMotifs {
+		return nil
+	}
+	return p.tracker.ObserveEdge(u, v, p.window.Graph())
+}
+
+// Finish drains the window, assigning every remaining vertex, and returns
+// the final assignment.
+func (p *Partitioner) Finish() *partition.Assignment {
+	for {
+		ev, ok := p.window.EvictOldest()
+		if !ok {
+			break
+		}
+		p.assignEvicted(ev)
+	}
+	return p.Assignment()
+}
+
+// assignEvicted places an evicted vertex: wholly with its motif group when
+// it participates in one, individually otherwise (§4.4).
+func (p *Partitioner) assignEvicted(ev stream.Eviction) {
+	if p.cfg.DisableMotifs {
+		p.assignSingle(ev)
+		return
+	}
+	group := p.groupFor(ev.V)
+	if len(group) <= 1 {
+		p.assignSingle(ev)
+		p.tracker.RemoveVertex(ev.V)
+		return
+	}
+
+	// Gather neighbour information per group member. ev.V has already left
+	// the window; the others are force-evicted now.
+	neighbors := make(map[graph.VertexID][]graph.VertexID, len(group))
+	neighbors[ev.V] = append(append([]graph.VertexID(nil), ev.WindowNeighbors...), ev.AssignedNeighbors...)
+	for _, m := range group {
+		if m == ev.V {
+			continue
+		}
+		mev, ok := p.window.Evict(m)
+		if !ok {
+			// Group member not resident (should not happen: matches only
+			// span resident vertices); fall back to no neighbour info.
+			continue
+		}
+		neighbors[m] = append(append([]graph.VertexID(nil), mev.WindowNeighbors...), mev.AssignedNeighbors...)
+	}
+
+	blocks := p.splitGroup(ev.V, group, neighbors)
+	if len(blocks) > 1 {
+		p.stats.GroupsSplit++
+	}
+	for _, block := range blocks {
+		p.placeGroup(block, neighbors)
+		p.stats.MotifGroups++
+		p.stats.GroupedVertices += len(block)
+		p.stats.VerticesAssigned += len(block)
+		if len(block) > p.stats.LargestGroup {
+			p.stats.LargestGroup = len(block)
+		}
+	}
+	for _, m := range group {
+		p.tracker.RemoveVertex(m)
+	}
+}
+
+// placeGroup assigns one block atomically, with or without traversal
+// weighting.
+func (p *Partitioner) placeGroup(block []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID) {
+	if p.cfg.TraversalWeighting {
+		p.ldg.PlaceGroupWeighted(block, neighbors, p.edgeWeight)
+		return
+	}
+	p.ldg.PlaceGroup(block, neighbors)
+}
+
+// edgeWeight implements the future-work LDG extension: an edge counts for
+// the baseline bias plus the probability the workload traverses an edge
+// with its endpoint labels.
+func (p *Partitioner) edgeWeight(v, n graph.VertexID) float64 {
+	lv, okV := p.labels[v]
+	ln, okN := p.labels[n]
+	if !okV || !okN {
+		return p.cfg.TraversalBias
+	}
+	return p.cfg.TraversalBias + p.trie.PEdge(lv, ln)
+}
+
+// splitGroup applies MaxGroupSize: groups within the cap (or with the cap
+// disabled) come back as one block; larger groups are chunked along a BFS
+// order over the group's internal adjacency starting from the evicted
+// vertex, so each block is a locally connected region of the matched
+// sub-graph (the paper's future-work local partitioning).
+func (p *Partitioner) splitGroup(start graph.VertexID, group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID) [][]graph.VertexID {
+	max := p.cfg.MaxGroupSize
+	if max == 0 || len(group) <= max {
+		return [][]graph.VertexID{group}
+	}
+	inGroup := make(map[graph.VertexID]struct{}, len(group))
+	for _, v := range group {
+		inGroup[v] = struct{}{}
+	}
+	// BFS over group-internal edges (derived from the captured neighbour
+	// lists, which include both window and assigned neighbours).
+	visited := map[graph.VertexID]struct{}{start: {}}
+	order := []graph.VertexID{start}
+	queue := []graph.VertexID{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range neighbors[v] {
+			if _, in := inGroup[u]; !in {
+				continue
+			}
+			if _, seen := visited[u]; seen {
+				continue
+			}
+			visited[u] = struct{}{}
+			order = append(order, u)
+			queue = append(queue, u)
+		}
+	}
+	// Overlap closures are connected, but guard against unreachable
+	// members (e.g. truncated neighbour info) by appending them.
+	for _, v := range group {
+		if _, seen := visited[v]; !seen {
+			order = append(order, v)
+		}
+	}
+	var blocks [][]graph.VertexID
+	for i := 0; i < len(order); i += max {
+		end := i + max
+		if end > len(order) {
+			end = len(order)
+		}
+		blocks = append(blocks, order[i:end])
+	}
+	return blocks
+}
+
+// groupFor returns the vertex set to assign together with v: the transitive
+// overlap closure of its matches (paper behaviour) or just its largest
+// match (SplitOverlaps ablation). The result includes v; a vertex with no
+// matches yields {v}.
+func (p *Partitioner) groupFor(v graph.VertexID) []graph.VertexID {
+	if p.cfg.SplitOverlaps {
+		ms := p.tracker.MatchesContaining(v)
+		if len(ms) == 0 {
+			return []graph.VertexID{v}
+		}
+		return ms[0].Vertices()
+	}
+	return p.tracker.GroupFor(v)
+}
+
+// assignSingle places one vertex by LDG (traversal-weighted when enabled).
+func (p *Partitioner) assignSingle(ev stream.Eviction) {
+	neighbors := append(append([]graph.VertexID(nil), ev.WindowNeighbors...), ev.AssignedNeighbors...)
+	if p.cfg.TraversalWeighting {
+		p.ldg.PlaceWeighted(ev.V, neighbors, p.edgeWeight)
+	} else {
+		p.ldg.Place(ev.V, neighbors)
+	}
+	p.stats.SingletonVertices++
+	p.stats.VerticesAssigned++
+}
+
+// Name identifies the partitioner in reports.
+func (p *Partitioner) Name() string {
+	if p.cfg.DisableMotifs {
+		return "loom-nomotifs"
+	}
+	return "loom"
+}
+
+// Run consumes an entire stream source and finishes, returning the final
+// assignment. It is the convenience entry point used by the CLI, examples
+// and benchmarks.
+func (p *Partitioner) Run(src stream.Source) (*partition.Assignment, error) {
+	for {
+		el, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := p.Consume(el); err != nil {
+			return nil, err
+		}
+	}
+	return p.Finish(), nil
+}

@@ -1,0 +1,308 @@
+// Package experiments implements every experiment in EXPERIMENTS.md: the
+// paper's three figures (F1–F3), its three textual claims (C1–C3), and the
+// future-work evaluation the paper commits to (E1–E11). Each experiment is
+// a method on Runner returning a Table; cmd/loom-bench prints them and
+// bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"loom/internal/cluster"
+	"loom/internal/core"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/metrics"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/signature"
+	"loom/internal/stream"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180 CSV, one header row plus data
+// rows; notes become trailing comment lines prefixed with "#".
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner executes experiments. Quick mode shrinks instance sizes so the
+// full suite runs in seconds (used by benchmarks and CI); full mode uses
+// the sizes reported in EXPERIMENTS.md.
+type Runner struct {
+	Seed  int64
+	Quick bool
+	// Out receives progress lines when non-nil.
+	Out io.Writer
+}
+
+// scale returns quick when Quick, full otherwise.
+func (r *Runner) scale(quick, full int) int {
+	if r.Quick {
+		return quick
+	}
+	return full
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Out != nil {
+		fmt.Fprintf(r.Out, format+"\n", args...)
+	}
+}
+
+// Spec describes one experiment for registry purposes.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (*Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Spec {
+	return []Spec{
+		{"F1", "Figure 1: example graph, workload and q1's match", (*Runner).F1},
+		{"F2", "Figure 2: TPSTry++ for the Figure 1 workload", (*Runner).F2},
+		{"F3", "Figure 3: motif matching over the graph-stream", (*Runner).F3},
+		{"C1", "Claim: LDG cuts up to 90% fewer edges than hash", (*Runner).C1},
+		{"C2", "Claim: LOOM lowers inter-partition traversal probability", (*Runner).C2},
+		{"C3", "Stream-order sensitivity", (*Runner).C3},
+		{"E1", "Window-size sweep", (*Runner).E1},
+		{"E2", "Motif-threshold sweep", (*Runner).E2},
+		{"E3", "Partition balance across k", (*Runner).E3},
+		{"E4", "Partitioner throughput", (*Runner).E4},
+		{"E5", "Offline multilevel reference", (*Runner).E5},
+		{"E6", "Workload skew sweep", (*Runner).E6},
+		{"E7", "Query-mix sensitivity", (*Runner).E7},
+		{"E8", "Signature fidelity vs exact isomorphism", (*Runner).E8},
+		{"E9", "Ablation: motif grouping disabled", (*Runner).E9},
+		{"E10", "Ablation: verified vs signature-only matching", (*Runner).E10},
+		{"E11", "Ablation: overlap co-assignment disabled", (*Runner).E11},
+		{"E12", "Future work: traversal-weighted LDG", (*Runner).E12},
+		{"E13", "Future work: local split of large motif groups", (*Runner).E13},
+		{"E14", "Sharded-store messages + hotspot replication", (*Runner).E14},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range All() {
+		if strings.EqualFold(s.ID, id) {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ---- shared helpers ----
+
+// instance bundles a data graph, workload and trie for an experiment.
+type instance struct {
+	g        *graph.Graph
+	alphabet []graph.Label
+	w        *query.Workload
+	trie     *motif.Trie
+}
+
+// newInstance builds the standard C2-style instance: a BA graph with
+// uniform labels and a mixed path/star/cycle/tree workload.
+func (r *Runner) newInstance(n, mPer, alphaSize, queries int, zipf float64) (*instance, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	alphabet := gen.DefaultAlphabet(alphaSize)
+	lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+	g, err := gen.BarabasiAlbert(n, mPer, lab, rng)
+	if err != nil {
+		return nil, err
+	}
+	mix := query.DefaultMix(queries)
+	mix.ZipfSkew = zipf
+	w, err := query.GenerateWorkload(mix, alphabet, rng)
+	if err != nil {
+		return nil, err
+	}
+	trie := motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{MaxMotifVertices: 4})
+	if err := w.BuildTrie(trie); err != nil {
+		return nil, err
+	}
+	return &instance{g: g, alphabet: alphabet, w: w, trie: trie}, nil
+}
+
+// loomConfig builds a LOOM config for the instance.
+func (r *Runner) loomConfig(n, k, window int, threshold float64) core.Config {
+	return core.Config{
+		Partition:  partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: r.Seed},
+		WindowSize: window,
+		Threshold:  threshold,
+	}
+}
+
+// runLoom streams the graph through LOOM and returns the assignment.
+func (r *Runner) runLoom(inst *instance, cfg core.Config, order stream.Order) (*partition.Assignment, *core.Partitioner, error) {
+	elems, err := stream.FromGraph(inst.g, order, rand.New(rand.NewSource(r.Seed+100)))
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.New(cfg, inst.trie)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := p.Run(stream.NewSliceSource(elems))
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, p, nil
+}
+
+// runBaseline streams the graph through a workload-agnostic heuristic.
+func (r *Runner) runBaseline(g *graph.Graph, s partition.Streaming, order stream.Order) (*partition.Assignment, error) {
+	vs, err := stream.VertexOrder(g, order, rand.New(rand.NewSource(r.Seed+100)))
+	if err != nil {
+		return nil, err
+	}
+	return partition.PartitionStream(g, vs, s), nil
+}
+
+// traversalProbability runs the workload exhaustively against an
+// assignment and returns the inter-partition traversal probability and
+// match-edge cut fraction.
+func traversalProbability(g *graph.Graph, a *partition.Assignment, w *query.Workload) (float64, float64, error) {
+	c, err := cluster.New(g, a, cluster.DefaultCostModel())
+	if err != nil {
+		return 0, 0, err
+	}
+	res := c.RunWorkloadExhaustive(w)
+	return res.TraversalProbability(), res.MatchCutFraction(), nil
+}
+
+// fmtF renders a float at 4 decimals.
+func fmtF(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// fmtP renders a percentage at 1 decimal.
+func fmtP(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// baselineSet builds the standard comparison set for a graph.
+func baselineSet(g *graph.Graph, k int, seed int64) (map[string]partition.Streaming, error) {
+	n := g.NumVertices()
+	cfg := partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: seed}
+	hash, err := partition.NewHash(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ldg, err := partition.NewLDG(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fennel, err := partition.NewFennel(partition.FennelConfig{Config: cfg, ExpectedEdges: g.NumEdges()})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]partition.Streaming{
+		"hash":   hash,
+		"ldg":    ldg,
+		"fennel": fennel,
+	}, nil
+}
+
+var _ = metrics.CutFraction // referenced by experiment files
+
+// trieType aliases the TPSTry++ for experiment helpers.
+type trieType = motif.Trie
+
+// newTrieForAlphabet builds an empty TPSTry++ with deterministic factors
+// for the alphabet.
+func newTrieForAlphabet(alphabet []graph.Label) *motif.Trie {
+	return motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{MaxMotifVertices: 4})
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode: each must
+// produce a non-empty table and pass its internal shape checks.
+func TestAllExperimentsQuick(t *testing.T) {
+	r := &Runner{Seed: 42, Quick: true}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			tab, err := spec.Run(r)
+			if err != nil {
+				t.Fatalf("%s failed: %v", spec.ID, err)
+			}
+			if tab.ID != spec.ID {
+				t.Fatalf("table ID %q != spec ID %q", tab.ID, spec.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", spec.ID)
+			}
+			var sb strings.Builder
+			if err := tab.Render(&sb); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, spec.ID) {
+				t.Fatalf("rendered table missing ID header:\n%s", out)
+			}
+			for _, col := range tab.Columns {
+				if !strings.Contains(out, col) {
+					t.Fatalf("rendered table missing column %q", col)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("c2"); !ok {
+		t.Fatal("Lookup should be case-insensitive")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown ID should not resolve")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Columns: []string{"aa", "b"}}
+	tab.AddRow("1", "22222")
+	tab.AddNote("note %d", 7)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "note: note 7") {
+		t.Fatalf("notes missing:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Columns: []string{"col,a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello")
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"col,a",b`) {
+		t.Fatalf("CSV header not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "1,2") || !strings.Contains(out, "# hello") {
+		t.Fatalf("CSV body wrong:\n%s", out)
+	}
+}
+
+func TestRunnerScale(t *testing.T) {
+	q := &Runner{Quick: true}
+	f := &Runner{}
+	if q.scale(1, 2) != 1 || f.scale(1, 2) != 2 {
+		t.Fatal("scale selection wrong")
+	}
+}

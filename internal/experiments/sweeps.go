@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/metrics"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/stream"
+)
+
+// E1 sweeps the stream-window size: larger windows see more motif context
+// but delay assignment (and cost memory). Reports traversal probability,
+// motif groups formed, and throughput.
+func (r *Runner) E1() (*Table, error) {
+	n := r.scale(1200, 8000)
+	k := 8
+	inst, err := r.newInstance(n, 2, 4, r.scale(10, 20), 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E1",
+		Title:   "Window-size sweep (LOOM)",
+		Columns: []string{"window", "traversal prob", "cut%", "motif groups", "grouped vertices", "vertices/sec"},
+	}
+	windows := []int{16, 64, 256, 1024}
+	if r.Quick {
+		windows = []int{16, 64, 256}
+	}
+	for _, w := range windows {
+		start := time.Now()
+		a, p, err := r.runLoom(inst, r.loomConfig(n, k, w, 0.05), stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		prob, _, err := traversalProbability(inst.g, a, inst.w)
+		if err != nil {
+			return nil, err
+		}
+		st := p.Stats()
+		t.AddRow(fmt.Sprintf("%d", w), fmtF(prob), fmtP(metrics.CutFraction(inst.g, a)),
+			fmt.Sprintf("%d", st.MotifGroups), fmt.Sprintf("%d", st.GroupedVertices),
+			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds()))
+	}
+	t.AddNote("grouped vertices grow with window size; partitioning throughput falls")
+	return t, nil
+}
+
+// E2 sweeps the motif frequency threshold T (§4.2): low thresholds track
+// many motifs (large groups, more grouping work); high thresholds approach
+// plain LDG.
+func (r *Runner) E2() (*Table, error) {
+	n := r.scale(1200, 8000)
+	k := 8
+	inst, err := r.newInstance(n, 2, 4, r.scale(10, 20), 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E2",
+		Title:   "Motif-threshold sweep (LOOM)",
+		Columns: []string{"T", "frequent motifs", "traversal prob", "cut%", "motif groups", "largest group"},
+	}
+	for _, th := range []float64{0.01, 0.05, 0.15, 0.40, 0.90} {
+		a, p, err := r.runLoom(inst, r.loomConfig(n, k, 256, th), stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		prob, _, err := traversalProbability(inst.g, a, inst.w)
+		if err != nil {
+			return nil, err
+		}
+		st := p.Stats()
+		t.AddRow(fmt.Sprintf("%.2f", th),
+			fmt.Sprintf("%d", len(inst.trie.FrequentMotifs(th))),
+			fmtF(prob), fmtP(metrics.CutFraction(inst.g, a)),
+			fmt.Sprintf("%d", st.MotifGroups), fmt.Sprintf("%d", st.LargestGroup))
+	}
+	t.AddNote("T -> 1 disables grouping (few motifs clear the bar); T -> 0 tracks everything")
+	return t, nil
+}
+
+// E3 reports vertex/edge balance across k for every partitioner — §4.4
+// worries that whole-group assignment could unbalance partitions; LDG's
+// capacity penalty is supposed to contain it.
+func (r *Runner) E3() (*Table, error) {
+	n := r.scale(1200, 8000)
+	inst, err := r.newInstance(n, 2, 4, r.scale(10, 20), 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E3",
+		Title:   "Balance across k",
+		Columns: []string{"k", "partitioner", "vertex balance", "edge balance", "cut%"},
+	}
+	ks := []int{4, 8, 16}
+	for _, k := range ks {
+		baselines, err := baselineSet(inst.g, k, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"hash", "fennel", "ldg"} {
+			a, err := r.runBaseline(inst.g, baselines[name], stream.RandomOrder)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%d", k), name,
+				fmt.Sprintf("%.3f", metrics.VertexImbalance(a)),
+				fmt.Sprintf("%.3f", metrics.EdgeImbalance(inst.g, a)),
+				fmtP(metrics.CutFraction(inst.g, a)))
+		}
+		la, _, err := r.runLoom(inst, r.loomConfig(n, k, 256, 0.05), stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", k), "loom",
+			fmt.Sprintf("%.3f", metrics.VertexImbalance(la)),
+			fmt.Sprintf("%.3f", metrics.EdgeImbalance(inst.g, la)),
+			fmtP(metrics.CutFraction(inst.g, la)))
+		if b := metrics.VertexImbalance(la); b > 1.8 {
+			return nil, fmt.Errorf("E3: LOOM balance %.3f blew past slack at k=%d", b, k)
+		}
+	}
+	t.AddNote("vertex balance is max-partition/ideal; 1.0 is perfect, slack configured 1.2")
+	return t, nil
+}
+
+// E4 measures partitioning throughput (vertices/second) as n grows —
+// the scalability argument for streaming partitioners (§3.1).
+func (r *Runner) E4() (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Partitioner throughput vs n",
+		Columns: []string{"n", "partitioner", "vertices/sec", "elapsed"},
+	}
+	sizes := []int{1000, 4000, 16000}
+	if r.Quick {
+		sizes = []int{500, 2000}
+	}
+	k := 8
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(r.Seed))
+		lab := &gen.UniformLabeler{Alphabet: gen.DefaultAlphabet(4), Rand: rng}
+		g, err := gen.BarabasiAlbert(n, 2, lab, rng)
+		if err != nil {
+			return nil, err
+		}
+		mix := query.DefaultMix(10)
+		w, err := query.GenerateWorkload(mix, gen.DefaultAlphabet(4), rng)
+		if err != nil {
+			return nil, err
+		}
+		inst := &instance{g: g, alphabet: gen.DefaultAlphabet(4), w: w}
+		trie, err := buildTrieFor(inst)
+		if err != nil {
+			return nil, err
+		}
+		inst.trie = trie
+
+		baselines, err := baselineSet(g, k, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"hash", "ldg", "fennel"} {
+			start := time.Now()
+			if _, err := r.runBaseline(g, baselines[name], stream.RandomOrder); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			t.AddRow(fmt.Sprintf("%d", n), name, fmt.Sprintf("%.0f", float64(n)/el.Seconds()), el.Round(time.Microsecond).String())
+		}
+		start := time.Now()
+		if _, _, err := r.runLoom(inst, r.loomConfig(n, k, 256, 0.05), stream.RandomOrder); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		t.AddRow(fmt.Sprintf("%d", n), "loom", fmt.Sprintf("%.0f", float64(n)/el.Seconds()), el.Round(time.Microsecond).String())
+	}
+	t.AddNote("loom pays for motif tracking; baselines are a single scan")
+	return t, nil
+}
+
+// E5 compares the streaming heuristics against the offline multilevel
+// reference (the METIS stand-in) on cut quality.
+func (r *Runner) E5() (*Table, error) {
+	n := r.scale(1000, 6000)
+	k := 8
+	rng := rand.New(rand.NewSource(r.Seed))
+	lab := &gen.UniformLabeler{Alphabet: gen.DefaultAlphabet(4), Rand: rng}
+	g, err := gen.PlantedPartitionDegrees(n, k, 12, 3, lab, rng)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "Offline multilevel vs streaming heuristics (community graph)",
+		Columns: []string{"partitioner", "cut%", "vertex balance", "purity", "NMI"},
+	}
+	truth := func(v graph.VertexID) int { return gen.Community(v, k) }
+	addRow := func(name string, a *partition.Assignment) {
+		t.AddRow(name, fmtP(metrics.CutFraction(g, a)),
+			fmt.Sprintf("%.3f", metrics.VertexImbalance(a)),
+			fmt.Sprintf("%.3f", metrics.Purity(a, truth)),
+			fmt.Sprintf("%.3f", metrics.NMI(a, truth)))
+	}
+	ml := &partition.Multilevel{K: k, Seed: r.Seed}
+	ma, err := ml.Partition(g)
+	if err != nil {
+		return nil, err
+	}
+	addRow("multilevel", ma)
+
+	baselines, err := baselineSet(g, k, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ldgCut := 0.0
+	for _, name := range []string{"ldg", "fennel", "hash"} {
+		a, err := r.runBaseline(g, baselines[name], stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		if name == "ldg" {
+			ldgCut = metrics.CutFraction(g, a)
+		}
+		addRow(name, a)
+	}
+	if mc := metrics.CutFraction(g, ma); mc > ldgCut {
+		return nil, fmt.Errorf("E5: multilevel cut %.4f worse than LDG %.4f", mc, ldgCut)
+	}
+	t.AddNote("purity/NMI measure recovery of the planted communities (1.0 = exact)")
+	t.AddNote("offline multilevel (METIS stand-in) sets the quality bar streaming heuristics trade away")
+	return t, nil
+}
+
+// E6 sweeps workload skew: the more skewed the query frequencies, the more
+// the TPSTry++'s frequent set concentrates, and the more LOOM's grouping
+// pays off on exactly the hot motifs.
+func (r *Runner) E6() (*Table, error) {
+	n := r.scale(1200, 8000)
+	k := 8
+	t := &Table{
+		ID:      "E6",
+		Title:   "Workload-skew sweep (Zipf exponent s over query frequencies)",
+		Columns: []string{"s", "ldg trav-p", "loom trav-p", "improvement"},
+	}
+	for _, s := range []float64{0, 0.5, 1.0, 1.5} {
+		inst, err := r.newInstance(n, 2, 4, r.scale(12, 24), s)
+		if err != nil {
+			return nil, err
+		}
+		cfg := partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: r.Seed}
+		ldg, err := partition.NewLDG(cfg)
+		if err != nil {
+			return nil, err
+		}
+		la, err := r.runBaseline(inst.g, ldg, stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		ma, _, err := r.runLoom(inst, r.loomConfig(n, k, 256, 0.05), stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		lp, _, err := traversalProbability(inst.g, la, inst.w)
+		if err != nil {
+			return nil, err
+		}
+		mp, _, err := traversalProbability(inst.g, ma, inst.w)
+		if err != nil {
+			return nil, err
+		}
+		imp := 0.0
+		if lp > 0 {
+			imp = 1 - mp/lp
+		}
+		t.AddRow(fmt.Sprintf("%.1f", s), fmtF(lp), fmtF(mp), fmtP(imp))
+	}
+	t.AddNote("improvement = 1 - loom/ldg; skew concentrates probability mass on fewer motifs")
+	return t, nil
+}
+
+// E7 compares query-mix compositions: path-only, cycle-heavy and star-heavy
+// workloads stress different motif topologies.
+func (r *Runner) E7() (*Table, error) {
+	n := r.scale(1200, 8000)
+	k := 8
+	t := &Table{
+		ID:      "E7",
+		Title:   "Query-mix sensitivity",
+		Columns: []string{"mix", "trie motifs", "ldg trav-p", "loom trav-p", "improvement"},
+	}
+	mixes := map[string]query.Mix{
+		"paths": {
+			Shapes: []query.Shape{query.PathShape}, Proportions: []float64{1},
+			MinSize: 2, MaxSize: 4, Count: r.scale(10, 20),
+		},
+		"cycle-heavy": {
+			Shapes:      []query.Shape{query.CycleShape, query.PathShape},
+			Proportions: []float64{0.7, 0.3},
+			MinSize:     3, MaxSize: 4, Count: r.scale(10, 20),
+		},
+		"star-heavy": {
+			Shapes:      []query.Shape{query.StarShape, query.PathShape},
+			Proportions: []float64{0.7, 0.3},
+			MinSize:     3, MaxSize: 4, Count: r.scale(10, 20),
+		},
+	}
+	for _, name := range []string{"paths", "cycle-heavy", "star-heavy"} {
+		rng := rand.New(rand.NewSource(r.Seed))
+		alphabet := gen.DefaultAlphabet(4)
+		lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+		g, err := gen.BarabasiAlbert(n, 2, lab, rng)
+		if err != nil {
+			return nil, err
+		}
+		w, err := query.GenerateWorkload(mixes[name], alphabet, rng)
+		if err != nil {
+			return nil, err
+		}
+		inst := &instance{g: g, alphabet: alphabet, w: w}
+		trie, err := buildTrieFor(inst)
+		if err != nil {
+			return nil, err
+		}
+		inst.trie = trie
+
+		cfg := partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: r.Seed}
+		ldg, err := partition.NewLDG(cfg)
+		if err != nil {
+			return nil, err
+		}
+		la, err := r.runBaseline(g, ldg, stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		ma, _, err := r.runLoom(inst, r.loomConfig(n, k, 256, 0.05), stream.RandomOrder)
+		if err != nil {
+			return nil, err
+		}
+		lp, _, err := traversalProbability(g, la, w)
+		if err != nil {
+			return nil, err
+		}
+		mp, _, err := traversalProbability(g, ma, w)
+		if err != nil {
+			return nil, err
+		}
+		imp := 0.0
+		if lp > 0 {
+			imp = 1 - mp/lp
+		}
+		t.AddRow(name, fmt.Sprintf("%d", trie.NumNodes()), fmtF(lp), fmtF(mp), fmtP(imp))
+	}
+	return t, nil
+}
+
+// buildTrieFor constructs the TPSTry++ for an instance's workload.
+func buildTrieFor(inst *instance) (*trieType, error) {
+	trie := newTrieForAlphabet(inst.alphabet)
+	if err := inst.w.BuildTrie(trie); err != nil {
+		return nil, err
+	}
+	return trie, nil
+}

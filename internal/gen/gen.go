@@ -1,0 +1,365 @@
+// Package gen synthesises labelled graphs for experiments.
+//
+// The paper motivates LOOM with web, social and protein-interaction graphs
+// but (being a workshop paper) evaluates nothing; the partitioning
+// literature it builds on (Stanton & Kliot; Tsourakakis et al.) measures on
+// skewed-degree graphs. This package provides the standard generator family
+// for that regime — Erdős–Rényi, Barabási–Albert, Watts–Strogatz, R-MAT and
+// planted-partition — plus label assigners so that pattern-matching
+// workloads have meaningful selectivity.
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"loom/internal/graph"
+)
+
+// Labeler assigns a label to a vertex as it is created. Implementations
+// must be deterministic functions of their own captured RNG state.
+type Labeler interface {
+	// LabelFor returns the label for vertex v, which has current degree deg
+	// at assignment time (degree is meaningful only for generators that
+	// label after wiring; others pass 0).
+	LabelFor(v graph.VertexID, deg int) graph.Label
+}
+
+// UniformLabeler draws labels uniformly from Alphabet.
+type UniformLabeler struct {
+	Alphabet []graph.Label
+	Rand     *rand.Rand
+}
+
+// LabelFor implements Labeler.
+func (u *UniformLabeler) LabelFor(graph.VertexID, int) graph.Label {
+	return u.Alphabet[u.Rand.Intn(len(u.Alphabet))]
+}
+
+// ZipfLabeler draws labels from Alphabet with Zipfian frequencies: label i
+// has weight proportional to 1/(i+1)^S. Skewed label frequencies are the
+// common case in property graphs (a few hot types dominate).
+type ZipfLabeler struct {
+	Alphabet []graph.Label
+	S        float64
+	Rand     *rand.Rand
+	cum      []float64
+}
+
+// NewZipfLabeler returns a ZipfLabeler with precomputed cumulative weights.
+func NewZipfLabeler(alphabet []graph.Label, s float64, r *rand.Rand) *ZipfLabeler {
+	z := &ZipfLabeler{Alphabet: alphabet, S: s, Rand: r}
+	total := 0.0
+	z.cum = make([]float64, len(alphabet))
+	for i := range alphabet {
+		total += 1.0 / math.Pow(float64(i+1), s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+// LabelFor implements Labeler.
+func (z *ZipfLabeler) LabelFor(graph.VertexID, int) graph.Label {
+	x := z.Rand.Float64()
+	for i, c := range z.cum {
+		if x <= c {
+			return z.Alphabet[i]
+		}
+	}
+	return z.Alphabet[len(z.Alphabet)-1]
+}
+
+// RoundRobinLabeler cycles deterministically through Alphabet; useful in
+// tests that need exact label counts.
+type RoundRobinLabeler struct {
+	Alphabet []graph.Label
+	next     int
+}
+
+// LabelFor implements Labeler.
+func (rr *RoundRobinLabeler) LabelFor(graph.VertexID, int) graph.Label {
+	l := rr.Alphabet[rr.next%len(rr.Alphabet)]
+	rr.next++
+	return l
+}
+
+// DefaultAlphabet returns the first k single-letter labels a, b, c, ...
+// (k <= 26).
+func DefaultAlphabet(k int) []graph.Label {
+	if k < 1 || k > 26 {
+		panic(fmt.Sprintf("gen: alphabet size %d out of range [1,26]", k))
+	}
+	out := make([]graph.Label, k)
+	for i := 0; i < k; i++ {
+		out[i] = graph.Label(string(rune('a' + i)))
+	}
+	return out
+}
+
+// ErdosRenyi returns G(n, m): n vertices and m distinct uniform random
+// edges. It errors if m exceeds the number of possible edges.
+func ErdosRenyi(n, m int, lab Labeler, r *rand.Rand) (*graph.Graph, error) {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		return nil, fmt.Errorf("gen: ErdosRenyi: m=%d exceeds max %d for n=%d", m, maxM, n)
+	}
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(i)
+		g.AddVertex(v, lab.LabelFor(v, 0))
+	}
+	for g.NumEdges() < m {
+		u := graph.VertexID(r.Intn(n))
+		v := graph.VertexID(r.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: n vertices, each
+// new vertex attaching to mPer existing vertices chosen proportionally to
+// degree. The resulting degree distribution is the power law typical of
+// social and web graphs. mPer must satisfy 1 <= mPer < n.
+func BarabasiAlbert(n, mPer int, lab Labeler, r *rand.Rand) (*graph.Graph, error) {
+	if mPer < 1 || mPer >= n {
+		return nil, fmt.Errorf("gen: BarabasiAlbert: need 1 <= mPer < n, got mPer=%d n=%d", mPer, n)
+	}
+	g := graph.NewWithCapacity(n)
+	// Seed clique of mPer+1 vertices so early targets exist.
+	seed := mPer + 1
+	for i := 0; i < seed; i++ {
+		v := graph.VertexID(i)
+		g.AddVertex(v, lab.LabelFor(v, 0))
+	}
+	// targets is the repeated-endpoint list used for preferential choice:
+	// each vertex appears once per incident edge, so sampling uniformly
+	// from it samples proportionally to degree.
+	var targets []graph.VertexID
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			if err := g.AddEdge(graph.VertexID(i), graph.VertexID(j)); err != nil {
+				return nil, err
+			}
+			targets = append(targets, graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	for i := seed; i < n; i++ {
+		v := graph.VertexID(i)
+		g.AddVertex(v, lab.LabelFor(v, 0))
+		chosen := make(map[graph.VertexID]struct{}, mPer)
+		for len(chosen) < mPer {
+			t := targets[r.Intn(len(targets))]
+			if t == v {
+				continue
+			}
+			chosen[t] = struct{}{}
+		}
+		// Iterate deterministically so the same seed reproduces the same
+		// graph (map order would perturb later preferential choices).
+		picks := make([]graph.VertexID, 0, mPer)
+		for t := range chosen {
+			picks = append(picks, t)
+		}
+		sort.Slice(picks, func(i, j int) bool { return picks[i] < picks[j] })
+		for _, t := range picks {
+			if err := g.AddEdge(v, t); err != nil {
+				return nil, err
+			}
+			targets = append(targets, v, t)
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz returns a small-world graph: n vertices on a ring, each
+// joined to its k nearest neighbours (k even), with each edge rewired to a
+// uniform random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, lab Labeler, r *rand.Rand) (*graph.Graph, error) {
+	if k%2 != 0 || k < 2 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz: need even 2 <= k < n, got k=%d n=%d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz: beta=%v out of [0,1]", beta)
+	}
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(i)
+		g.AddVertex(v, lab.LabelFor(v, 0))
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			u := graph.VertexID(i)
+			v := graph.VertexID((i + j) % n)
+			if r.Float64() < beta {
+				// Rewire: keep u, choose a fresh endpoint.
+				for tries := 0; tries < 32; tries++ {
+					w := graph.VertexID(r.Intn(n))
+					if w != u && !g.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RMAT returns an R-MAT graph with 2^scale vertices and edgeFactor*2^scale
+// edges, using the (a,b,c,d) quadrant probabilities. Duplicate and self-loop
+// samples are retried, so the edge count is exact. The standard Graph500
+// parameters are a=0.57, b=0.19, c=0.19, d=0.05.
+func RMAT(scale, edgeFactor int, a, b, c, d float64, lab Labeler, r *rand.Rand) (*graph.Graph, error) {
+	if scale < 1 || scale > 24 {
+		return nil, fmt.Errorf("gen: RMAT: scale=%d out of [1,24]", scale)
+	}
+	if sum := a + b + c + d; sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("gen: RMAT: quadrant probabilities sum to %v, want 1", sum)
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	if m > n*(n-1)/2 {
+		return nil, fmt.Errorf("gen: RMAT: edgeFactor %d too large for scale %d", edgeFactor, scale)
+	}
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(i)
+		g.AddVertex(v, lab.LabelFor(v, 0))
+	}
+	for g.NumEdges() < m {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			x := r.Float64()
+			switch {
+			case x < a:
+				// top-left: neither bit set
+			case x < a+b:
+				v |= 1 << bit
+			case x < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v || g.HasEdge(graph.VertexID(u), graph.VertexID(v)) {
+			continue
+		}
+		if err := g.AddEdge(graph.VertexID(u), graph.VertexID(v)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// PlantedPartition returns a graph with k ground-truth communities of
+// size n/k. Vertex pairs inside a community are joined with probability
+// pIn; pairs across communities with probability pOut. With pIn >> pOut the
+// optimal k-way cut is the community structure, making partitioner quality
+// interpretable.
+func PlantedPartition(n, k int, pIn, pOut float64, lab Labeler, r *rand.Rand) (*graph.Graph, error) {
+	if k < 1 || n < k {
+		return nil, fmt.Errorf("gen: PlantedPartition: need 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, fmt.Errorf("gen: PlantedPartition: probabilities out of range")
+	}
+	g := graph.NewWithCapacity(n)
+	comm := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(i)
+		g.AddVertex(v, lab.LabelFor(v, 0))
+		comm[i] = i % k
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if comm[i] == comm[j] {
+				p = pIn
+			}
+			if r.Float64() < p {
+				if err := g.AddEdge(graph.VertexID(i), graph.VertexID(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Community returns the planted community of vertex v under the PlantedPartition
+// layout (vertices are assigned round-robin).
+func Community(v graph.VertexID, k int) int { return int(v) % k }
+
+// PlantedPartitionDegrees is PlantedPartition parameterised by expected
+// degrees instead of raw probabilities: each vertex gets ~dIn edges inside
+// its community and ~dOut edges to other communities, independent of n and
+// k. This keeps the planted structure's strength constant across sweep
+// points (raw probabilities dilute as k grows: the inter-community pair
+// count scales with n while the intra count scales with n/k).
+func PlantedPartitionDegrees(n, k int, dIn, dOut float64, lab Labeler, r *rand.Rand) (*graph.Graph, error) {
+	if k < 1 || n < 2*k {
+		return nil, fmt.Errorf("gen: PlantedPartitionDegrees: need 1 <= k <= n/2, got k=%d n=%d", k, n)
+	}
+	commSize := float64(n) / float64(k)
+	pIn := dIn / (commSize - 1)
+	pOut := 0.0
+	if n > int(commSize) {
+		pOut = dOut / (float64(n) - commSize)
+	}
+	if pIn > 1 {
+		pIn = 1
+	}
+	if pOut > 1 {
+		pOut = 1
+	}
+	return PlantedPartition(n, k, pIn, pOut, lab, r)
+}
+
+// Grid returns an rows x cols grid graph; useful as a low-degree,
+// high-diameter stress case for streaming heuristics.
+func Grid(rows, cols int, lab Labeler) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: Grid: need positive dims, got %dx%d", rows, cols)
+	}
+	g := graph.NewWithCapacity(rows * cols)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			g.AddVertex(v, lab.LabelFor(v, 0))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

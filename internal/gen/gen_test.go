@@ -1,0 +1,310 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func uniform(seed int64, k int) *UniformLabeler {
+	return &UniformLabeler{Alphabet: DefaultAlphabet(k), Rand: rand.New(rand.NewSource(seed))}
+}
+
+func TestDefaultAlphabet(t *testing.T) {
+	a := DefaultAlphabet(3)
+	if len(a) != 3 || a[0] != "a" || a[2] != "c" {
+		t.Fatalf("alphabet = %v", a)
+	}
+	for _, bad := range []int{0, 27, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DefaultAlphabet(%d) should panic", bad)
+				}
+			}()
+			DefaultAlphabet(bad)
+		}()
+	}
+}
+
+func TestErdosRenyiShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(50, 100, uniform(2, 3), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 50 || g.NumEdges() != 100 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := ErdosRenyi(4, 100, uniform(2, 3), r); err == nil {
+		t.Fatal("overfull ER should error")
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n, mPer := 300, 3
+	g, err := BarabasiAlbert(n, mPer, uniform(4, 3), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), n)
+	}
+	// Seed clique (m+1 choose 2) + m edges per later vertex.
+	seed := mPer + 1
+	wantEdges := seed*(seed-1)/2 + (n-seed)*mPer
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if _, err := BarabasiAlbert(5, 5, uniform(4, 3), r); err == nil {
+		t.Fatal("mPer >= n should error")
+	}
+	if _, err := BarabasiAlbert(5, 0, uniform(4, 3), r); err == nil {
+		t.Fatal("mPer < 1 should error")
+	}
+}
+
+func TestBarabasiAlbertSkewedDegrees(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g, err := BarabasiAlbert(2000, 2, uniform(8, 3), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-law-ish: max degree far above mean degree.
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Fatalf("BA should be skewed: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g, err := WattsStrogatz(100, 4, 0.1, uniform(6, 3), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// ~n*k/2 edges (rewiring may drop a few on collisions).
+	if g.NumEdges() < 180 || g.NumEdges() > 200 {
+		t.Fatalf("|E| = %d, want ~200", g.NumEdges())
+	}
+	for _, bad := range []struct {
+		n, k int
+		beta float64
+	}{
+		{10, 3, 0.1}, {10, 0, 0.1}, {4, 4, 0.1}, {10, 2, -0.1}, {10, 2, 1.5},
+	} {
+		if _, err := WattsStrogatz(bad.n, bad.k, bad.beta, uniform(1, 2), r); err == nil {
+			t.Errorf("WattsStrogatz(%v) should error", bad)
+		}
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g, err := RMAT(8, 4, 0.57, 0.19, 0.19, 0.05, uniform(7, 3), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Fatalf("|V| = %d, want 256", g.NumVertices())
+	}
+	if g.NumEdges() != 1024 {
+		t.Fatalf("|E| = %d, want 1024", g.NumEdges())
+	}
+	if _, err := RMAT(0, 4, 0.57, 0.19, 0.19, 0.05, uniform(7, 3), r); err == nil {
+		t.Fatal("scale 0 should error")
+	}
+	if _, err := RMAT(4, 2, 0.5, 0.5, 0.5, 0.5, uniform(7, 3), r); err == nil {
+		t.Fatal("bad quadrant sum should error")
+	}
+	if _, err := RMAT(2, 10, 0.57, 0.19, 0.19, 0.05, uniform(7, 3), r); err == nil {
+		t.Fatal("overfull RMAT should error")
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g, err := PlantedPartition(120, 3, 0.3, 0.01, uniform(8, 2), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 120 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// Count intra- vs inter-community edges: intra should dominate.
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if Community(e.U, 3) == Community(e.V, 3) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter {
+		t.Fatalf("intra=%d should dominate inter=%d", intra, inter)
+	}
+	if _, err := PlantedPartition(5, 9, 0.5, 0.1, uniform(8, 2), r); err == nil {
+		t.Fatal("k > n should error")
+	}
+	if _, err := PlantedPartition(10, 2, 1.5, 0.1, uniform(8, 2), r); err == nil {
+		t.Fatal("bad probability should error")
+	}
+}
+
+func TestPlantedPartitionDegrees(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	n, k := 2000, 8
+	g, err := PlantedPartitionDegrees(n, k, 12, 3, uniform(5, 2), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected degree ~15; allow generous slack for sampling noise.
+	if avg := g.AvgDegree(); avg < 12 || avg > 18 {
+		t.Fatalf("avg degree = %.1f, want ~15", avg)
+	}
+	// Intra:inter edge ratio should approximate dIn:dOut = 4:1.
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if Community(e.U, k) == Community(e.V, k) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	ratio := float64(intra) / float64(inter)
+	if ratio < 3 || ratio > 5.5 {
+		t.Fatalf("intra/inter = %.2f, want ~4", ratio)
+	}
+	if _, err := PlantedPartitionDegrees(10, 9, 5, 1, uniform(5, 2), r); err == nil {
+		t.Fatal("n < 2k should error")
+	}
+	// Degree targets above what the community can hold clamp to p=1.
+	if _, err := PlantedPartitionDegrees(20, 10, 50, 50, uniform(5, 2), r); err != nil {
+		t.Fatalf("clamped degrees should still generate: %v", err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4, uniform(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("|E| = %d, want 17", g.NumEdges())
+	}
+	if _, err := Grid(0, 4, uniform(10, 2)); err == nil {
+		t.Fatal("zero dims should error")
+	}
+}
+
+func TestZipfLabelerSkew(t *testing.T) {
+	alpha := DefaultAlphabet(4)
+	z := NewZipfLabeler(alpha, 1.5, rand.New(rand.NewSource(11)))
+	counts := map[graph.Label]int{}
+	for i := 0; i < 4000; i++ {
+		counts[z.LabelFor(0, 0)]++
+	}
+	if counts["a"] <= counts["d"] {
+		t.Fatalf("zipf should favour early labels: %v", counts)
+	}
+	if counts["a"]+counts["b"]+counts["c"]+counts["d"] != 4000 {
+		t.Fatalf("labels outside alphabet: %v", counts)
+	}
+}
+
+func TestZipfLabelerZeroSkewIsUniform(t *testing.T) {
+	alpha := DefaultAlphabet(3)
+	z := NewZipfLabeler(alpha, 0, rand.New(rand.NewSource(12)))
+	counts := map[graph.Label]int{}
+	for i := 0; i < 3000; i++ {
+		counts[z.LabelFor(0, 0)]++
+	}
+	for _, l := range alpha {
+		if math.Abs(float64(counts[l])-1000) > 150 {
+			t.Fatalf("s=0 should be uniform: %v", counts)
+		}
+	}
+}
+
+func TestRoundRobinLabeler(t *testing.T) {
+	rr := &RoundRobinLabeler{Alphabet: DefaultAlphabet(3)}
+	got := []graph.Label{rr.LabelFor(0, 0), rr.LabelFor(1, 0), rr.LabelFor(2, 0), rr.LabelFor(3, 0)}
+	want := []graph.Label{"a", "b", "c", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	g1, err := BarabasiAlbert(100, 2, uniform(42, 3), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BarabasiAlbert(100, 2, uniform(42, 3), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Fatal("same seed must reproduce the same graph")
+	}
+}
+
+func TestPropertyGeneratorsSimpleGraphs(t *testing.T) {
+	// No generator may produce self-loops or disconnected label tables;
+	// handshake invariant must hold.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gs := make([]*graph.Graph, 0, 4)
+		if g, err := ErdosRenyi(30, 60, uniform(seed, 3), r); err == nil {
+			gs = append(gs, g)
+		} else {
+			return false
+		}
+		if g, err := BarabasiAlbert(30, 2, uniform(seed, 3), r); err == nil {
+			gs = append(gs, g)
+		} else {
+			return false
+		}
+		if g, err := WattsStrogatz(30, 4, 0.2, uniform(seed, 3), r); err == nil {
+			gs = append(gs, g)
+		} else {
+			return false
+		}
+		if g, err := PlantedPartition(30, 3, 0.4, 0.05, uniform(seed, 3), r); err == nil {
+			gs = append(gs, g)
+		} else {
+			return false
+		}
+		for _, g := range gs {
+			sum := 0
+			for _, v := range g.Vertices() {
+				if g.HasEdge(v, v) {
+					return false
+				}
+				if _, ok := g.Label(v); !ok {
+					return false
+				}
+				sum += g.Degree(v)
+			}
+			if sum != 2*g.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import "fmt"
+
+// FromEdgeList builds a graph from parallel label and edge slices: labels[i]
+// is the label of vertex i (VertexID(i)), and edges lists the undirected
+// edges. It is the convenience constructor used by tests and examples.
+func FromEdgeList(labels []Label, edges []Edge) (*Graph, error) {
+	g := NewWithCapacity(len(labels))
+	for i, l := range labels {
+		g.AddVertex(VertexID(i), l)
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("graph: FromEdgeList: %v", err)
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdgeList is FromEdgeList that panics on error; for tests and
+// package-level fixtures where the input is a literal.
+func MustFromEdgeList(labels []Label, edges []Edge) *Graph {
+	g, err := FromEdgeList(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Path returns a path graph v0-v1-...-v(n-1) with the given labels
+// (len(labels) = n >= 1).
+func Path(labels ...Label) *Graph {
+	g := NewWithCapacity(len(labels))
+	for i, l := range labels {
+		g.AddVertex(VertexID(i), l)
+	}
+	for i := 1; i < len(labels); i++ {
+		if err := g.AddEdge(VertexID(i-1), VertexID(i)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Cycle returns a cycle graph over the given labels (len >= 3).
+func Cycle(labels ...Label) *Graph {
+	if len(labels) < 3 {
+		panic("graph: Cycle needs at least 3 vertices")
+	}
+	g := Path(labels...)
+	if err := g.AddEdge(VertexID(len(labels)-1), 0); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star returns a star graph: vertex 0 carries center and is adjacent to one
+// leaf per entry of leaves.
+func Star(center Label, leaves ...Label) *Graph {
+	g := NewWithCapacity(len(leaves) + 1)
+	g.AddVertex(0, center)
+	for i, l := range leaves {
+		id := VertexID(i + 1)
+		g.AddVertex(id, l)
+		if err := g.AddEdge(0, id); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Fig1Graph returns the example graph G from Figure 1 of the paper:
+//
+//	5:b 6:a 7:d 8:c
+//	1:a 2:b 3:c 4:d
+//
+// with the grid-like edges 1-2, 2-3, 3-4, 1-5, 5-6, 2-6, 3-8, 4-7, 7-8 so
+// that vertices {1,2,5,6} form the square matching query q1 and the paths
+// 1-2-3 / 6-2-3(-4) etc. realise the path queries.
+func Fig1Graph() *Graph {
+	g := New()
+	add := func(id VertexID, l Label) { g.AddVertex(id, l) }
+	add(1, "a")
+	add(2, "b")
+	add(3, "c")
+	add(4, "d")
+	add(5, "b")
+	add(6, "a")
+	add(7, "d")
+	add(8, "c")
+	for _, e := range []Edge{{1, 2}, {2, 3}, {3, 4}, {1, 5}, {5, 6}, {2, 6}, {3, 8}, {4, 7}, {7, 8}} {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

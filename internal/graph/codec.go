@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec serialises graphs as one record per line:
+//
+//	# comment
+//	v <id> <label>
+//	e <u> <v>
+//
+// Vertices must appear before the edges that reference them; Write emits
+// them in that order. The format is the on-disk interchange used by the CLI
+// tools and the example programs.
+
+// Write serialises g to w in the text format. Output is deterministic:
+// vertices ascending, then edges in normalized lexicographic order.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range g.Vertices() {
+		l, _ := g.Label(v)
+		if _, err := fmt.Fprintf(bw, "v %d %s\n", v, l); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from r in the text format. Malformed lines yield an
+// error naming the offending line number.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'v <id> <label>', got %q", lineNo, line)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[1], err)
+			}
+			if g.HasVertex(VertexID(id)) {
+				return nil, fmt.Errorf("graph: line %d: duplicate vertex %d", lineNo, id)
+			}
+			g.AddVertex(VertexID(id), Label(fields[2]))
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>', got %q", lineNo, line)
+			}
+			u, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q: %v", lineNo, fields[1], err)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q: %v", lineNo, fields[2], err)
+			}
+			if err := g.AddEdge(VertexID(u), VertexID(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MarshalText renders g in the text format.
+func (g *Graph) MarshalText() ([]byte, error) {
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+// UnmarshalText replaces g's contents with the parsed graph.
+func (g *Graph) UnmarshalText(text []byte) error {
+	parsed, err := Read(strings.NewReader(string(text)))
+	if err != nil {
+		return err
+	}
+	*g = *parsed
+	return nil
+}

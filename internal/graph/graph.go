@@ -1,0 +1,340 @@
+// Package graph provides the labelled graph model used throughout LOOM.
+//
+// A graph is a simple, undirected, vertex-labelled graph G = (V, E, L, fl)
+// as defined in Section 2 of the paper: vertices carry labels drawn from a
+// finite alphabet, edges are unordered pairs of distinct vertices, and the
+// labelling function maps every vertex to exactly one label.
+//
+// The implementation favours predictable iteration (sorted snapshots) and
+// cheap incremental mutation, because graphs are primarily consumed as
+// streams of insertions by the partitioners.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are opaque to the library; generators
+// use dense non-negative integers but nothing relies on density.
+type VertexID int64
+
+// Label is a vertex label drawn from a finite alphabet.
+type Label string
+
+// Edge is an unordered pair of distinct vertices. Normalize orders the pair
+// so edges compare equal regardless of construction order.
+type Edge struct {
+	U, V VertexID
+}
+
+// Normalize returns the edge with endpoints ordered U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e; callers guarantee membership.
+func (e Edge) Other(v VertexID) VertexID {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a mutable, simple, undirected, vertex-labelled graph.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	labels map[VertexID]Label
+	adj    map[VertexID]map[VertexID]struct{}
+	m      int // number of edges
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		labels: make(map[VertexID]Label),
+		adj:    make(map[VertexID]map[VertexID]struct{}),
+	}
+}
+
+// NewWithCapacity returns an empty graph with room for n vertices.
+func NewWithCapacity(n int) *Graph {
+	return &Graph{
+		labels: make(map[VertexID]Label, n),
+		adj:    make(map[VertexID]map[VertexID]struct{}, n),
+	}
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.m }
+
+// HasVertex reports whether v is present.
+func (g *Graph) HasVertex(v VertexID) bool {
+	_, ok := g.labels[v]
+	return ok
+}
+
+// HasEdge reports whether the undirected edge {u,v} is present.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	n, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	_, ok = n[v]
+	return ok
+}
+
+// Label returns the label of v and whether v exists.
+func (g *Graph) Label(v VertexID) (Label, bool) {
+	l, ok := g.labels[v]
+	return l, ok
+}
+
+// MustLabel returns the label of v, panicking if v is absent. It is intended
+// for callers that have already established membership.
+func (g *Graph) MustLabel(v VertexID) Label {
+	l, ok := g.labels[v]
+	if !ok {
+		panic(fmt.Sprintf("graph: vertex %d not present", v))
+	}
+	return l
+}
+
+// AddVertex inserts v with the given label. Adding an existing vertex
+// relabels it; this matches streaming semantics where the latest observation
+// wins.
+func (g *Graph) AddVertex(v VertexID, l Label) {
+	if _, ok := g.labels[v]; !ok {
+		g.adj[v] = make(map[VertexID]struct{})
+	}
+	g.labels[v] = l
+}
+
+// AddEdge inserts the undirected edge {u,v}. Both endpoints must already be
+// present; self-loops and duplicate edges are rejected with an error so
+// stream feeders can surface malformed input.
+func (g *Graph) AddEdge(u, v VertexID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if !g.HasVertex(u) {
+		return fmt.Errorf("graph: edge endpoint %d not present", u)
+	}
+	if !g.HasVertex(v) {
+		return fmt.Errorf("graph: edge endpoint %d not present", v)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+	return nil
+}
+
+// EnsureEdge inserts {u,v} if absent, creating endpoints with the given
+// labels if they do not exist yet. It reports whether a new edge was added.
+// Self-loops are ignored and reported as not added.
+func (g *Graph) EnsureEdge(u, v VertexID, lu, lv Label) bool {
+	if u == v {
+		return false
+	}
+	if !g.HasVertex(u) {
+		g.AddVertex(u, lu)
+	}
+	if !g.HasVertex(v) {
+		g.AddVertex(v, lv)
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes {u,v} if present and reports whether it was removed.
+func (g *Graph) RemoveEdge(u, v VertexID) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+	return true
+}
+
+// RemoveVertex deletes v and all incident edges, reporting whether v existed.
+func (g *Graph) RemoveVertex(v VertexID) bool {
+	if !g.HasVertex(v) {
+		return false
+	}
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+		g.m--
+	}
+	delete(g.adj, v)
+	delete(g.labels, v)
+	return true
+}
+
+// Degree returns the number of neighbours of v (0 if absent).
+func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+
+// Neighbors returns the neighbours of v in ascending order. The slice is
+// freshly allocated; callers may retain it.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	n := g.adj[v]
+	if len(n) == 0 {
+		return nil
+	}
+	out := make([]VertexID, 0, len(n))
+	for u := range n {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EachNeighbor calls fn for every neighbour of v in unspecified order,
+// without allocating. If fn returns false the iteration stops.
+func (g *Graph) EachNeighbor(v VertexID, fn func(VertexID) bool) {
+	for u := range g.adj[v] {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// Vertices returns all vertex IDs in ascending order.
+func (g *Graph) Vertices() []VertexID {
+	out := make([]VertexID, 0, len(g.labels))
+	for v := range g.labels {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges, normalized and sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u, ns := range g.adj {
+		for v := range ns {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Labels returns the distinct labels present, sorted.
+func (g *Graph) Labels() []Label {
+	set := make(map[Label]struct{})
+	for _, l := range g.labels {
+		set[l] = struct{}{}
+	}
+	out := make([]Label, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := NewWithCapacity(len(g.labels))
+	for v, l := range g.labels {
+		c.labels[v] = l
+		nn := make(map[VertexID]struct{}, len(g.adj[v]))
+		for u := range g.adj[v] {
+			nn[u] = struct{}{}
+		}
+		c.adj[v] = nn
+	}
+	c.m = g.m
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep: all vertices in keep
+// that exist in g, plus every edge of g with both endpoints in keep.
+func (g *Graph) InducedSubgraph(keep []VertexID) *Graph {
+	in := make(map[VertexID]struct{}, len(keep))
+	for _, v := range keep {
+		if g.HasVertex(v) {
+			in[v] = struct{}{}
+		}
+	}
+	s := NewWithCapacity(len(in))
+	for v := range in {
+		s.AddVertex(v, g.labels[v])
+	}
+	for v := range in {
+		for u := range g.adj[v] {
+			if _, ok := in[u]; ok && v < u {
+				// Both endpoints known present; AddEdge cannot fail.
+				if err := s.AddEdge(v, u); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Equal reports whether g and h have identical vertex sets, labels and edge
+// sets. It is structural identity, not isomorphism.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumVertices() != h.NumVertices() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for v, l := range g.labels {
+		hl, ok := h.labels[v]
+		if !ok || hl != l {
+			return false
+		}
+	}
+	for u, ns := range g.adj {
+		for v := range ns {
+			if !h.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a compact human-readable rendering, stable across runs.
+func (g *Graph) String() string {
+	vs := g.Vertices()
+	s := fmt.Sprintf("graph{|V|=%d |E|=%d", len(vs), g.m)
+	for _, v := range vs {
+		s += fmt.Sprintf(" %d:%s", v, g.labels[v])
+	}
+	for _, e := range g.Edges() {
+		s += " " + e.String()
+	}
+	return s + "}"
+}

@@ -1,0 +1,609 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVertexAndLabel(t *testing.T) {
+	g := New()
+	g.AddVertex(1, "a")
+	if !g.HasVertex(1) {
+		t.Fatal("vertex 1 should exist")
+	}
+	if l, ok := g.Label(1); !ok || l != "a" {
+		t.Fatalf("Label(1) = %q, %v; want a, true", l, ok)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", g.NumVertices())
+	}
+}
+
+func TestAddVertexRelabels(t *testing.T) {
+	g := New()
+	g.AddVertex(1, "a")
+	g.AddVertex(1, "b")
+	if l, _ := g.Label(1); l != "b" {
+		t.Fatalf("relabel: got %q, want b", l)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", g.NumVertices())
+	}
+}
+
+func TestLabelMissing(t *testing.T) {
+	g := New()
+	if _, ok := g.Label(42); ok {
+		t.Fatal("Label on missing vertex should report !ok")
+	}
+}
+
+func TestMustLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLabel on missing vertex should panic")
+		}
+	}()
+	New().MustLabel(7)
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New()
+	g.AddVertex(1, "a")
+	g.AddVertex(2, "b")
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge should be undirected")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	g.AddVertex(1, "a")
+	g.AddVertex(2, "b")
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop should error")
+	}
+	if err := g.AddEdge(1, 3); err == nil {
+		t.Error("missing endpoint should error")
+	}
+	if err := g.AddEdge(3, 1); err == nil {
+		t.Error("missing endpoint should error")
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(2, 1); err == nil {
+		t.Error("duplicate edge should error")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestEnsureEdge(t *testing.T) {
+	g := New()
+	if !g.EnsureEdge(1, 2, "a", "b") {
+		t.Fatal("first EnsureEdge should add")
+	}
+	if g.EnsureEdge(1, 2, "a", "b") {
+		t.Fatal("second EnsureEdge should not add")
+	}
+	if g.EnsureEdge(3, 3, "c", "c") {
+		t.Fatal("self-loop EnsureEdge should not add")
+	}
+	if l, _ := g.Label(1); l != "a" {
+		t.Fatalf("EnsureEdge label: got %q want a", l)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got |V|=%d |E|=%d, want 2,1", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Path("a", "b", "c")
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge should report true for present edge")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge should report false for absent edge")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge should be gone in both directions")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	g := Star("c", "l", "l", "l")
+	if !g.RemoveVertex(0) {
+		t.Fatal("RemoveVertex should succeed")
+	}
+	if g.RemoveVertex(0) {
+		t.Fatal("second RemoveVertex should report false")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("removing the hub should drop all edges, have %d", g.NumEdges())
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := Star("c", "x", "y", "z")
+	want := []VertexID{1, 2, 3}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+	if g.Neighbors(99) != nil {
+		t.Fatal("Neighbors of a missing vertex should be nil")
+	}
+}
+
+func TestEachNeighborEarlyStop(t *testing.T) {
+	g := Star("c", "x", "y", "z")
+	calls := 0
+	g.EachNeighbor(0, func(VertexID) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("EachNeighbor should stop after fn returns false; got %d calls", calls)
+	}
+}
+
+func TestVerticesAndEdgesSorted(t *testing.T) {
+	g := New()
+	for _, v := range []VertexID{5, 3, 9, 1} {
+		g.AddVertex(v, "x")
+	}
+	for _, e := range []Edge{{9, 1}, {5, 3}, {3, 1}} {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := g.Vertices(), []VertexID{1, 3, 5, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Vertices = %v, want %v", got, want)
+	}
+	wantE := []Edge{{1, 3}, {1, 9}, {3, 5}}
+	if got := g.Edges(); !reflect.DeepEqual(got, wantE) {
+		t.Fatalf("Edges = %v, want %v", got, wantE)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Path("a", "b", "c")
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.RemoveVertex(1)
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatal("mutating the clone must not affect the original")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Fig1Graph()
+	s := g.InducedSubgraph([]VertexID{1, 2, 5, 6})
+	if s.NumVertices() != 4 {
+		t.Fatalf("|V| = %d, want 4", s.NumVertices())
+	}
+	if s.NumEdges() != 4 {
+		t.Fatalf("|E| = %d, want 4 (the q1 square)", s.NumEdges())
+	}
+	for _, e := range []Edge{{1, 2}, {2, 6}, {5, 6}, {1, 5}} {
+		if !s.HasEdge(e.U, e.V) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	// Vertices not in g are ignored.
+	s2 := g.InducedSubgraph([]VertexID{1, 999})
+	if s2.NumVertices() != 1 {
+		t.Fatalf("unknown keep vertices should be dropped, |V|=%d", s2.NumVertices())
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := Path("a", "b", "c")
+	b := Path("a", "b", "c")
+	if !a.Equal(b) {
+		t.Fatal("identical paths should be Equal")
+	}
+	b.AddVertex(2, "x") // relabel
+	if a.Equal(b) {
+		t.Fatal("label change should break equality")
+	}
+	c := Path("a", "b", "c")
+	c.RemoveEdge(0, 1)
+	if err := c.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different edge sets should not be Equal")
+	}
+}
+
+func TestEdgeNormalizeAndOther(t *testing.T) {
+	e := Edge{U: 5, V: 2}.Normalize()
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("Normalize = %v", e)
+	}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatal("Other endpoints wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint should panic")
+		}
+	}()
+	e.Other(7)
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := Fig1Graph()
+	order := g.BFSOrder(1)
+	if len(order) != 8 {
+		t.Fatalf("BFS should reach all 8 vertices, got %d", len(order))
+	}
+	if order[0] != 1 {
+		t.Fatalf("BFS must start at 1, got %v", order[0])
+	}
+	// Deterministic: neighbours in ascending order => 1, then 2, 5, ...
+	if order[1] != 2 || order[2] != 5 {
+		t.Fatalf("BFS order not deterministic-ascending: %v", order)
+	}
+	if g.BFSOrder(100) != nil {
+		t.Fatal("BFS from a missing vertex should be nil")
+	}
+}
+
+func TestDFSOrder(t *testing.T) {
+	g := Path("a", "b", "c", "d")
+	want := []VertexID{0, 1, 2, 3}
+	if got := g.DFSOrder(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DFSOrder = %v, want %v", got, want)
+	}
+	if g.DFSOrder(100) != nil {
+		t.Fatal("DFS from a missing vertex should be nil")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	g.AddVertex(1, "a")
+	g.AddVertex(2, "a")
+	g.AddVertex(3, "a")
+	g.AddVertex(4, "a")
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0], []VertexID{1, 2}) || !reflect.DeepEqual(comps[1], []VertexID{3, 4}) {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !New().IsConnected() {
+		t.Fatal("empty graph is connected by convention")
+	}
+	if !Fig1Graph().IsConnected() {
+		t.Fatal("Fig1 graph is connected")
+	}
+	g := New()
+	g.AddVertex(1, "a")
+	g.AddVertex(2, "a")
+	if g.IsConnected() {
+		t.Fatal("two isolated vertices are not connected")
+	}
+}
+
+func TestShortestPathLen(t *testing.T) {
+	g := Fig1Graph()
+	if d, ok := g.ShortestPathLen(1, 4); !ok || d != 3 {
+		t.Fatalf("d(1,4) = %d,%v; want 3,true", d, ok)
+	}
+	if d, ok := g.ShortestPathLen(1, 1); !ok || d != 0 {
+		t.Fatalf("d(1,1) = %d,%v; want 0,true", d, ok)
+	}
+	h := New()
+	h.AddVertex(1, "a")
+	h.AddVertex(2, "a")
+	if _, ok := h.ShortestPathLen(1, 2); ok {
+		t.Fatal("unreachable pair should report !ok")
+	}
+	if _, ok := h.ShortestPathLen(1, 99); ok {
+		t.Fatal("missing vertex should report !ok")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star("c", "x", "y", "z")
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); got != 1.5 {
+		t.Fatalf("AvgDegree = %v, want 1.5", got)
+	}
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Fatalf("DegreeHistogram = %v", h)
+	}
+	if New().AvgDegree() != 0 || New().MaxDegree() != 0 {
+		t.Fatal("empty graph degree stats should be 0")
+	}
+}
+
+func TestLabelHistogramAndLabels(t *testing.T) {
+	g := Fig1Graph()
+	h := g.LabelHistogram()
+	for _, l := range []Label{"a", "b", "c", "d"} {
+		if h[l] != 2 {
+			t.Fatalf("label %s count = %d, want 2", l, h[l])
+		}
+	}
+	if got, want := g.Labels(), []Label{"a", "b", "c", "d"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	tri := Cycle("a", "b", "c")
+	if tri.TriangleCount() != 1 {
+		t.Fatalf("triangle count = %d, want 1", tri.TriangleCount())
+	}
+	if Path("a", "b", "c").TriangleCount() != 0 {
+		t.Fatal("path has no triangles")
+	}
+	// K4 has 4 triangles.
+	k4 := New()
+	for i := 0; i < 4; i++ {
+		k4.AddVertex(VertexID(i), "x")
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := k4.AddEdge(VertexID(i), VertexID(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if k4.TriangleCount() != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", k4.TriangleCount())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	g := Fig1Graph()
+	text, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Graph
+	if err := h.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(&h) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", g, &h)
+	}
+}
+
+func TestCodecCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nv 1 a\nv 2 b\n\n# edge\ne 1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	cases := []string{
+		"v 1",          // short vertex record
+		"v x a",        // bad id
+		"v 1 a\nv 1 b", // duplicate vertex
+		"e 1 2",        // edge before vertices
+		"e 1",          // short edge record
+		"v 1 a\ne x 1", // bad endpoint
+		"v 1 a\ne 1 y", // bad endpoint
+		"q 1 2",        // unknown record
+		"v 1 a\ne 1 1", // self loop
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail to parse", in)
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	p := Path("a", "b", "c")
+	if p.NumVertices() != 3 || p.NumEdges() != 2 {
+		t.Fatal("Path shape wrong")
+	}
+	c := Cycle("a", "b", "c", "d")
+	if c.NumVertices() != 4 || c.NumEdges() != 4 {
+		t.Fatal("Cycle shape wrong")
+	}
+	s := Star("h", "x", "y")
+	if s.NumVertices() != 3 || s.NumEdges() != 2 || s.Degree(0) != 2 {
+		t.Fatal("Star shape wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle with <3 vertices should panic")
+		}
+	}()
+	Cycle("a", "b")
+}
+
+func TestFromEdgeList(t *testing.T) {
+	g, err := FromEdgeList([]Label{"a", "b"}, []Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge missing")
+	}
+	if _, err := FromEdgeList([]Label{"a"}, []Edge{{0, 5}}); err == nil {
+		t.Fatal("dangling edge should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromEdgeList should panic on error")
+		}
+	}()
+	MustFromEdgeList([]Label{"a"}, []Edge{{0, 5}})
+}
+
+func TestFig1GraphShape(t *testing.T) {
+	g := Fig1Graph()
+	if g.NumVertices() != 8 || g.NumEdges() != 9 {
+		t.Fatalf("|V|=%d |E|=%d, want 8, 9", g.NumVertices(), g.NumEdges())
+	}
+	// The q1 square 1-2-6-5-1 must be present with alternating labels.
+	for _, e := range []Edge{{1, 2}, {2, 6}, {5, 6}, {1, 5}} {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("square edge %v missing", e)
+		}
+	}
+	if g.MustLabel(1) != "a" || g.MustLabel(6) != "a" || g.MustLabel(2) != "b" || g.MustLabel(5) != "b" {
+		t.Error("square labels must alternate a/b")
+	}
+}
+
+// randomGraph builds a random graph for property tests.
+func randomGraph(r *rand.Rand, n int, p float64, alphabet []Label) *Graph {
+	g := NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), alphabet[r.Intn(len(alphabet))])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				if err := g.AddEdge(VertexID(i), VertexID(j)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	alphabet := []Label{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(30), 0.2, alphabet)
+		text, err := g.MarshalText()
+		if err != nil {
+			return false
+		}
+		var h Graph
+		if err := h.UnmarshalText(text); err != nil {
+			return false
+		}
+		return g.Equal(&h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDegreeSum(t *testing.T) {
+	// Handshake lemma: sum of degrees = 2|E|, under arbitrary add/remove.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(40), 0.15, []Label{"x", "y"})
+		for i := 0; i < 10; i++ {
+			vs := g.Vertices()
+			if len(vs) == 0 {
+				break
+			}
+			v := vs[r.Intn(len(vs))]
+			if r.Intn(2) == 0 {
+				g.RemoveVertex(v)
+			} else if len(vs) > 1 {
+				u := vs[r.Intn(len(vs))]
+				g.RemoveEdge(u, v)
+			}
+		}
+		sum := 0
+		for _, v := range g.Vertices() {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInducedSubgraphIsSubgraph(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 5+r.Intn(25), 0.25, []Label{"a", "b"})
+		vs := g.Vertices()
+		keep := vs[:len(vs)/2]
+		s := g.InducedSubgraph(keep)
+		for _, v := range s.Vertices() {
+			if !g.HasVertex(v) {
+				return false
+			}
+			gl, _ := g.Label(v)
+			sl, _ := s.Label(v)
+			if gl != sl {
+				return false
+			}
+		}
+		for _, e := range s.Edges() {
+			if !g.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		// Completeness: every g-edge within keep appears in s.
+		in := make(map[VertexID]bool)
+		for _, v := range keep {
+			in[v] = true
+		}
+		for _, e := range g.Edges() {
+			if in[e.U] && in[e.V] && !s.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	g := Path("a", "b")
+	s1, s2 := g.String(), g.String()
+	if s1 != s2 {
+		t.Fatal("String must be deterministic")
+	}
+	if !strings.Contains(s1, "|V|=2") || !strings.Contains(s1, "(0,1)") {
+		t.Fatalf("String = %q", s1)
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+import "sort"
+
+// BFSOrder returns vertices reachable from start in breadth-first order.
+// Neighbour ties are broken by ascending vertex ID so the order is
+// deterministic. If start is absent the result is nil.
+func (g *Graph) BFSOrder(start VertexID) []VertexID {
+	if !g.HasVertex(start) {
+		return nil
+	}
+	visited := map[VertexID]struct{}{start: {}}
+	order := []VertexID{start}
+	queue := []VertexID{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if _, ok := visited[u]; !ok {
+				visited[u] = struct{}{}
+				order = append(order, u)
+				queue = append(queue, u)
+			}
+		}
+	}
+	return order
+}
+
+// DFSOrder returns vertices reachable from start in depth-first preorder,
+// with neighbour ties broken by ascending vertex ID.
+func (g *Graph) DFSOrder(start VertexID) []VertexID {
+	if !g.HasVertex(start) {
+		return nil
+	}
+	visited := make(map[VertexID]struct{})
+	var order []VertexID
+	stack := []VertexID{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := visited[v]; ok {
+			continue
+		}
+		visited[v] = struct{}{}
+		order = append(order, v)
+		// Push descending so the smallest neighbour pops first.
+		ns := g.Neighbors(v)
+		for i := len(ns) - 1; i >= 0; i-- {
+			if _, ok := visited[ns[i]]; !ok {
+				stack = append(stack, ns[i])
+			}
+		}
+	}
+	return order
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending, ordered by their smallest member.
+func (g *Graph) ConnectedComponents() [][]VertexID {
+	seen := make(map[VertexID]struct{}, len(g.labels))
+	var comps [][]VertexID
+	for _, v := range g.Vertices() {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		comp := g.BFSOrder(v)
+		for _, u := range comp {
+			seen[u] = struct{}{}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected. The empty graph is considered
+// connected.
+func (g *Graph) IsConnected() bool {
+	if g.NumVertices() == 0 {
+		return true
+	}
+	var start VertexID
+	for v := range g.labels {
+		start = v
+		break
+	}
+	return len(g.BFSOrder(start)) == g.NumVertices()
+}
+
+// ShortestPathLen returns the number of edges on a shortest path from u to v
+// and whether v is reachable from u.
+func (g *Graph) ShortestPathLen(u, v VertexID) (int, bool) {
+	if !g.HasVertex(u) || !g.HasVertex(v) {
+		return 0, false
+	}
+	if u == v {
+		return 0, true
+	}
+	dist := map[VertexID]int{u: 0}
+	queue := []VertexID{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for n := range g.adj[x] {
+			if _, ok := dist[n]; ok {
+				continue
+			}
+			dist[n] = dist[x] + 1
+			if n == v {
+				return dist[n], true
+			}
+			queue = append(queue, n)
+		}
+	}
+	return 0, false
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := range g.labels {
+		h[len(g.adj[v])]++
+	}
+	return h
+}
+
+// MaxDegree returns the largest vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.labels {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean vertex degree (0 for the empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.labels) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.labels))
+}
+
+// LabelHistogram returns a map from label to the number of vertices carrying
+// that label.
+func (g *Graph) LabelHistogram() map[Label]int {
+	h := make(map[Label]int)
+	for _, l := range g.labels {
+		h[l]++
+	}
+	return h
+}
+
+// TriangleCount returns the number of triangles in g. It enumerates each
+// triangle once by requiring u < v < w.
+func (g *Graph) TriangleCount() int {
+	count := 0
+	for u, ns := range g.adj {
+		for v := range ns {
+			if v <= u {
+				continue
+			}
+			for w := range g.adj[v] {
+				if w <= v {
+					continue
+				}
+				if _, ok := ns[w]; ok {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,408 @@
+// Package iso provides exact sub-graph isomorphism over labelled graphs.
+//
+// Pattern matching queries (paper §2) are defined by sub-graph isomorphism:
+// an injective, label-preserving mapping f from the query's vertices into
+// the data graph such that every query edge maps to a data edge. The
+// matcher is a VF2-style backtracking search with label and degree pruning,
+// suitable for the small query graphs of GDBMS workloads.
+//
+// The package also provides canonical keys for small labelled graphs
+// (exhaustive permutation with pruning), used to give motifs an exact
+// identity against which the probabilistic signatures of package signature
+// can be audited.
+package iso
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"loom/internal/graph"
+)
+
+// Mapping is an assignment of pattern vertices to target vertices.
+type Mapping map[graph.VertexID]graph.VertexID
+
+// clone returns an independent copy of m.
+func (m Mapping) clone() Mapping {
+	c := make(Mapping, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// matcher carries the state of one FindAll invocation.
+type matcher struct {
+	pattern    *graph.Graph
+	target     *graph.Graph
+	order      []graph.VertexID // pattern vertices in match order
+	induced    bool
+	limit      int // stop after this many matches; <=0 means unlimited
+	onTraverse func(from, to graph.VertexID)
+	onVisit    func(from, to graph.VertexID)
+	out        []Mapping
+	// adjCache memoises sorted target adjacency: the anchored candidate
+	// scan touches the same hub vertices thousands of times per search,
+	// and Graph.Neighbors allocates and sorts on every call.
+	adjCache map[graph.VertexID][]graph.VertexID
+	// vertexCache memoises the sorted target vertex list for unanchored
+	// scans.
+	vertexCache []graph.VertexID
+}
+
+// targetNeighbors returns tv's sorted adjacency, cached.
+func (m *matcher) targetNeighbors(tv graph.VertexID) []graph.VertexID {
+	if ns, ok := m.adjCache[tv]; ok {
+		return ns
+	}
+	ns := m.target.Neighbors(tv)
+	m.adjCache[tv] = ns
+	return ns
+}
+
+// targetVertices returns the sorted target vertex list, cached.
+func (m *matcher) targetVertices() []graph.VertexID {
+	if m.vertexCache == nil {
+		m.vertexCache = m.target.Vertices()
+	}
+	return m.vertexCache
+}
+
+// Options configures a search.
+type Options struct {
+	// Induced requires non-adjacent pattern vertices to map to
+	// non-adjacent target vertices (induced subgraph isomorphism). The
+	// paper's query semantics are non-induced (monomorphism), the default.
+	Induced bool
+	// Limit stops the search after this many mappings (0 = all).
+	Limit int
+	// OnTraverse, when non-nil, is invoked for every accepted extension of
+	// a partial match from an already-mapped target vertex to a new one —
+	// the graph traversals a distributed query engine would perform. The
+	// first (unanchored) vertex of a match is an index lookup, not a
+	// traversal, and is not reported.
+	OnTraverse func(from, to graph.VertexID)
+	// OnVisit, when non-nil, is invoked for every candidate target vertex
+	// inspected from an anchored scan, accepted or not: the cost of
+	// probing neighbours during search.
+	OnVisit func(from, to graph.VertexID)
+}
+
+// FindAll returns every mapping of pattern into target under opts. Mappings
+// that differ only by a pattern automorphism are reported separately; use
+// DistinctMatches for subgraph-level deduplication.
+func FindAll(pattern, target *graph.Graph, opts Options) []Mapping {
+	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
+		pattern.NumEdges() > target.NumEdges() {
+		return nil
+	}
+	m := &matcher{
+		pattern:    pattern,
+		target:     target,
+		order:      matchOrder(pattern),
+		induced:    opts.Induced,
+		limit:      opts.Limit,
+		onTraverse: opts.OnTraverse,
+		onVisit:    opts.OnVisit,
+		adjCache:   make(map[graph.VertexID][]graph.VertexID),
+	}
+	m.search(make(Mapping, pattern.NumVertices()), make(map[graph.VertexID]struct{}, pattern.NumVertices()))
+	return m.out
+}
+
+// Exists reports whether at least one mapping of pattern into target exists.
+func Exists(pattern, target *graph.Graph) bool {
+	return len(FindAll(pattern, target, Options{Limit: 1})) > 0
+}
+
+// Count returns the number of mappings of pattern into target.
+func Count(pattern, target *graph.Graph) int {
+	return len(FindAll(pattern, target, Options{}))
+}
+
+// Match is a concrete sub-graph of the target matching a pattern: the
+// mapped vertex set plus the images of the pattern's edges.
+type Match struct {
+	Vertices []graph.VertexID // sorted
+	Edges    []graph.Edge     // normalized, sorted
+}
+
+// key returns a canonical identity for deduplication.
+func (m Match) key() string {
+	var sb strings.Builder
+	for _, v := range m.Vertices {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	sb.WriteByte('|')
+	for _, e := range m.Edges {
+		fmt.Fprintf(&sb, "%d-%d,", e.U, e.V)
+	}
+	return sb.String()
+}
+
+// DistinctMatches returns the distinct sub-graphs of target matching
+// pattern: mappings that select the same vertex and edge images (pattern
+// automorphisms) are collapsed.
+func DistinctMatches(pattern, target *graph.Graph, opts Options) []Match {
+	maps := FindAll(pattern, target, opts)
+	seen := make(map[string]struct{})
+	var out []Match
+	for _, mp := range maps {
+		match := mappingToMatch(pattern, mp)
+		k := match.key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, match)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+func mappingToMatch(pattern *graph.Graph, mp Mapping) Match {
+	vs := make([]graph.VertexID, 0, len(mp))
+	for _, tv := range mp {
+		vs = append(vs, tv)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	var es []graph.Edge
+	for _, e := range pattern.Edges() {
+		es = append(es, graph.Edge{U: mp[e.U], V: mp[e.V]}.Normalize())
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return Match{Vertices: vs, Edges: es}
+}
+
+// matchOrder returns the pattern's vertices ordered so each vertex (after
+// the first) is adjacent to an earlier one where possible, starting from
+// the highest-degree vertex. Connected-first ordering is what makes the
+// adjacency pruning in search effective.
+func matchOrder(p *graph.Graph) []graph.VertexID {
+	vs := p.Vertices()
+	if len(vs) == 0 {
+		return nil
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		di, dj := p.Degree(vs[i]), p.Degree(vs[j])
+		if di != dj {
+			return di > dj
+		}
+		return vs[i] < vs[j]
+	})
+	placed := map[graph.VertexID]bool{}
+	var order []graph.VertexID
+	var place func(v graph.VertexID)
+	place = func(v graph.VertexID) {
+		if placed[v] {
+			return
+		}
+		placed[v] = true
+		order = append(order, v)
+		// Expand neighbours in descending-degree order.
+		ns := p.Neighbors(v)
+		sort.Slice(ns, func(i, j int) bool {
+			di, dj := p.Degree(ns[i]), p.Degree(ns[j])
+			if di != dj {
+				return di > dj
+			}
+			return ns[i] < ns[j]
+		})
+		for _, n := range ns {
+			place(n)
+		}
+	}
+	for _, v := range vs {
+		place(v)
+	}
+	return order
+}
+
+func (m *matcher) search(cur Mapping, used map[graph.VertexID]struct{}) bool {
+	if len(cur) == len(m.order) {
+		m.out = append(m.out, cur.clone())
+		return m.limit > 0 && len(m.out) >= m.limit
+	}
+	pv := m.order[len(cur)]
+	pl, _ := m.pattern.Label(pv)
+	pdeg := m.pattern.Degree(pv)
+
+	// Candidate set: if pv has a mapped neighbour, only that neighbour's
+	// target adjacency needs scanning; otherwise all target vertices.
+	var candidates []graph.VertexID
+	var anchor graph.VertexID
+	anchored := false
+	for _, pn := range m.pattern.Neighbors(pv) {
+		if tv, ok := cur[pn]; ok {
+			candidates = m.targetNeighbors(tv)
+			anchor = tv
+			anchored = true
+			break
+		}
+	}
+	if !anchored {
+		candidates = m.targetVertices()
+	}
+
+	for _, tv := range candidates {
+		if _, taken := used[tv]; taken {
+			continue
+		}
+		if anchored && m.onVisit != nil {
+			m.onVisit(anchor, tv)
+		}
+		tl, ok := m.target.Label(tv)
+		if !ok || tl != pl {
+			continue
+		}
+		if m.target.Degree(tv) < pdeg {
+			continue
+		}
+		if !m.consistent(cur, pv, tv) {
+			continue
+		}
+		if anchored && m.onTraverse != nil {
+			m.onTraverse(anchor, tv)
+		}
+		cur[pv] = tv
+		used[tv] = struct{}{}
+		stop := m.search(cur, used)
+		delete(cur, pv)
+		delete(used, tv)
+		if stop {
+			return true
+		}
+	}
+	return false
+}
+
+// consistent checks adjacency constraints between the tentative pair
+// (pv -> tv) and every already-mapped pattern vertex.
+func (m *matcher) consistent(cur Mapping, pv, tv graph.VertexID) bool {
+	for qv, qt := range cur {
+		pAdj := m.pattern.HasEdge(pv, qv)
+		tAdj := m.target.HasEdge(tv, qt)
+		if pAdj && !tAdj {
+			return false
+		}
+		if m.induced && !pAdj && tAdj {
+			return false
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether a and b are isomorphic labelled graphs
+// (|V|, |E| equal and a bijective label- and edge-preserving mapping
+// exists).
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if a.NumVertices() == 0 {
+		return true
+	}
+	// Quick invariant screens.
+	if !equalHist(a.LabelHistogram(), b.LabelHistogram()) {
+		return false
+	}
+	if !equalIntHist(a.DegreeHistogram(), b.DegreeHistogram()) {
+		return false
+	}
+	// Induced matching of equal-sized graphs with equal edge counts is a
+	// bijection that preserves edges exactly.
+	return len(FindAll(a, b, Options{Induced: true, Limit: 1})) > 0
+}
+
+func equalHist(x, y map[graph.Label]int) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for k, v := range x {
+		if y[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIntHist(x, y map[int]int) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for k, v := range x {
+		if y[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalKey returns a string that is identical for isomorphic labelled
+// graphs and distinct otherwise. It tries every vertex permutation (with
+// label/degree bucketing to cut the search), so it is exponential in |V|
+// and intended for motifs of at most ~9 vertices; larger graphs yield an
+// error.
+func CanonicalKey(g *graph.Graph) (string, error) {
+	n := g.NumVertices()
+	if n > 9 {
+		return "", fmt.Errorf("iso: CanonicalKey limited to 9 vertices, got %d", n)
+	}
+	if n == 0 {
+		return "∅", nil
+	}
+	vs := g.Vertices()
+	best := ""
+	perm := make([]graph.VertexID, 0, n)
+	usedIdx := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(perm) == n {
+			key := renderKey(g, perm)
+			if best == "" || key < best {
+				best = key
+			}
+			return
+		}
+		for i, v := range vs {
+			if usedIdx[i] {
+				continue
+			}
+			perm = append(perm, v)
+			usedIdx[i] = true
+			rec()
+			perm = perm[:len(perm)-1]
+			usedIdx[i] = false
+		}
+	}
+	rec()
+	return best, nil
+}
+
+// renderKey serialises g under the vertex ordering perm: the label sequence
+// followed by the upper-triangular adjacency bits.
+func renderKey(g *graph.Graph, perm []graph.VertexID) string {
+	var sb strings.Builder
+	for _, v := range perm {
+		l, _ := g.Label(v)
+		sb.WriteString(string(l))
+		sb.WriteByte(';')
+	}
+	sb.WriteByte('|')
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			if g.HasEdge(perm[i], perm[j]) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+	}
+	return sb.String()
+}

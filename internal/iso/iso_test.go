@@ -1,0 +1,331 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func TestFindAllPathInPath(t *testing.T) {
+	pat := graph.Path("a", "b")
+	tgt := graph.Path("a", "b", "a")
+	// Matches: (0->0,1->1) and (0->2,1->1).
+	maps := FindAll(pat, tgt, Options{})
+	if len(maps) != 2 {
+		t.Fatalf("mappings = %d, want 2", len(maps))
+	}
+}
+
+func TestFindAllLabelsRespected(t *testing.T) {
+	pat := graph.Path("a", "a")
+	tgt := graph.Path("a", "b", "a")
+	if len(FindAll(pat, tgt, Options{})) != 0 {
+		t.Fatal("aa must not match in aba")
+	}
+}
+
+func TestFindAllTooBigPattern(t *testing.T) {
+	pat := graph.Path("a", "b", "c", "d")
+	tgt := graph.Path("a", "b")
+	if FindAll(pat, tgt, Options{}) != nil {
+		t.Fatal("pattern larger than target cannot match")
+	}
+	if FindAll(graph.New(), tgt, Options{}) != nil {
+		t.Fatal("empty pattern yields no matches by convention")
+	}
+}
+
+func TestFindAllLimit(t *testing.T) {
+	pat := graph.Path("a", "b")
+	tgt := graph.Star("b", "a", "a", "a", "a")
+	all := FindAll(pat, tgt, Options{})
+	if len(all) != 4 {
+		t.Fatalf("mappings = %d, want 4", len(all))
+	}
+	limited := FindAll(pat, tgt, Options{Limit: 2})
+	if len(limited) != 2 {
+		t.Fatalf("limited mappings = %d, want 2", len(limited))
+	}
+}
+
+func TestExistsAndCount(t *testing.T) {
+	g := graph.Fig1Graph()
+	q2 := graph.Path("a", "b", "c")
+	if !Exists(q2, g) {
+		t.Fatal("abc must exist in Fig1")
+	}
+	// Two distinct sub-graphs: 1-2-3 and 6-2-3.
+	got := DistinctMatches(q2, g, Options{})
+	if len(got) != 2 {
+		t.Fatalf("abc distinct matches = %d, want 2", len(got))
+	}
+	if Count(q2, g) != 2 {
+		t.Fatalf("Count = %d, want 2 (paths are asymmetric: no automorphism doubling)", Count(q2, g))
+	}
+}
+
+func TestFig1SquareMatch(t *testing.T) {
+	g := graph.Fig1Graph()
+	q1 := graph.Cycle("a", "b", "a", "b")
+	ms := DistinctMatches(q1, g, Options{})
+	if len(ms) != 1 {
+		t.Fatalf("q1 distinct matches = %d, want 1", len(ms))
+	}
+	want := []graph.VertexID{1, 2, 5, 6}
+	for i, v := range ms[0].Vertices {
+		if v != want[i] {
+			t.Fatalf("match vertices %v, want %v", ms[0].Vertices, want)
+		}
+	}
+	// The abab cycle has 4 label-preserving automorphisms (rotation by two
+	// plus the two vertex-axis reflections), hence 4 mappings of the one
+	// distinct match.
+	if got := Count(q1, g); got != 4 {
+		t.Fatalf("q1 mapping count = %d, want 4", got)
+	}
+}
+
+func TestFig1PathQ3(t *testing.T) {
+	g := graph.Fig1Graph()
+	q3 := graph.Path("a", "b", "c", "d")
+	ms := DistinctMatches(q3, g, Options{})
+	// 1-2-3-4 and 6-2-3-4.
+	if len(ms) != 2 {
+		t.Fatalf("q3 distinct matches = %d, want 2", len(ms))
+	}
+}
+
+func TestInducedVsNonInduced(t *testing.T) {
+	// Pattern: path a-b-c. Target: triangle a-b-c. Non-induced matches the
+	// path inside the triangle; induced does not (the extra a-c edge
+	// violates induction).
+	pat := graph.Path("a", "b", "c")
+	tgt := graph.Cycle("a", "b", "c")
+	if !Exists(pat, tgt) {
+		t.Fatal("non-induced path must match inside the triangle")
+	}
+	if len(FindAll(pat, tgt, Options{Induced: true})) != 0 {
+		t.Fatal("induced path must not match inside the triangle")
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	a := graph.Cycle("a", "b", "a", "b")
+	b := graph.New()
+	for i, l := range []graph.Label{"b", "a", "b", "a"} {
+		b.AddVertex(graph.VertexID(10+i), l)
+	}
+	for _, e := range []graph.Edge{{U: 10, V: 11}, {U: 11, V: 12}, {U: 12, V: 13}, {U: 13, V: 10}} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !Isomorphic(a, b) {
+		t.Fatal("rotated cycles should be isomorphic")
+	}
+	if Isomorphic(a, graph.Path("a", "b", "a", "b")) {
+		t.Fatal("cycle vs path should differ")
+	}
+	if Isomorphic(a, graph.Cycle("a", "b", "a", "a")) {
+		t.Fatal("different label multisets should differ")
+	}
+	if !Isomorphic(graph.New(), graph.New()) {
+		t.Fatal("empty graphs are isomorphic")
+	}
+}
+
+func TestIsomorphicDegreeScreen(t *testing.T) {
+	// Same labels, same |V| and |E|, different degree sequence:
+	// path of 4 (degrees 1,2,2,1) vs star of 4 (3,1,1,1).
+	p := graph.Path("x", "x", "x", "x")
+	s := graph.Star("x", "x", "x", "x")
+	if p.NumEdges() != s.NumEdges() {
+		t.Fatal("test setup: edge counts should match")
+	}
+	if Isomorphic(p, s) {
+		t.Fatal("path4 and star4 are not isomorphic")
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	a := graph.Path("a", "b", "c")
+	b := graph.New()
+	b.AddVertex(5, "c")
+	b.AddVertex(9, "b")
+	b.AddVertex(2, "a")
+	if err := b.AddEdge(5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(9, 2); err != nil {
+		t.Fatal(err)
+	}
+	ka, err := CanonicalKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := CanonicalKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("isomorphic graphs must share canonical key: %q vs %q", ka, kb)
+	}
+	kc, err := CanonicalKey(graph.Path("a", "c", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == kc {
+		t.Fatal("abc and acb paths must have different keys")
+	}
+}
+
+func TestCanonicalKeyLimits(t *testing.T) {
+	big := graph.Path("a", "a", "a", "a", "a", "a", "a", "a", "a", "a")
+	if _, err := CanonicalKey(big); err == nil {
+		t.Fatal("CanonicalKey must reject graphs over 9 vertices")
+	}
+	k, err := CanonicalKey(graph.New())
+	if err != nil || k == "" {
+		t.Fatalf("empty graph key: %q, %v", k, err)
+	}
+}
+
+func TestTraversalHooks(t *testing.T) {
+	g := graph.Fig1Graph()
+	pat := graph.Path("a", "b", "c")
+	var traversals, visits int
+	FindAll(pat, g, Options{
+		OnTraverse: func(from, to graph.VertexID) {
+			if !g.HasEdge(from, to) {
+				t.Errorf("traversal (%d,%d) is not an edge", from, to)
+			}
+			traversals++
+		},
+		OnVisit: func(from, to graph.VertexID) { visits++ },
+	})
+	if traversals == 0 {
+		t.Fatal("expected traversals to be reported")
+	}
+	if visits < traversals {
+		t.Fatalf("visits (%d) must be >= traversals (%d)", visits, traversals)
+	}
+}
+
+func TestMatchKeyDedup(t *testing.T) {
+	// A symmetric pattern (single edge a-a) in a triangle of a's: 3 edges,
+	// 6 mappings, 3 distinct matches.
+	pat := graph.Path("x", "x")
+	tgt := graph.Cycle("x", "x", "x")
+	if got := Count(pat, tgt); got != 6 {
+		t.Fatalf("mapping count = %d, want 6", got)
+	}
+	if got := len(DistinctMatches(pat, tgt, Options{})); got != 3 {
+		t.Fatalf("distinct matches = %d, want 3", got)
+	}
+}
+
+// randomLabeledGraph builds a connected-ish random graph for properties.
+func randomLabeledGraph(r *rand.Rand, n int, extra int, alphabet []graph.Label) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.VertexID(i), alphabet[r.Intn(len(alphabet))])
+	}
+	// Spanning tree first.
+	for i := 1; i < n; i++ {
+		p := graph.VertexID(r.Intn(i))
+		if err := g.AddEdge(p, graph.VertexID(i)); err != nil {
+			panic(err)
+		}
+	}
+	for e := 0; e < extra; e++ {
+		u := graph.VertexID(r.Intn(n))
+		v := graph.VertexID(r.Intn(n))
+		if u != v && !g.HasEdge(u, v) {
+			if err := g.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertyEverySubgraphMatches(t *testing.T) {
+	// Any induced connected subgraph of g must be found in g.
+	alphabet := []graph.Label{"a", "b"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLabeledGraph(r, 5+r.Intn(6), r.Intn(4), alphabet)
+		order := g.BFSOrder(g.Vertices()[r.Intn(g.NumVertices())])
+		k := 1 + r.Intn(4)
+		if k > len(order) {
+			k = len(order)
+		}
+		sub := g.InducedSubgraph(order[:k])
+		if !sub.IsConnected() {
+			return true // skip: BFS prefix is connected, but guard anyway
+		}
+		return Exists(sub, g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMappingsAreValid(t *testing.T) {
+	// Every reported mapping is injective, label-preserving and
+	// edge-preserving.
+	alphabet := []graph.Label{"a", "b", "c"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLabeledGraph(r, 6+r.Intn(5), r.Intn(5), alphabet)
+		pat := randomLabeledGraph(r, 2+r.Intn(3), r.Intn(2), alphabet)
+		for _, mp := range FindAll(pat, g, Options{Limit: 50}) {
+			seen := make(map[graph.VertexID]bool)
+			for pv, tv := range mp {
+				if seen[tv] {
+					return false // not injective
+				}
+				seen[tv] = true
+				pl, _ := pat.Label(pv)
+				tl, _ := g.Label(tv)
+				if pl != tl {
+					return false
+				}
+			}
+			for _, e := range pat.Edges() {
+				if !g.HasEdge(mp[e.U], mp[e.V]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIsomorphicCanonicalAgree(t *testing.T) {
+	// Isomorphic(a,b) must agree with CanonicalKey(a)==CanonicalKey(b) on
+	// small graphs.
+	alphabet := []graph.Label{"a", "b"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomLabeledGraph(r, 2+r.Intn(4), r.Intn(3), alphabet)
+		b := randomLabeledGraph(r, 2+r.Intn(4), r.Intn(3), alphabet)
+		ka, err := CanonicalKey(a)
+		if err != nil {
+			return false
+		}
+		kb, err := CanonicalKey(b)
+		if err != nil {
+			return false
+		}
+		return Isomorphic(a, b) == (ka == kb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// Ground-truth agreement measures: when a graph has planted communities
+// (gen.PlantedPartition), these quantify how much of that structure a
+// partitioning recovered, independent of edge counts. Used to interpret
+// experiment E5-style comparisons.
+
+// Purity returns the fraction of vertices whose partition's majority
+// ground-truth community matches their own: 1.0 means every partition is
+// drawn from a single community. truth maps each assigned vertex to its
+// community.
+func Purity(a *partition.Assignment, truth func(graph.VertexID) int) float64 {
+	if a.Len() == 0 {
+		return 0
+	}
+	// counts[partition][community] = vertices
+	counts := make(map[partition.ID]map[int]int)
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		m, ok := counts[p]
+		if !ok {
+			m = make(map[int]int)
+			counts[p] = m
+		}
+		m[truth(v)]++
+	})
+	majority := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		majority += best
+	}
+	return float64(majority) / float64(a.Len())
+}
+
+// NMI returns the normalized mutual information between the partitioning
+// and the ground-truth communities, in [0, 1]: 1.0 means the partitioning
+// determines the communities exactly (up to relabeling), 0 means
+// independence. Normalisation is by the arithmetic mean of the entropies;
+// degenerate clusterings (single class on either side) return 0.
+func NMI(a *partition.Assignment, truth func(graph.VertexID) int) float64 {
+	n := float64(a.Len())
+	if n == 0 {
+		return 0
+	}
+	joint := make(map[[2]int]float64)
+	px := make(map[int]float64)
+	py := make(map[int]float64)
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		c := truth(v)
+		joint[[2]int{int(p), c}]++
+		px[int(p)]++
+		py[c]++
+	})
+	var mi, hx, hy float64
+	for k, cnt := range joint {
+		pxy := cnt / n
+		mi += pxy * math.Log(pxy/((px[k[0]]/n)*(py[k[1]]/n)))
+	}
+	for _, cnt := range px {
+		p := cnt / n
+		hx -= p * math.Log(p)
+	}
+	for _, cnt := range py {
+		p := cnt / n
+		hy -= p * math.Log(p)
+	}
+	denom := (hx + hy) / 2
+	if denom == 0 {
+		return 0
+	}
+	out := mi / denom
+	// Clamp tiny negative float error.
+	if out < 0 {
+		return 0
+	}
+	if out > 1 {
+		return 1
+	}
+	return out
+}

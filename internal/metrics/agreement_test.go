@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+func TestPurityPerfect(t *testing.T) {
+	a := partition.MustNewAssignment(2)
+	for i := 0; i < 10; i++ {
+		p := partition.ID(0)
+		if i >= 5 {
+			p = 1
+		}
+		if err := a.Set(graph.VertexID(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := func(v graph.VertexID) int {
+		if v >= 5 {
+			return 1
+		}
+		return 0
+	}
+	if got := Purity(a, truth); got != 1.0 {
+		t.Fatalf("perfect purity = %v, want 1", got)
+	}
+	if got := NMI(a, truth); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("perfect NMI = %v, want 1", got)
+	}
+}
+
+func TestPurityRelabelingInvariant(t *testing.T) {
+	// Swapping partition labels must not change agreement.
+	a := partition.MustNewAssignment(2)
+	for i := 0; i < 10; i++ {
+		p := partition.ID(1)
+		if i >= 5 {
+			p = 0
+		}
+		if err := a.Set(graph.VertexID(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := func(v graph.VertexID) int {
+		if v >= 5 {
+			return 1
+		}
+		return 0
+	}
+	if got := Purity(a, truth); got != 1.0 {
+		t.Fatalf("relabelled purity = %v, want 1", got)
+	}
+	if got := NMI(a, truth); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("relabelled NMI = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependence(t *testing.T) {
+	// Partition alternates, truth splits in halves: independent-ish.
+	a := partition.MustNewAssignment(2)
+	n := 1000
+	for i := 0; i < n; i++ {
+		if err := a.Set(graph.VertexID(i), partition.ID(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := func(v graph.VertexID) int {
+		if int(v) < n/2 {
+			return 0
+		}
+		return 1
+	}
+	if got := NMI(a, truth); got > 0.01 {
+		t.Fatalf("independent NMI = %v, want ~0", got)
+	}
+	if got := Purity(a, truth); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("independent purity = %v, want ~0.5", got)
+	}
+}
+
+func TestAgreementDegenerate(t *testing.T) {
+	empty := partition.MustNewAssignment(2)
+	if Purity(empty, func(graph.VertexID) int { return 0 }) != 0 {
+		t.Fatal("empty purity should be 0")
+	}
+	if NMI(empty, func(graph.VertexID) int { return 0 }) != 0 {
+		t.Fatal("empty NMI should be 0")
+	}
+	// Single class on both sides: zero entropy, NMI defined as 0.
+	a := partition.MustNewAssignment(1)
+	for i := 0; i < 4; i++ {
+		if err := a.Set(graph.VertexID(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := NMI(a, func(graph.VertexID) int { return 7 }); got != 0 {
+		t.Fatalf("degenerate NMI = %v, want 0", got)
+	}
+	if got := Purity(a, func(graph.VertexID) int { return 7 }); got != 1 {
+		t.Fatalf("single-class purity = %v, want 1", got)
+	}
+}
+
+func TestPropertyAgreementBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(50)
+		k := 2 + r.Intn(4)
+		a := partition.MustNewAssignment(k)
+		for i := 0; i < n; i++ {
+			if err := a.Set(graph.VertexID(i), partition.ID(r.Intn(k))); err != nil {
+				return false
+			}
+		}
+		c := 2 + r.Intn(4)
+		truth := func(v graph.VertexID) int { return int(v) % c }
+		p := Purity(a, truth)
+		m := NMI(a, truth)
+		return p >= 0 && p <= 1 && m >= 0 && m <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

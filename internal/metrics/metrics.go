@@ -1,0 +1,172 @@
+// Package metrics computes partitioning-quality measures.
+//
+// The paper distinguishes two qualities: the classic structural measure
+// (fraction of edges cut, balance of vertex load) that workload-agnostic
+// partitioners optimise, and the workload-sensitive measure LOOM targets —
+// the probability that executing a random query from workload Q traverses
+// an inter-partition edge. This package provides the structural measures;
+// package cluster produces the traversal counts this package summarises.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// CutEdges returns the number of edges of g with endpoints in different
+// partitions. Edges with unassigned endpoints are ignored.
+func CutEdges(g *graph.Graph, a *partition.Assignment) int {
+	return a.CutEdges(g)
+}
+
+// CutFraction returns cut edges / total edges (0 for an edgeless graph).
+func CutFraction(g *graph.Graph, a *partition.Assignment) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	return float64(a.CutEdges(g)) / float64(g.NumEdges())
+}
+
+// VertexImbalance returns max partition size / ideal size (n/k); 1.0 is
+// perfect balance. Empty assignments return 0.
+func VertexImbalance(a *partition.Assignment) float64 {
+	if a.Len() == 0 {
+		return 0
+	}
+	ideal := float64(a.Len()) / float64(a.K())
+	return float64(a.MaxSize()) / ideal
+}
+
+// EdgeCounts returns per-partition internal edge counts: edges with both
+// endpoints inside the partition.
+func EdgeCounts(g *graph.Graph, a *partition.Assignment) []int {
+	out := make([]int, a.K())
+	for _, e := range g.Edges() {
+		pu, pv := a.Get(e.U), a.Get(e.V)
+		if pu != partition.Unassigned && pu == pv {
+			out[pu]++
+		}
+	}
+	return out
+}
+
+// EdgeImbalance returns max per-partition internal edge count over the
+// ideal (total internal / k); 1.0 is perfect. Returns 0 when no internal
+// edges exist.
+func EdgeImbalance(g *graph.Graph, a *partition.Assignment) float64 {
+	counts := EdgeCounts(g, a)
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	ideal := float64(total) / float64(len(counts))
+	return float64(max) / ideal
+}
+
+// Quality bundles the structural measures of one partitioning.
+type Quality struct {
+	Partitioner   string
+	K             int
+	Vertices      int
+	Edges         int
+	CutEdges      int
+	CutFraction   float64
+	VertexBalance float64 // max/ideal, 1.0 = perfect
+	EdgeBalance   float64
+	Sizes         []int
+}
+
+// Evaluate computes Quality for assignment a of graph g.
+func Evaluate(name string, g *graph.Graph, a *partition.Assignment) Quality {
+	return Quality{
+		Partitioner:   name,
+		K:             a.K(),
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		CutEdges:      a.CutEdges(g),
+		CutFraction:   CutFraction(g, a),
+		VertexBalance: VertexImbalance(a),
+		EdgeBalance:   EdgeImbalance(g, a),
+		Sizes:         a.Sizes(),
+	}
+}
+
+// String renders the quality as a report row.
+func (q Quality) String() string {
+	return fmt.Sprintf("%-12s k=%-3d |V|=%-7d |E|=%-8d cut=%-8d cut%%=%6.2f balV=%5.3f balE=%5.3f",
+		q.Partitioner, q.K, q.Vertices, q.Edges, q.CutEdges, 100*q.CutFraction, q.VertexBalance, q.EdgeBalance)
+}
+
+// Ratio returns a/b guarding division by zero (returns +Inf for b==0, a>0;
+// 0 for both zero).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Stats summarises a float64 sample.
+type Stats struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P95       float64
+	StdDev         float64
+}
+
+// Summarize computes Stats over xs (zero Stats for empty input).
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, x := range sorted {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Stats{
+		N:      len(sorted),
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentile(sorted, 0.50),
+		P95:    percentile(sorted, 0.95),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// percentile returns the p-quantile of ascending xs by nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+func splitPath(t *testing.T) (*graph.Graph, *partition.Assignment) {
+	t.Helper()
+	g := graph.Path("a", "b", "c", "d")
+	a := partition.MustNewAssignment(2)
+	for v, p := range map[graph.VertexID]partition.ID{0: 0, 1: 0, 2: 1, 3: 1} {
+		if err := a.Set(v, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, a
+}
+
+func TestCutEdgesAndFraction(t *testing.T) {
+	g, a := splitPath(t)
+	if got := CutEdges(g, a); got != 1 {
+		t.Fatalf("cut = %d, want 1", got)
+	}
+	if got := CutFraction(g, a); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("fraction = %v, want 1/3", got)
+	}
+	empty := graph.New()
+	if CutFraction(empty, partition.MustNewAssignment(2)) != 0 {
+		t.Fatal("edgeless graph cut fraction should be 0")
+	}
+}
+
+func TestVertexImbalance(t *testing.T) {
+	_, a := splitPath(t)
+	if got := VertexImbalance(a); got != 1.0 {
+		t.Fatalf("balanced split imbalance = %v, want 1.0", got)
+	}
+	b := partition.MustNewAssignment(2)
+	for i := 0; i < 4; i++ {
+		if err := b.Set(graph.VertexID(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := VertexImbalance(b); got != 2.0 {
+		t.Fatalf("one-sided imbalance = %v, want 2.0", got)
+	}
+	if VertexImbalance(partition.MustNewAssignment(2)) != 0 {
+		t.Fatal("empty assignment imbalance should be 0")
+	}
+}
+
+func TestEdgeCountsAndImbalance(t *testing.T) {
+	g, a := splitPath(t)
+	counts := EdgeCounts(g, a)
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("edge counts = %v, want [1 1]", counts)
+	}
+	if got := EdgeImbalance(g, a); got != 1.0 {
+		t.Fatalf("edge imbalance = %v, want 1.0", got)
+	}
+	// No internal edges.
+	b := partition.MustNewAssignment(2)
+	for i := 0; i < 4; i++ {
+		if err := b.Set(graph.VertexID(i), partition.ID(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := EdgeImbalance(g, b); got != 0 {
+		t.Fatalf("all-cut edge imbalance = %v, want 0", got)
+	}
+}
+
+func TestEvaluateAndString(t *testing.T) {
+	g, a := splitPath(t)
+	q := Evaluate("test", g, a)
+	if q.Partitioner != "test" || q.K != 2 || q.CutEdges != 1 {
+		t.Fatalf("quality = %+v", q)
+	}
+	s := q.String()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("String too short: %q", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 {
+		t.Fatal("Ratio(1,2) wrong")
+	}
+	if Ratio(0, 0) != 0 {
+		t.Fatal("Ratio(0,0) should be 0")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("Ratio(1,0) should be +Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v, want 3", s.P50)
+	}
+	if s.P95 != 5 {
+		t.Fatalf("P95 = %v, want 5", s.P95)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("StdDev = %v, want sqrt(2)", s.StdDev)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestPropertySummarizeBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if s.N != n {
+			return false
+		}
+		if s.Min > s.P50 || s.P50 > s.Max || s.P95 > s.Max || s.Min > s.Mean || s.Mean > s.Max {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCutFractionBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(20)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.AddVertex(graph.VertexID(i), "x")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					if err := g.AddEdge(graph.VertexID(i), graph.VertexID(j)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		k := 2 + r.Intn(3)
+		a := partition.MustNewAssignment(k)
+		for i := 0; i < n; i++ {
+			if err := a.Set(graph.VertexID(i), partition.ID(r.Intn(k))); err != nil {
+				return false
+			}
+		}
+		f := CutFraction(g, a)
+		if f < 0 || f > 1 {
+			return false
+		}
+		return VertexImbalance(a) >= 1.0 || a.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package motif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the TPSTry++ as a Graphviz digraph (the visual form of
+// the paper's Figure 2). Nodes show the motif's label sequence, edge list
+// and p-value; motifs at or above threshold are filled. Deterministic
+// output: nodes by ID, edges by (parent, child) ID.
+func WriteDOT(w io.Writer, t *Trie, threshold float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph tpstry {")
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
+	for _, n := range t.Nodes() {
+		label := motifLabel(n)
+		attrs := fmt.Sprintf("label=\"%s\\np=%.3f\"", label, t.P(n))
+		if n.NumEdges() > 0 && t.P(n) >= threshold {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		if n.NumEdges() == 0 {
+			attrs += ", shape=ellipse"
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range t.Nodes() {
+		for _, c := range n.Children() {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", n.ID, c.ID)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// motifLabel renders a motif node compactly: label sequence plus edges.
+func motifLabel(n *Node) string {
+	var sb strings.Builder
+	for _, v := range n.Rep.Vertices() {
+		l, _ := n.Rep.Label(v)
+		sb.WriteString(string(l))
+	}
+	if n.NumEdges() > 0 {
+		sb.WriteString(" [")
+		for i, e := range n.Rep.Edges() {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d-%d", e.U, e.V)
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}

@@ -1,0 +1,440 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+	"loom/internal/iso"
+	"loom/internal/signature"
+)
+
+func newTrie(maxV int) *Trie {
+	f := signature.NewFactoryForAlphabet([]graph.Label{"a", "b", "c", "d"})
+	return New(f, Options{MaxMotifVertices: maxV})
+}
+
+func TestAddQueryValidation(t *testing.T) {
+	tr := newTrie(4)
+	if err := tr.AddQuery("q", graph.Path("a", "b"), 0); err == nil {
+		t.Error("zero weight should be rejected")
+	}
+	if err := tr.AddQuery("q", graph.New(), 1); err == nil {
+		t.Error("empty query should be rejected")
+	}
+	disc := graph.New()
+	disc.AddVertex(1, "a")
+	disc.AddVertex(2, "b")
+	if err := tr.AddQuery("q", disc, 1); err == nil {
+		t.Error("disconnected query should be rejected")
+	}
+}
+
+func TestSingleEdgeQuery(t *testing.T) {
+	tr := newTrie(4)
+	if err := tr.AddQuery("q", graph.Path("a", "b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Motifs: a, b, ab => 3 nodes.
+	if tr.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", tr.NumNodes())
+	}
+	roots := tr.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	for _, r := range roots {
+		if len(r.Children()) != 1 {
+			t.Fatalf("root %v children = %d, want 1 (the ab edge)", r, len(r.Children()))
+		}
+	}
+	// Both roots share the same child node.
+	if roots[0].Children()[0] != roots[1].Children()[0] {
+		t.Fatal("a and b roots must share the ab child (DAG, not tree)")
+	}
+}
+
+func TestFig2TPSTry(t *testing.T) {
+	// The workload of Figure 1: q1 = abab square, q2 = abc path,
+	// q3 = abcd path. Verify the TPSTry++ of Figure 2 algebraically: its
+	// nodes are exactly the signature-distinct connected sub-graphs of the
+	// three queries.
+	tr := newTrie(4)
+	q1 := graph.Cycle("a", "b", "a", "b")
+	q2 := graph.Path("a", "b", "c")
+	q3 := graph.Path("a", "b", "c", "d")
+	for _, q := range []struct {
+		id string
+		g  *graph.Graph
+	}{{"q1", q1}, {"q2", q2}, {"q3", q3}} {
+		if err := tr.AddQuery(q.id, q.g, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Expected motifs (by construction):
+	// singles: a, b, c, d                                   -> 4
+	// 1 edge:  ab, bc, cd                                   -> 3
+	// 2 edges: aba, bab, abc, bcd                           -> 4
+	// 3 edges: abab path (from q1), abcd path (from q3)     -> 2
+	// 4 edges: abab square (from q1)                        -> 1
+	// total 14
+	if tr.NumNodes() != 14 {
+		for _, n := range tr.Nodes() {
+			t.Logf("node %v rep=%s", n, n.Rep)
+		}
+		t.Fatalf("TPSTry++ nodes = %d, want 14", tr.NumNodes())
+	}
+	if len(tr.Roots()) != 4 {
+		t.Fatalf("roots = %d, want 4 (one per label)", len(tr.Roots()))
+	}
+
+	// The square motif: 4 vertices, 4 edges, contained only in q1, and it
+	// must be reachable as a child of the abab path.
+	var square, ababPath *Node
+	for _, n := range tr.Nodes() {
+		if n.NumVertices() == 4 && n.NumEdges() == 4 {
+			square = n
+		}
+		if n.NumVertices() == 4 && n.NumEdges() == 3 {
+			if iso.Isomorphic(n.Rep, graph.Path("a", "b", "a", "b")) {
+				ababPath = n
+			}
+		}
+	}
+	if square == nil {
+		t.Fatal("square motif missing")
+	}
+	if ababPath == nil {
+		t.Fatal("abab path motif missing")
+	}
+	if _, ok := tr.ChildFor(ababPath, square.Sig.Key()); !ok {
+		t.Fatal("square must be a child of the abab path")
+	}
+	if _, inQ1 := square.Queries["q1"]; !inQ1 || len(square.Queries) != 1 {
+		t.Fatalf("square queries = %v, want {q1}", square.Queries)
+	}
+
+	// p-values: ab occurs in all three queries -> 1.0; bc in q2,q3 -> 2/3;
+	// cd only q3 -> 1/3; square only q1 -> 1/3.
+	ab := findMotif(t, tr, graph.Path("a", "b"))
+	if p := tr.P(ab); math.Abs(p-1.0) > 1e-9 {
+		t.Errorf("P(ab) = %v, want 1.0", p)
+	}
+	bc := findMotif(t, tr, graph.Path("b", "c"))
+	if p := tr.P(bc); math.Abs(p-2.0/3) > 1e-9 {
+		t.Errorf("P(bc) = %v, want 2/3", p)
+	}
+	cd := findMotif(t, tr, graph.Path("c", "d"))
+	if p := tr.P(cd); math.Abs(p-1.0/3) > 1e-9 {
+		t.Errorf("P(cd) = %v, want 1/3", p)
+	}
+	if p := tr.P(square); math.Abs(p-1.0/3) > 1e-9 {
+		t.Errorf("P(square) = %v, want 1/3", p)
+	}
+}
+
+func findMotif(t *testing.T, tr *Trie, g *graph.Graph) *Node {
+	t.Helper()
+	n, ok := tr.NodeFor(tr.Factory().SignatureOf(g))
+	if !ok {
+		t.Fatalf("motif %s missing from trie", g)
+	}
+	return n
+}
+
+func TestFrequentMotifsThreshold(t *testing.T) {
+	tr := newTrie(4)
+	for _, q := range []struct {
+		id string
+		g  *graph.Graph
+		w  float64
+	}{
+		{"q1", graph.Cycle("a", "b", "a", "b"), 1},
+		{"q2", graph.Path("a", "b", "c"), 1},
+		{"q3", graph.Path("a", "b", "c", "d"), 1},
+	} {
+		if err := tr.AddQuery(q.id, q.g, q.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Threshold 1.0: only ab (in all queries).
+	top := tr.FrequentMotifs(1.0)
+	if len(top) != 1 {
+		t.Fatalf("frequent@1.0 = %d, want 1", len(top))
+	}
+	if !iso.Isomorphic(top[0].Rep, graph.Path("a", "b")) {
+		t.Fatalf("frequent@1.0 = %v, want ab", top[0].Rep)
+	}
+	// Threshold 0: every motif with >= 1 edge (14 nodes - 4 singles = 10).
+	all := tr.FrequentMotifs(0)
+	if len(all) != 10 {
+		t.Fatalf("frequent@0 = %d, want 10", len(all))
+	}
+	// Sorted by descending p.
+	for i := 1; i < len(all); i++ {
+		if tr.P(all[i]) > tr.P(all[i-1]) {
+			t.Fatal("FrequentMotifs must be sorted by descending p")
+		}
+	}
+	if got := tr.MaxFrequentMotifVertices(0); got != 4 {
+		t.Fatalf("MaxFrequentMotifVertices = %d, want 4", got)
+	}
+}
+
+func TestWeightsAndFrequencies(t *testing.T) {
+	tr := newTrie(3)
+	if err := tr.AddQuery("hot", graph.Path("a", "b"), 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddQuery("cold", graph.Path("c", "d"), 1); err != nil {
+		t.Fatal(err)
+	}
+	ab := findMotif(t, tr, graph.Path("a", "b"))
+	cd := findMotif(t, tr, graph.Path("c", "d"))
+	if p := tr.P(ab); math.Abs(p-0.9) > 1e-9 {
+		t.Errorf("P(ab) = %v, want 0.9", p)
+	}
+	if p := tr.P(cd); math.Abs(p-0.1) > 1e-9 {
+		t.Errorf("P(cd) = %v, want 0.1", p)
+	}
+	if tr.TotalWeight() != 10 {
+		t.Errorf("TotalWeight = %v, want 10", tr.TotalWeight())
+	}
+}
+
+func TestMaxMotifVerticesCap(t *testing.T) {
+	tr := newTrie(3)
+	if err := tr.AddQuery("q", graph.Path("a", "b", "c", "d"), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		if n.NumVertices() > 3 {
+			t.Fatalf("motif %v exceeds cap 3", n)
+		}
+	}
+	// abcd itself must not be a node; abc and bcd must be.
+	if _, ok := tr.NodeFor(tr.Factory().SignatureOf(graph.Path("a", "b", "c", "d"))); ok {
+		t.Fatal("4-vertex motif should have been capped")
+	}
+	findMotif(t, tr, graph.Path("a", "b", "c"))
+	findMotif(t, tr, graph.Path("b", "c", "d"))
+}
+
+func TestRepeatedMotifEmbeddings(t *testing.T) {
+	// Query a-b-a: motif ab has two embeddings but support counted once.
+	tr := newTrie(3)
+	if err := tr.AddQuery("q", graph.Path("a", "b", "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	ab := findMotif(t, tr, graph.Path("a", "b"))
+	if ab.Embeddings != 2 {
+		t.Fatalf("ab embeddings = %d, want 2", ab.Embeddings)
+	}
+	if ab.Support != 1 {
+		t.Fatalf("ab support = %v, want 1 (once per query)", ab.Support)
+	}
+}
+
+func TestDAGParentChildClosure(t *testing.T) {
+	tr := newTrie(4)
+	if err := tr.AddQuery("q", graph.Cycle("a", "b", "a", "b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		for _, c := range n.Children() {
+			// A child has exactly one more edge.
+			if c.NumEdges() != n.NumEdges()+1 {
+				t.Fatalf("child %v of %v adds %d edges", c, n, c.NumEdges()-n.NumEdges())
+			}
+			// And at most one more vertex.
+			dv := c.NumVertices() - n.NumVertices()
+			if dv < 0 || dv > 1 {
+				t.Fatalf("child %v of %v adds %d vertices", c, n, dv)
+			}
+			// Parent back-pointer exists.
+			found := false
+			for _, p := range c.Parents() {
+				if p == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("child %v missing parent pointer to %v", c, n)
+			}
+		}
+	}
+}
+
+func TestRootsPerDistinctLabel(t *testing.T) {
+	tr := newTrie(3)
+	if err := tr.AddQuery("q", graph.Path("a", "b", "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (a and b)", len(roots))
+	}
+	if _, ok := tr.RootFor("a"); !ok {
+		t.Fatal("root a missing")
+	}
+	if _, ok := tr.RootFor("z"); ok {
+		t.Fatal("root z should not exist")
+	}
+}
+
+func TestChildForNilParent(t *testing.T) {
+	tr := newTrie(3)
+	if err := tr.AddQuery("q", graph.Path("a", "b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	sig := tr.Factory().SignatureOf(graph.Path("a", "b"))
+	if _, ok := tr.ChildFor(nil, sig.Key()); !ok {
+		t.Fatal("ChildFor(nil, ...) should fall back to global lookup")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := newTrie(4)
+	if err := tr.AddQuery("q", graph.Path("a", "b", "c"), 1); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, tr, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph tpstry {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// 6 motifs: a, b, c, ab, bc, abc.
+	if got := strings.Count(out, "label="); got != 6 {
+		t.Fatalf("DOT nodes = %d, want 6", got)
+	}
+	// DAG edges: a->ab, b->ab, b->bc, c->bc, ab->abc, bc->abc.
+	if got := strings.Count(out, "->"); got != 6 {
+		t.Fatalf("DOT edges = %d, want 6", got)
+	}
+	// Frequent motifs are filled; single-vertex roots are ellipses.
+	if !strings.Contains(out, "fillcolor=lightblue") {
+		t.Fatal("frequent motifs should be highlighted")
+	}
+	if !strings.Contains(out, "shape=ellipse") {
+		t.Fatal("roots should be ellipses")
+	}
+	// Deterministic.
+	var sb2 strings.Builder
+	if err := WriteDOT(&sb2, tr, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("DOT output must be deterministic")
+	}
+}
+
+func TestPEdge(t *testing.T) {
+	tr := newTrie(4)
+	for _, q := range []struct {
+		id string
+		g  *graph.Graph
+	}{
+		{"q1", graph.Cycle("a", "b", "a", "b")},
+		{"q2", graph.Path("a", "b", "c")},
+		{"q3", graph.Path("a", "b", "c", "d")},
+	} {
+		if err := tr.AddQuery(q.id, q.g, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ab occurs in all three queries.
+	if p := tr.PEdge("a", "b"); math.Abs(p-1.0) > 1e-9 {
+		t.Errorf("PEdge(a,b) = %v, want 1", p)
+	}
+	// Order-insensitive.
+	if tr.PEdge("b", "a") != tr.PEdge("a", "b") {
+		t.Error("PEdge must be symmetric")
+	}
+	// cd only in q3.
+	if p := tr.PEdge("c", "d"); math.Abs(p-1.0/3) > 1e-9 {
+		t.Errorf("PEdge(c,d) = %v, want 1/3", p)
+	}
+	// Never-seen pair.
+	if p := tr.PEdge("d", "d"); p != 0 {
+		t.Errorf("PEdge(d,d) = %v, want 0", p)
+	}
+	// Unknown label.
+	if p := tr.PEdge("z", "a"); p != 0 {
+		t.Errorf("PEdge(z,a) = %v, want 0", p)
+	}
+}
+
+func TestPropertyNodeSignatureMatchesRep(t *testing.T) {
+	// Every node's stored signature equals the signature of its
+	// representative graph, over random tree-shaped queries.
+	alphabet := []graph.Label{"a", "b", "c"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := signature.NewFactoryForAlphabet(alphabet)
+		tr := New(f, Options{MaxMotifVertices: 4})
+		// Random tree query of 2-6 vertices.
+		n := 2 + r.Intn(5)
+		q := graph.New()
+		q.AddVertex(0, alphabet[r.Intn(len(alphabet))])
+		for i := 1; i < n; i++ {
+			q.AddVertex(graph.VertexID(i), alphabet[r.Intn(len(alphabet))])
+			if err := q.AddEdge(graph.VertexID(r.Intn(i)), graph.VertexID(i)); err != nil {
+				return false
+			}
+		}
+		if err := tr.AddQuery("q", q, 1); err != nil {
+			return false
+		}
+		for _, node := range tr.Nodes() {
+			if !node.Sig.Equal(f.SignatureOf(node.Rep)) {
+				return false
+			}
+			if !node.Rep.IsConnected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySupportMonotone(t *testing.T) {
+	// Anti-monotonicity: a parent's support is >= each child's support
+	// (any query containing the child contains the parent).
+	alphabet := []graph.Label{"a", "b"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := signature.NewFactoryForAlphabet(alphabet)
+		tr := New(f, Options{MaxMotifVertices: 4})
+		for qi := 0; qi < 3; qi++ {
+			n := 2 + r.Intn(4)
+			labels := make([]graph.Label, n)
+			for i := range labels {
+				labels[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			if err := tr.AddQuery(string(rune('a'+qi)), graph.Path(labels...), 1+r.Float64()); err != nil {
+				return false
+			}
+		}
+		for _, n := range tr.Nodes() {
+			for _, c := range n.Children() {
+				if c.Support > n.Support+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"loom/internal/graph"
+)
+
+// Multilevel is an offline k-way partitioner in the style of METIS (paper
+// §3.1): it recursively coarsens the graph by heavy-edge matching,
+// partitions the coarsest graph greedily, then projects the partitioning
+// back up, refining with greedy boundary moves at every level. It is the
+// quality reference the streaming heuristics are compared against in
+// experiment E5; it is not a METIS port.
+type Multilevel struct {
+	// K is the number of partitions.
+	K int
+	// Imbalance is the tolerated load factor: max partition weight is
+	// (1+Imbalance) * total/K. Zero defaults to 0.05.
+	Imbalance float64
+	// CoarsenTarget stops coarsening once the graph has at most this many
+	// vertices. Zero defaults to max(100, 20*K).
+	CoarsenTarget int
+	// RefinePasses bounds the boundary-refinement sweeps per level. Zero
+	// defaults to 4.
+	RefinePasses int
+	// Seed drives matching and tie-breaking.
+	Seed int64
+}
+
+// Partition computes a k-way assignment for g.
+func (m *Multilevel) Partition(g *graph.Graph) (*Assignment, error) {
+	if m.K < 1 {
+		return nil, fmt.Errorf("partition: multilevel K=%d < 1", m.K)
+	}
+	if g.NumVertices() == 0 {
+		return MustNewAssignment(m.K), nil
+	}
+	imbalance := m.Imbalance
+	if imbalance == 0 {
+		imbalance = 0.05
+	}
+	target := m.CoarsenTarget
+	if target == 0 {
+		target = 20 * m.K
+		if target < 100 {
+			target = 100
+		}
+	}
+	passes := m.RefinePasses
+	if passes == 0 {
+		passes = 4
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	base, ids := fromGraph(g)
+	levels := []*wgraph{base}
+	var maps [][]int // maps[i][coarseVertex] undefined; we store fine->coarse
+	for levels[len(levels)-1].n > target {
+		cur := levels[len(levels)-1]
+		coarse, fineToCoarse := cur.coarsen(rng)
+		if coarse.n >= cur.n {
+			break // matching stalled; stop coarsening
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, fineToCoarse)
+	}
+
+	// Initial partition at the coarsest level: greedy graph growing, then
+	// FM refinement (the coarsest graph is small, so the stronger search
+	// is affordable and most of the final quality is decided here).
+	coarsest := levels[len(levels)-1]
+	part := coarsest.initialPartition(m.K, rng)
+	fmLimit := 4 * target
+	coarsest.refineFM(part, m.K, imbalance, passes)
+
+	// Project back up, refining at each level: FM while the level is small
+	// enough, cheap greedy boundary moves otherwise.
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		fineToCoarse := maps[i]
+		finePart := make([]ID, fine.n)
+		for v := 0; v < fine.n; v++ {
+			finePart[v] = part[fineToCoarse[v]]
+		}
+		part = finePart
+		if fine.n <= fmLimit {
+			fine.refineFM(part, m.K, imbalance, passes)
+		} else {
+			fine.refine(part, m.K, imbalance, passes)
+		}
+	}
+
+	a := MustNewAssignment(m.K)
+	for i, v := range ids {
+		if err := a.Set(v, part[i]); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// wgraph is the weighted working representation used during coarsening:
+// vertices are dense ints, vertex weights count collapsed originals, edge
+// weights count collapsed parallel edges.
+type wgraph struct {
+	n   int
+	vw  []int
+	adj []map[int]int
+}
+
+// fromGraph converts g, returning the wgraph and the dense-index -> original
+// vertex ID table.
+func fromGraph(g *graph.Graph) (*wgraph, []graph.VertexID) {
+	ids := g.Vertices()
+	idx := make(map[graph.VertexID]int, len(ids))
+	for i, v := range ids {
+		idx[v] = i
+	}
+	w := &wgraph{
+		n:   len(ids),
+		vw:  make([]int, len(ids)),
+		adj: make([]map[int]int, len(ids)),
+	}
+	for i := range ids {
+		w.vw[i] = 1
+		w.adj[i] = make(map[int]int)
+	}
+	for _, e := range g.Edges() {
+		u, v := idx[e.U], idx[e.V]
+		w.adj[u][v] = 1
+		w.adj[v][u] = 1
+	}
+	return w, ids
+}
+
+// coarsen performs one level of heavy-edge matching and contraction,
+// returning the coarse graph and the fine->coarse vertex map.
+func (w *wgraph) coarsen(rng *rand.Rand) (*wgraph, []int) {
+	order := rng.Perm(w.n)
+	match := make([]int, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		bestU, bestW := -1, -1
+		for u, ew := range w.adj[v] {
+			if match[u] != -1 {
+				continue
+			}
+			if ew > bestW || (ew == bestW && u < bestU) {
+				bestU, bestW = u, ew
+			}
+		}
+		if bestU == -1 {
+			match[v] = v // unmatched: contracts alone
+		} else {
+			match[v] = bestU
+			match[bestU] = v
+		}
+	}
+	fineToCoarse := make([]int, w.n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	next := 0
+	for v := 0; v < w.n; v++ {
+		if fineToCoarse[v] != -1 {
+			continue
+		}
+		fineToCoarse[v] = next
+		if match[v] != v && match[v] != -1 {
+			fineToCoarse[match[v]] = next
+		}
+		next++
+	}
+	coarse := &wgraph{
+		n:   next,
+		vw:  make([]int, next),
+		adj: make([]map[int]int, next),
+	}
+	for i := 0; i < next; i++ {
+		coarse.adj[i] = make(map[int]int)
+	}
+	for v := 0; v < w.n; v++ {
+		cv := fineToCoarse[v]
+		coarse.vw[cv] += w.vw[v]
+		for u, ew := range w.adj[v] {
+			cu := fineToCoarse[u]
+			if cu == cv {
+				continue
+			}
+			if v < u || fineToCoarse[u] != fineToCoarse[v] {
+				// Accumulate each fine edge once per direction; halve by
+				// only adding from the lower endpoint.
+				if v < u {
+					coarse.adj[cv][cu] += ew
+					coarse.adj[cu][cv] += ew
+				}
+			}
+		}
+	}
+	return coarse, fineToCoarse
+}
+
+// initialPartition seeds a k-way split of the (small) coarsest graph with
+// greedy graph growing (GGGP): each partition grows from a seed vertex by
+// repeatedly absorbing the unassigned vertex with the strongest
+// connectivity to it, until it reaches its weight target. Region growing
+// respects cluster structure far better than load-balanced scattering, and
+// the boundary refinement then only has to polish.
+func (w *wgraph) initialPartition(k int, rng *rand.Rand) []ID {
+	part := make([]ID, w.n)
+	for i := range part {
+		part[i] = Unassigned
+	}
+	total := 0
+	for _, vw := range w.vw {
+		total += vw
+	}
+	target := float64(total) / float64(k)
+
+	unassigned := w.n
+	for p := 0; p < k-1 && unassigned > 0; p++ {
+		load := 0
+		// Seed: the heaviest unassigned vertex (deterministic; rng reserved
+		// for future perturbation restarts).
+		seed := -1
+		for v := 0; v < w.n; v++ {
+			if part[v] == Unassigned && (seed == -1 || w.vw[v] > w.vw[seed]) {
+				seed = v
+			}
+		}
+		if seed == -1 {
+			break
+		}
+		part[seed] = ID(p)
+		load += w.vw[seed]
+		unassigned--
+		// Grow: gain[v] = total edge weight from v into partition p.
+		gain := make(map[int]int)
+		addFrontier := func(v int) {
+			for u, ew := range w.adj[v] {
+				if part[u] == Unassigned {
+					gain[u] += ew
+				}
+			}
+		}
+		addFrontier(seed)
+		for float64(load) < target && unassigned > 0 {
+			best, bestGain := -1, -1
+			for v, gn := range gain {
+				if gn > bestGain || (gn == bestGain && (best == -1 || v < best)) {
+					best, bestGain = v, gn
+				}
+			}
+			if best == -1 {
+				// Disconnected frontier: restart from a fresh heavy seed.
+				for v := 0; v < w.n; v++ {
+					if part[v] == Unassigned && (best == -1 || w.vw[v] > w.vw[best]) {
+						best = v
+					}
+				}
+				if best == -1 {
+					break
+				}
+			}
+			delete(gain, best)
+			part[best] = ID(p)
+			load += w.vw[best]
+			unassigned--
+			addFrontier(best)
+		}
+	}
+	// Remainder goes to the last partition.
+	for v := 0; v < w.n; v++ {
+		if part[v] == Unassigned {
+			part[v] = ID(k - 1)
+		}
+	}
+	_ = rng
+	return part
+}
+
+// refineFM runs Fiduccia–Mattheyses-style passes: repeatedly apply the
+// best feasible move — even when its gain is negative — locking each moved
+// vertex, then roll back to the prefix of moves with the best cumulative
+// gain. Accepting downhill moves lets the search escape the local optima
+// that pure greedy refinement gets stuck in; the rollback guarantees each
+// pass never makes the cut worse.
+func (w *wgraph) refineFM(part []ID, k int, imbalance float64, passes int) {
+	loads := make([]int, k)
+	total := 0
+	for v := 0; v < w.n; v++ {
+		loads[part[v]] += w.vw[v]
+		total += w.vw[v]
+	}
+	maxLoad := int(float64(total)/float64(k)*(1+imbalance)) + 1
+
+	type move struct {
+		v        int
+		from, to ID
+	}
+	for pass := 0; pass < passes; pass++ {
+		locked := make([]bool, w.n)
+		var moves []move
+		cum, bestCum, bestIdx := 0, 0, -1
+		for step := 0; step < w.n; step++ {
+			bestV, bestGain := -1, 0
+			var bestTo ID
+			first := true
+			for v := 0; v < w.n; v++ {
+				if locked[v] {
+					continue
+				}
+				own := part[v]
+				internal := 0
+				ext := make(map[ID]int)
+				for u, ew := range w.adj[v] {
+					if part[u] == own {
+						internal += ew
+					} else {
+						ext[part[u]] += ew
+					}
+				}
+				if len(ext) == 0 {
+					continue // interior vertex; moving it only hurts
+				}
+				for p, ew := range ext {
+					if loads[p]+w.vw[v] > maxLoad {
+						continue
+					}
+					gain := ew - internal
+					if first || gain > bestGain {
+						bestV, bestTo, bestGain = v, p, gain
+						first = false
+					}
+				}
+			}
+			if bestV == -1 {
+				break
+			}
+			loads[part[bestV]] -= w.vw[bestV]
+			loads[bestTo] += w.vw[bestV]
+			moves = append(moves, move{v: bestV, from: part[bestV], to: bestTo})
+			part[bestV] = bestTo
+			locked[bestV] = true
+			cum += bestGain
+			if cum > bestCum {
+				bestCum, bestIdx = cum, len(moves)-1
+			}
+			// Stop descending once we are far below the best prefix; the
+			// tail would be rolled back anyway.
+			if cum < bestCum-total/4 {
+				break
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			mv := moves[i]
+			loads[mv.to] -= w.vw[mv.v]
+			loads[mv.from] += w.vw[mv.v]
+			part[mv.v] = mv.from
+		}
+		if bestCum <= 0 {
+			break
+		}
+	}
+}
+
+// refine runs bounded greedy boundary-move passes: move a vertex to the
+// neighbouring partition with the highest positive cut gain, provided the
+// balance constraint allows it.
+func (w *wgraph) refine(part []ID, k int, imbalance float64, passes int) {
+	loads := make([]int, k)
+	total := 0
+	for v := 0; v < w.n; v++ {
+		loads[part[v]] += w.vw[v]
+		total += w.vw[v]
+	}
+	maxLoad := int(float64(total)/float64(k)*(1+imbalance)) + 1
+
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := 0; v < w.n; v++ {
+			own := part[v]
+			ext := make(map[ID]int)
+			internal := 0
+			for u, ew := range w.adj[v] {
+				if part[u] == own {
+					internal += ew
+				} else {
+					ext[part[u]] += ew
+				}
+			}
+			bestP, bestGain := own, 0
+			for p, ew := range ext {
+				gain := ew - internal
+				if gain > bestGain && loads[p]+w.vw[v] <= maxLoad {
+					bestP, bestGain = p, gain
+				}
+			}
+			if bestP != own {
+				loads[own] -= w.vw[v]
+				loads[bestP] += w.vw[v]
+				part[v] = bestP
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

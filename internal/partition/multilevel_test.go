@@ -1,0 +1,86 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestMultilevelValidation(t *testing.T) {
+	m := &Multilevel{K: 0}
+	if _, err := m.Partition(graph.Path("a", "b", "c", "d")); err == nil {
+		t.Fatal("K=0 should error")
+	}
+}
+
+func TestMultilevelEmptyGraph(t *testing.T) {
+	m := &Multilevel{K: 2}
+	a, err := m.Partition(graph.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 0 {
+		t.Fatal("empty graph should yield empty assignment")
+	}
+}
+
+func TestMultilevelAssignsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := plantedTwoCommunities(r, 300, 0.15, 0.01)
+	m := &Multilevel{K: 4, Seed: 3}
+	a, err := m.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 300 {
+		t.Fatalf("assigned %d, want 300", a.Len())
+	}
+	// Balance within tolerance (allowing coarsening granularity slop).
+	ideal := 300.0 / 4
+	for p := 0; p < 4; p++ {
+		if s := float64(a.Size(ID(p))); s > ideal*1.5 {
+			t.Fatalf("partition %d overloaded: %v vs ideal %v", p, s, ideal)
+		}
+	}
+}
+
+func TestMultilevelRecoversPlantedCut(t *testing.T) {
+	// Two strong communities, k=2: the offline partitioner should recover
+	// a near-optimal cut, far below hash.
+	r := rand.New(rand.NewSource(5))
+	g := plantedTwoCommunities(r, 200, 0.25, 0.01)
+	m := &Multilevel{K: 2, Seed: 1}
+	a, err := m.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _ := NewHash(Config{K: 2, ExpectedVertices: 200})
+	ha := PartitionStream(g, g.Vertices(), hash)
+
+	mc, hc := a.CutEdges(g), ha.CutEdges(g)
+	t.Logf("cut: multilevel=%d hash=%d total=%d", mc, hc, g.NumEdges())
+	if mc*4 > hc {
+		t.Fatalf("multilevel cut %d should be well under hash cut %d", mc, hc)
+	}
+}
+
+func TestMultilevelBeatsLDG(t *testing.T) {
+	// Offline should be at least as good as streaming on community graphs.
+	r := rand.New(rand.NewSource(8))
+	g := plantedTwoCommunities(r, 240, 0.2, 0.02)
+	m := &Multilevel{K: 4, Seed: 2}
+	ma, err := m.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldg, _ := NewLDG(Config{K: 4, ExpectedVertices: 240, Slack: 1.1, Seed: 2})
+	order := g.Vertices()
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	la := PartitionStream(g, order, ldg)
+
+	t.Logf("cut: multilevel=%d ldg=%d", ma.CutEdges(g), la.CutEdges(g))
+	if ma.CutEdges(g) > la.CutEdges(g) {
+		t.Fatalf("multilevel cut %d worse than LDG %d", ma.CutEdges(g), la.CutEdges(g))
+	}
+}

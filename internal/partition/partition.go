@@ -1,0 +1,200 @@
+// Package partition implements the graph partitioners LOOM builds on and is
+// evaluated against (paper §3.1, §4.1).
+//
+// A k-balanced partitioning splits a graph's vertices into k parts of
+// near-equal size while minimising the number of cut (inter-partition)
+// edges. The package provides:
+//
+//   - Assignment: the vertex -> partition map plus load accounting.
+//   - The streaming heuristic family of Stanton & Kliot — Hash, Balanced,
+//     Chunking, Deterministic Greedy, Linear Deterministic Greedy (LDG,
+//     LOOM's base heuristic), Exponential Greedy — and Tsourakakis et
+//     al.'s Fennel.
+//   - Group placement: the LDG extension (paper footnote 1) that scores a
+//     whole connected sub-graph by its total edges into each partition and
+//     places it atomically; this is what LOOM uses for motif matches.
+//   - A multilevel offline partitioner (heavy-edge matching + boundary
+//     refinement) standing in for METIS as the quality reference.
+package partition
+
+import (
+	"fmt"
+
+	"loom/internal/graph"
+)
+
+// ID identifies a partition, in [0, k).
+type ID int
+
+// Unassigned is returned by Assignment.Get for vertices not yet placed.
+const Unassigned ID = -1
+
+// Assignment records the placement of vertices into k partitions.
+type Assignment struct {
+	k     int
+	place map[graph.VertexID]ID
+	sizes []int
+}
+
+// NewAssignment returns an empty assignment over k partitions (k >= 1).
+func NewAssignment(k int) (*Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k=%d < 1", k)
+	}
+	return &Assignment{
+		k:     k,
+		place: make(map[graph.VertexID]ID),
+		sizes: make([]int, k),
+	}, nil
+}
+
+// MustNewAssignment is NewAssignment that panics on error.
+func MustNewAssignment(k int) *Assignment {
+	a, err := NewAssignment(k)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// K returns the number of partitions.
+func (a *Assignment) K() int { return a.k }
+
+// Len returns the number of assigned vertices.
+func (a *Assignment) Len() int { return len(a.place) }
+
+// Get returns the partition of v, or Unassigned.
+func (a *Assignment) Get(v graph.VertexID) ID {
+	if p, ok := a.place[v]; ok {
+		return p
+	}
+	return Unassigned
+}
+
+// Assigned reports whether v has been placed.
+func (a *Assignment) Assigned(v graph.VertexID) bool {
+	_, ok := a.place[v]
+	return ok
+}
+
+// Set places v in partition p. Re-placing a vertex moves it (load counts
+// are kept consistent). It errors if p is out of range.
+func (a *Assignment) Set(v graph.VertexID, p ID) error {
+	if p < 0 || int(p) >= a.k {
+		return fmt.Errorf("partition: partition %d out of range [0,%d)", p, a.k)
+	}
+	if old, ok := a.place[v]; ok {
+		a.sizes[old]--
+	}
+	a.place[v] = p
+	a.sizes[p]++
+	return nil
+}
+
+// Size returns the number of vertices in partition p.
+func (a *Assignment) Size(p ID) int {
+	if p < 0 || int(p) >= a.k {
+		return 0
+	}
+	return a.sizes[p]
+}
+
+// Sizes returns a copy of all partition sizes.
+func (a *Assignment) Sizes() []int { return append([]int(nil), a.sizes...) }
+
+// MaxSize returns the largest partition size.
+func (a *Assignment) MaxSize() int {
+	max := 0
+	for _, s := range a.sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Clone returns an independent copy.
+func (a *Assignment) Clone() *Assignment {
+	c := MustNewAssignment(a.k)
+	for v, p := range a.place {
+		c.place[v] = p
+	}
+	copy(c.sizes, a.sizes)
+	return c
+}
+
+// EachVertex calls fn for every assigned vertex, in unspecified order.
+func (a *Assignment) EachVertex(fn func(v graph.VertexID, p ID)) {
+	for v, p := range a.place {
+		fn(v, p)
+	}
+}
+
+// CutEdges returns the number of edges of g whose endpoints are assigned
+// to different partitions. Edges with an unassigned endpoint are not
+// counted.
+func (a *Assignment) CutEdges(g *graph.Graph) int {
+	cut := 0
+	for _, e := range g.Edges() {
+		pu, pv := a.Get(e.U), a.Get(e.V)
+		if pu == Unassigned || pv == Unassigned {
+			continue
+		}
+		if pu != pv {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Config carries the shared parameters of the streaming partitioners.
+type Config struct {
+	// K is the number of partitions.
+	K int
+	// ExpectedVertices is the stream's total vertex count n; the capacity
+	// constraint C = Slack * n / K derives from it (paper §4.1).
+	ExpectedVertices int
+	// Slack inflates the per-partition capacity; 1.0 reproduces the strict
+	// C = n/k of LDG. Values slightly above 1 (e.g. 1.05) avoid forced
+	// spill near the end of the stream. Zero defaults to 1.0.
+	Slack float64
+	// Seed drives tie-breaking in heuristics that randomise; the same seed
+	// reproduces the same partitioning.
+	Seed int64
+}
+
+// Capacity returns the per-partition capacity constraint C.
+func (c Config) Capacity() float64 {
+	slack := c.Slack
+	if slack == 0 {
+		slack = 1.0
+	}
+	return slack * float64(c.ExpectedVertices) / float64(c.K)
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("partition: K=%d < 1", c.K)
+	}
+	if c.ExpectedVertices < 1 {
+		return fmt.Errorf("partition: ExpectedVertices=%d < 1", c.ExpectedVertices)
+	}
+	if c.Slack < 0 {
+		return fmt.Errorf("partition: Slack=%v < 0", c.Slack)
+	}
+	return nil
+}
+
+// Streaming is a streaming vertex partitioner: it places each vertex as it
+// arrives, given the vertex's already-known neighbours (placed or not), and
+// never revisits a decision.
+type Streaming interface {
+	// Place assigns v, whose currently-known neighbours are neighbors
+	// (only the already-assigned ones influence scoring), and returns the
+	// chosen partition.
+	Place(v graph.VertexID, neighbors []graph.VertexID) ID
+	// Assignment exposes the accumulated placement.
+	Assignment() *Assignment
+	// Name identifies the heuristic in reports.
+	Name() string
+}

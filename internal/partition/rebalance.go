@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loom/internal/graph"
+)
+
+// Rebalancer performs bounded incremental repartitioning: when growth has
+// drifted an assignment out of balance, it moves a small number of
+// boundary vertices from overloaded to underloaded partitions, preferring
+// moves that do not worsen (ideally improve) the edge cut. This is the
+// lightweight alternative to the "expensive full repartitioning" the paper
+// holds against offline partitioners (§3.1): placement decisions stay
+// incremental; only the drift is repaired.
+type Rebalancer struct {
+	// MaxLoadFactor is the tolerated max/ideal vertex ratio before
+	// rebalancing triggers (e.g. 1.1). Zero defaults to 1.1.
+	MaxLoadFactor float64
+	// MaxMoves bounds the vertices moved per Rebalance call. Zero
+	// defaults to |V|/20.
+	MaxMoves int
+}
+
+// Result reports what a Rebalance call did.
+type RebalanceResult struct {
+	Moves     int
+	CutBefore int
+	CutAfter  int
+}
+
+// Rebalance mutates a in place, returning the moves performed. The graph
+// supplies adjacency for gain scoring; vertices absent from a are ignored.
+func (r *Rebalancer) Rebalance(g *graph.Graph, a *Assignment) RebalanceResult {
+	maxLoad := r.MaxLoadFactor
+	if maxLoad == 0 {
+		maxLoad = 1.1
+	}
+	maxMoves := r.MaxMoves
+	if maxMoves == 0 {
+		maxMoves = a.Len() / 20
+		if maxMoves < 1 {
+			maxMoves = 1
+		}
+	}
+	res := RebalanceResult{CutBefore: a.CutEdges(g)}
+	ideal := float64(a.Len()) / float64(a.K())
+	cap := int(math.Ceil(ideal * maxLoad))
+
+	for res.Moves < maxMoves {
+		// Most loaded partition above cap.
+		src := ID(-1)
+		for p := 0; p < a.K(); p++ {
+			if a.Size(ID(p)) > cap && (src == -1 || a.Size(ID(p)) > a.Size(src)) {
+				src = ID(p)
+			}
+		}
+		if src == -1 {
+			break // balanced
+		}
+		v, dst, ok := r.bestMove(g, a, src, cap)
+		if !ok {
+			break // no feasible move
+		}
+		if err := a.Set(v, dst); err != nil {
+			break
+		}
+		res.Moves++
+	}
+	res.CutAfter = a.CutEdges(g)
+	return res
+}
+
+// bestMove picks the vertex of src whose move to an under-cap partition
+// yields the best cut gain (ties: smaller destination, then smaller vertex
+// ID for determinism).
+func (r *Rebalancer) bestMove(g *graph.Graph, a *Assignment, src ID, cap int) (graph.VertexID, ID, bool) {
+	// Collect src's vertices deterministically.
+	var members []graph.VertexID
+	a.EachVertex(func(v graph.VertexID, p ID) {
+		if p == src {
+			members = append(members, v)
+		}
+	})
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	bestGain := -1 << 30
+	var bestV graph.VertexID
+	bestDst := ID(-1)
+	for _, v := range members {
+		// Edges into each partition.
+		links := make(map[ID]int)
+		internal := 0
+		g.EachNeighbor(v, func(u graph.VertexID) bool {
+			p := a.Get(u)
+			if p == src {
+				internal++
+			} else if p != Unassigned {
+				links[p]++
+			}
+			return true
+		})
+		for dst := 0; dst < a.K(); dst++ {
+			d := ID(dst)
+			if d == src || a.Size(d) >= cap {
+				continue
+			}
+			gain := links[d] - internal
+			if gain > bestGain || (gain == bestGain && (bestDst == -1 || d < bestDst)) {
+				bestGain = gain
+				bestV = v
+				bestDst = d
+			}
+		}
+	}
+	if bestDst == -1 {
+		return 0, 0, false
+	}
+	return bestV, bestDst, true
+}
+
+// String implements fmt.Stringer.
+func (r RebalanceResult) String() string {
+	return fmt.Sprintf("rebalance{moves=%d cut %d -> %d}", r.Moves, r.CutBefore, r.CutAfter)
+}

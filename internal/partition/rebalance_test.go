@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestRebalanceNoOpWhenBalanced(t *testing.T) {
+	g := graph.Path("a", "b", "c", "d")
+	a := MustNewAssignment(2)
+	for i, p := range []ID{0, 0, 1, 1} {
+		mustSet(t, a, graph.VertexID(i), p)
+	}
+	r := &Rebalancer{}
+	res := r.Rebalance(g, a)
+	if res.Moves != 0 {
+		t.Fatalf("balanced assignment should not move, got %d", res.Moves)
+	}
+	if res.CutBefore != res.CutAfter {
+		t.Fatal("cut must be unchanged on no-op")
+	}
+}
+
+func TestRebalanceRestoresBalance(t *testing.T) {
+	// 20 vertices all on partition 0 of 2: heavily unbalanced.
+	r := rand.New(rand.NewSource(4))
+	g := plantedTwoCommunities(r, 20, 0.4, 0.05)
+	a := MustNewAssignment(2)
+	for _, v := range g.Vertices() {
+		mustSet(t, a, v, 0)
+	}
+	rb := &Rebalancer{MaxLoadFactor: 1.1, MaxMoves: 100}
+	res := rb.Rebalance(g, a)
+	if res.Moves == 0 {
+		t.Fatal("unbalanced assignment should trigger moves")
+	}
+	ideal := 10.0
+	if float64(a.MaxSize()) > ideal*1.1+1 {
+		t.Fatalf("still unbalanced: max=%d", a.MaxSize())
+	}
+	if !strings.Contains(res.String(), "moves=") {
+		t.Fatalf("String = %q", res.String())
+	}
+}
+
+func TestRebalancePrefersCutFriendlyMoves(t *testing.T) {
+	// Two triangles joined by one bridge; all six vertices start on
+	// partition 0. Rebalancing to 2 partitions should move one whole
+	// triangle's worth of vertices, ending with only the bridge cut.
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.AddVertex(graph.VertexID(i), "x")
+	}
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := MustNewAssignment(2)
+	for i := 0; i < 6; i++ {
+		mustSet(t, a, graph.VertexID(i), 0)
+	}
+	rb := &Rebalancer{MaxLoadFactor: 1.0, MaxMoves: 10}
+	res := rb.Rebalance(g, a)
+	if a.Size(0) != 3 || a.Size(1) != 3 {
+		t.Fatalf("sizes = %v, want [3 3]", a.Sizes())
+	}
+	if res.CutAfter > 2 {
+		t.Fatalf("cut after rebalance = %d; greedy moves should keep a triangle together", res.CutAfter)
+	}
+}
+
+func TestRebalanceRespectsMaxMoves(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := plantedTwoCommunities(r, 40, 0.3, 0.05)
+	a := MustNewAssignment(2)
+	for _, v := range g.Vertices() {
+		mustSet(t, a, v, 0)
+	}
+	rb := &Rebalancer{MaxLoadFactor: 1.0, MaxMoves: 3}
+	res := rb.Rebalance(g, a)
+	if res.Moves > 3 {
+		t.Fatalf("moves = %d, want <= 3", res.Moves)
+	}
+}
+
+func TestRebalanceDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g := plantedTwoCommunities(r, 30, 0.3, 0.05)
+	a := MustNewAssignment(3)
+	for _, v := range g.Vertices() {
+		mustSet(t, a, v, 0)
+	}
+	rb := &Rebalancer{} // defaults: factor 1.1, moves |V|/20
+	res := rb.Rebalance(g, a)
+	if res.Moves == 0 {
+		t.Fatal("defaults should still move something")
+	}
+	if res.Moves > 30/20+1 {
+		t.Fatalf("default move bound exceeded: %d", res.Moves)
+	}
+}

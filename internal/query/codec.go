@@ -1,0 +1,178 @@
+package query
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loom/internal/graph"
+)
+
+// The workload text format stores one query per line:
+//
+//	# comment
+//	query <id> <weight> path <label> <label> ...
+//	query <id> <weight> cycle <label> <label> <label> ...
+//	query <id> <weight> star <center> <leaf> <leaf> ...
+//	query <id> <weight> graph v<id>:<label> ... e<u>-<v> ...
+//
+// The shape forms cover the common GDBMS query topologies; the graph form
+// expresses arbitrary patterns (branching, multiple cycles). It is the
+// interchange format of `loom partition -workload-file`.
+
+// WriteWorkload serialises w, one query per line, using the graph form
+// (lossless for any pattern).
+func WriteWorkload(out io.Writer, w *Workload) error {
+	bw := bufio.NewWriter(out)
+	for _, q := range w.Queries() {
+		if _, err := fmt.Fprintf(bw, "query %s %g graph", q.ID, q.Weight); err != nil {
+			return err
+		}
+		for _, v := range q.Pattern.Vertices() {
+			l, _ := q.Pattern.Label(v)
+			if _, err := fmt.Fprintf(bw, " v%d:%s", v, l); err != nil {
+				return err
+			}
+		}
+		for _, e := range q.Pattern.Edges() {
+			if _, err := fmt.Fprintf(bw, " e%d-%d", e.U, e.V); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseWorkload reads the workload text format.
+func ParseWorkload(in io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var queries []Query
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := parseQueryLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("query: line %d: %v", lineNo, err)
+		}
+		queries = append(queries, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewWorkload(queries...)
+}
+
+func parseQueryLine(line string) (Query, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 5 || fields[0] != "query" {
+		return Query{}, fmt.Errorf("want 'query <id> <weight> <form> ...', got %q", line)
+	}
+	id := fields[1]
+	weight, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Query{}, fmt.Errorf("bad weight %q: %v", fields[2], err)
+	}
+	form, rest := fields[3], fields[4:]
+	var pattern *graph.Graph
+	switch form {
+	case "path":
+		if len(rest) < 2 {
+			return Query{}, fmt.Errorf("path needs >= 2 labels")
+		}
+		pattern = graph.Path(toLabels(rest)...)
+	case "cycle":
+		if len(rest) < 3 {
+			return Query{}, fmt.Errorf("cycle needs >= 3 labels")
+		}
+		pattern = graph.Cycle(toLabels(rest)...)
+	case "star":
+		if len(rest) < 2 {
+			return Query{}, fmt.Errorf("star needs a center and >= 1 leaf")
+		}
+		pattern = graph.Star(graph.Label(rest[0]), toLabels(rest[1:])...)
+	case "graph":
+		pattern, err = parseGraphForm(rest)
+		if err != nil {
+			return Query{}, err
+		}
+	default:
+		return Query{}, fmt.Errorf("unknown form %q", form)
+	}
+	return Query{ID: id, Pattern: pattern, Weight: weight}, nil
+}
+
+func toLabels(ss []string) []graph.Label {
+	out := make([]graph.Label, len(ss))
+	for i, s := range ss {
+		out[i] = graph.Label(s)
+	}
+	return out
+}
+
+// parseGraphForm parses tokens v<id>:<label> and e<u>-<v>.
+func parseGraphForm(tokens []string) (*graph.Graph, error) {
+	g := graph.New()
+	for _, tok := range tokens {
+		switch {
+		case strings.HasPrefix(tok, "v"):
+			body := strings.TrimPrefix(tok, "v")
+			parts := strings.SplitN(body, ":", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				return nil, fmt.Errorf("bad vertex token %q (want v<id>:<label>)", tok)
+			}
+			id, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad vertex id in %q: %v", tok, err)
+			}
+			if g.HasVertex(graph.VertexID(id)) {
+				return nil, fmt.Errorf("duplicate vertex in %q", tok)
+			}
+			g.AddVertex(graph.VertexID(id), graph.Label(parts[1]))
+		case strings.HasPrefix(tok, "e"):
+			body := strings.TrimPrefix(tok, "e")
+			parts := strings.SplitN(body, "-", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad edge token %q (want e<u>-<v>)", tok)
+			}
+			u, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad edge endpoint in %q: %v", tok, err)
+			}
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad edge endpoint in %q: %v", tok, err)
+			}
+			if err := g.AddEdge(graph.VertexID(u), graph.VertexID(v)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown token %q", tok)
+		}
+	}
+	return g, nil
+}
+
+// Describe renders a workload as a human-readable multi-line summary,
+// heaviest queries first.
+func Describe(w *Workload) string {
+	qs := w.Queries()
+	sort.SliceStable(qs, func(i, j int) bool { return qs[i].Weight > qs[j].Weight })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload: %d queries, total weight %g\n", w.Len(), w.TotalWeight())
+	for _, q := range qs {
+		fmt.Fprintf(&sb, "  %-12s w=%-8g |V|=%d |E|=%d\n", q.ID, q.Weight,
+			q.Pattern.NumVertices(), q.Pattern.NumEdges())
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+	"loom/internal/iso"
+)
+
+func TestParseWorkloadForms(t *testing.T) {
+	in := `
+# detection rules
+query probe 2 path a b c
+query ring 3.5 cycle a b c
+query hub 1 star b a a c
+query square 1 graph v0:a v1:b v2:a v3:b e0-1 e1-2 e2-3 e3-0
+`
+	w, err := ParseWorkload(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("queries = %d, want 4", w.Len())
+	}
+	qs := w.Queries()
+	if qs[0].ID != "probe" || qs[0].Weight != 2 || qs[0].Pattern.NumEdges() != 2 {
+		t.Fatalf("probe = %+v", qs[0])
+	}
+	if qs[1].Pattern.NumEdges() != 3 {
+		t.Fatalf("ring edges = %d", qs[1].Pattern.NumEdges())
+	}
+	if qs[2].Pattern.Degree(0) != 3 {
+		t.Fatalf("hub degree = %d", qs[2].Pattern.Degree(0))
+	}
+	if !iso.Isomorphic(qs[3].Pattern, graph.Cycle("a", "b", "a", "b")) {
+		t.Fatal("square graph form should parse to the abab cycle")
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []string{
+		"query x 1 path a",                       // path too short
+		"query x 1 cycle a b",                    // cycle too short
+		"query x 1 star b",                       // star too short
+		"query x 1 warp a b",                     // unknown form
+		"query x z path a b",                     // bad weight
+		"nonsense line",                          // not a query
+		"query x 1 graph v0:a v0:b",              // duplicate vertex
+		"query x 1 graph v0 e0-1",                // bad vertex token
+		"query x 1 graph v0:a vx:b",              // bad vertex id
+		"query x 1 graph v0:a v1:b e0_1",         // bad edge token
+		"query x 1 graph v0:a v1:b ex-1",         // bad edge endpoint
+		"query x 1 graph v0:a v1:b e0-z",         // bad edge endpoint
+		"query x 1 graph v0:a v1:b e0-9",         // dangling edge
+		"query x 1 graph v0:a v1:b q0",           // unknown token
+		"query x 0 path a b",                     // zero weight (workload validation)
+		"query x 1 path a b\nquery x 1 path a b", // duplicate IDs
+	}
+	for _, in := range cases {
+		if _, err := ParseWorkload(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestWorkloadCodecRoundTrip(t *testing.T) {
+	w := Fig1Workload()
+	var sb strings.Builder
+	if err := WriteWorkload(&sb, w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseWorkload(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != w.Len() || back.TotalWeight() != w.TotalWeight() {
+		t.Fatalf("round trip: len %d->%d weight %g->%g",
+			w.Len(), back.Len(), w.TotalWeight(), back.TotalWeight())
+	}
+	for i, q := range w.Queries() {
+		bq := back.Queries()[i]
+		if bq.ID != q.ID || bq.Weight != q.Weight {
+			t.Fatalf("query %d metadata mismatch", i)
+		}
+		if !iso.Isomorphic(bq.Pattern, q.Pattern) {
+			t.Fatalf("query %s pattern changed", q.ID)
+		}
+	}
+}
+
+func TestPropertyWorkloadRoundTrip(t *testing.T) {
+	alphabet := []graph.Label{"a", "b", "c"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w, err := GenerateWorkload(DefaultMix(1+r.Intn(10)), alphabet, r)
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		if err := WriteWorkload(&sb, w); err != nil {
+			return false
+		}
+		back, err := ParseWorkload(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.Len() != w.Len() {
+			return false
+		}
+		for i, q := range w.Queries() {
+			if !iso.Isomorphic(back.Queries()[i].Pattern, q.Pattern) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out := Describe(Fig1Workload())
+	if !strings.Contains(out, "3 queries") || !strings.Contains(out, "q1") {
+		t.Fatalf("Describe output:\n%s", out)
+	}
+}

@@ -1,0 +1,306 @@
+// Package query models sub-graph pattern matching workloads (paper §1, §2).
+//
+// A workload Q is a set of query graphs with relative frequencies. The
+// package provides the workload container, generators for the query shapes
+// that dominate GDBMS pattern workloads (paths, stars, cycles, trees), a
+// frequency sampler, and the bridge that folds a workload into a TPSTry++.
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/motif"
+)
+
+// Query is one pattern matching query with its relative workload frequency.
+type Query struct {
+	// ID names the query in reports and TPSTry++ provenance.
+	ID string
+	// Pattern is the labelled query graph.
+	Pattern *graph.Graph
+	// Weight is the query's relative frequency (> 0); weights need not sum
+	// to one.
+	Weight float64
+}
+
+// Validate checks the query's invariants.
+func (q Query) Validate() error {
+	if q.ID == "" {
+		return fmt.Errorf("query: empty ID")
+	}
+	if q.Pattern == nil || q.Pattern.NumVertices() == 0 {
+		return fmt.Errorf("query %s: empty pattern", q.ID)
+	}
+	if !q.Pattern.IsConnected() {
+		return fmt.Errorf("query %s: pattern is disconnected", q.ID)
+	}
+	if q.Weight <= 0 || math.IsNaN(q.Weight) || math.IsInf(q.Weight, 0) {
+		return fmt.Errorf("query %s: weight %v not positive finite", q.ID, q.Weight)
+	}
+	return nil
+}
+
+// Workload is a weighted set of queries.
+type Workload struct {
+	queries []Query
+	total   float64
+}
+
+// NewWorkload validates and collects the queries. IDs must be unique.
+func NewWorkload(queries ...Query) (*Workload, error) {
+	w := &Workload{}
+	seen := make(map[string]struct{})
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := seen[q.ID]; dup {
+			return nil, fmt.Errorf("query: duplicate ID %q", q.ID)
+		}
+		seen[q.ID] = struct{}{}
+		w.queries = append(w.queries, q)
+		w.total += q.Weight
+	}
+	return w, nil
+}
+
+// MustNewWorkload is NewWorkload that panics on error.
+func MustNewWorkload(queries ...Query) *Workload {
+	w, err := NewWorkload(queries...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.queries) }
+
+// Queries returns the queries in insertion order.
+func (w *Workload) Queries() []Query { return append([]Query(nil), w.queries...) }
+
+// TotalWeight returns the sum of weights.
+func (w *Workload) TotalWeight() float64 { return w.total }
+
+// Frequency returns the normalised frequency of query i.
+func (w *Workload) Frequency(i int) float64 {
+	if w.total == 0 {
+		return 0
+	}
+	return w.queries[i].Weight / w.total
+}
+
+// Sample draws a query index proportionally to weight.
+func (w *Workload) Sample(r *rand.Rand) int {
+	if len(w.queries) == 0 {
+		return -1
+	}
+	x := r.Float64() * w.total
+	acc := 0.0
+	for i, q := range w.queries {
+		acc += q.Weight
+		if x <= acc {
+			return i
+		}
+	}
+	return len(w.queries) - 1
+}
+
+// BuildTrie folds the whole workload into a fresh TPSTry++ using the given
+// factory-backed trie options.
+func (w *Workload) BuildTrie(t *motif.Trie) error {
+	for _, q := range w.queries {
+		if err := t.AddQuery(q.ID, q.Pattern, q.Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig1Workload returns the workload Q of Figure 1: q1 the a-b-a-b square,
+// q2 the path a-b-c, q3 the path a-b-c-d, with equal weights.
+func Fig1Workload() *Workload {
+	return MustNewWorkload(
+		Query{ID: "q1", Pattern: graph.Cycle("a", "b", "a", "b"), Weight: 1},
+		Query{ID: "q2", Pattern: graph.Path("a", "b", "c"), Weight: 1},
+		Query{ID: "q3", Pattern: graph.Path("a", "b", "c", "d"), Weight: 1},
+	)
+}
+
+// Shape names a generated query topology.
+type Shape int
+
+// Supported query shapes.
+const (
+	PathShape Shape = iota
+	StarShape
+	CycleShape
+	TreeShape
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case PathShape:
+		return "path"
+	case StarShape:
+		return "star"
+	case CycleShape:
+		return "cycle"
+	case TreeShape:
+		return "tree"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// Generate returns a random query graph of the given shape and size over
+// the alphabet. Size is the vertex count (>= 2 for paths/stars/trees, >= 3
+// for cycles).
+func Generate(shape Shape, size int, alphabet []graph.Label, r *rand.Rand) (*graph.Graph, error) {
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("query: empty alphabet")
+	}
+	pick := func() graph.Label { return alphabet[r.Intn(len(alphabet))] }
+	switch shape {
+	case PathShape:
+		if size < 2 {
+			return nil, fmt.Errorf("query: path size %d < 2", size)
+		}
+		labels := make([]graph.Label, size)
+		for i := range labels {
+			labels[i] = pick()
+		}
+		return graph.Path(labels...), nil
+	case StarShape:
+		if size < 2 {
+			return nil, fmt.Errorf("query: star size %d < 2", size)
+		}
+		leaves := make([]graph.Label, size-1)
+		for i := range leaves {
+			leaves[i] = pick()
+		}
+		return graph.Star(pick(), leaves...), nil
+	case CycleShape:
+		if size < 3 {
+			return nil, fmt.Errorf("query: cycle size %d < 3", size)
+		}
+		labels := make([]graph.Label, size)
+		for i := range labels {
+			labels[i] = pick()
+		}
+		return graph.Cycle(labels...), nil
+	case TreeShape:
+		if size < 2 {
+			return nil, fmt.Errorf("query: tree size %d < 2", size)
+		}
+		g := graph.New()
+		g.AddVertex(0, pick())
+		for i := 1; i < size; i++ {
+			parent := graph.VertexID(r.Intn(i))
+			g.AddVertex(graph.VertexID(i), pick())
+			if err := g.AddEdge(parent, graph.VertexID(i)); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("query: unknown shape %v", shape)
+}
+
+// Mix describes the composition of a generated workload.
+type Mix struct {
+	// Shapes and their relative proportions; both slices must align.
+	Shapes      []Shape
+	Proportions []float64
+	// MinSize/MaxSize bound query vertex counts (inclusive).
+	MinSize, MaxSize int
+	// Count is the number of queries to generate.
+	Count int
+	// ZipfSkew shapes the query frequency distribution: weight of the i-th
+	// generated query is 1/(i+1)^ZipfSkew. Zero yields uniform weights.
+	ZipfSkew float64
+}
+
+// DefaultMix returns the path-leaning mix used by the C2 experiment:
+// 50% paths, 20% stars, 20% cycles, 10% trees of 2–4 vertices.
+func DefaultMix(count int) Mix {
+	return Mix{
+		Shapes:      []Shape{PathShape, StarShape, CycleShape, TreeShape},
+		Proportions: []float64{0.5, 0.2, 0.2, 0.1},
+		MinSize:     2,
+		MaxSize:     4,
+		Count:       count,
+	}
+}
+
+// GenerateWorkload builds a workload per the mix over the alphabet.
+// Duplicate patterns may occur; they model genuinely repeated queries and
+// keep distinct IDs.
+func GenerateWorkload(mix Mix, alphabet []graph.Label, r *rand.Rand) (*Workload, error) {
+	if mix.Count < 1 {
+		return nil, fmt.Errorf("query: mix count %d < 1", mix.Count)
+	}
+	if len(mix.Shapes) == 0 || len(mix.Shapes) != len(mix.Proportions) {
+		return nil, fmt.Errorf("query: mix shapes/proportions mismatch")
+	}
+	if mix.MinSize < 2 || mix.MaxSize < mix.MinSize {
+		return nil, fmt.Errorf("query: bad size range [%d,%d]", mix.MinSize, mix.MaxSize)
+	}
+	var totalProp float64
+	for _, p := range mix.Proportions {
+		if p < 0 {
+			return nil, fmt.Errorf("query: negative proportion")
+		}
+		totalProp += p
+	}
+	if totalProp == 0 {
+		return nil, fmt.Errorf("query: zero total proportion")
+	}
+	pickShape := func() Shape {
+		x := r.Float64() * totalProp
+		acc := 0.0
+		for i, p := range mix.Proportions {
+			acc += p
+			if x <= acc {
+				return mix.Shapes[i]
+			}
+		}
+		return mix.Shapes[len(mix.Shapes)-1]
+	}
+	queries := make([]Query, 0, mix.Count)
+	for i := 0; i < mix.Count; i++ {
+		shape := pickShape()
+		size := mix.MinSize + r.Intn(mix.MaxSize-mix.MinSize+1)
+		if shape == CycleShape && size < 3 {
+			size = 3
+		}
+		pat, err := Generate(shape, size, alphabet, r)
+		if err != nil {
+			return nil, err
+		}
+		weight := 1.0
+		if mix.ZipfSkew > 0 {
+			weight = 1.0 / math.Pow(float64(i+1), mix.ZipfSkew)
+		}
+		queries = append(queries, Query{
+			ID:      fmt.Sprintf("%s-%d", shape, i),
+			Pattern: pat,
+			Weight:  weight,
+		})
+	}
+	return NewWorkload(queries...)
+}
+
+// TopByWeight returns the n heaviest queries (all when n exceeds length).
+func (w *Workload) TopByWeight(n int) []Query {
+	qs := w.Queries()
+	sort.SliceStable(qs, func(i, j int) bool { return qs[i].Weight > qs[j].Weight })
+	if n > len(qs) {
+		n = len(qs)
+	}
+	return qs[:n]
+}

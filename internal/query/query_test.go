@@ -1,0 +1,257 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+	"loom/internal/motif"
+	"loom/internal/signature"
+)
+
+func TestQueryValidate(t *testing.T) {
+	good := Query{ID: "q", Pattern: graph.Path("a", "b"), Weight: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []Query{
+		{ID: "", Pattern: graph.Path("a", "b"), Weight: 1},
+		{ID: "q", Pattern: nil, Weight: 1},
+		{ID: "q", Pattern: graph.New(), Weight: 1},
+		{ID: "q", Pattern: graph.Path("a", "b"), Weight: 0},
+		{ID: "q", Pattern: graph.Path("a", "b"), Weight: -2},
+		{ID: "q", Pattern: graph.Path("a", "b"), Weight: math.NaN()},
+		{ID: "q", Pattern: graph.Path("a", "b"), Weight: math.Inf(1)},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+	disc := graph.New()
+	disc.AddVertex(1, "a")
+	disc.AddVertex(2, "b")
+	if err := (Query{ID: "q", Pattern: disc, Weight: 1}).Validate(); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+}
+
+func TestNewWorkload(t *testing.T) {
+	w, err := NewWorkload(
+		Query{ID: "a", Pattern: graph.Path("a", "b"), Weight: 3},
+		Query{ID: "b", Pattern: graph.Path("b", "c"), Weight: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 || w.TotalWeight() != 4 {
+		t.Fatalf("len=%d total=%v", w.Len(), w.TotalWeight())
+	}
+	if f := w.Frequency(0); f != 0.75 {
+		t.Fatalf("Frequency(0) = %v, want 0.75", f)
+	}
+	if _, err := NewWorkload(
+		Query{ID: "a", Pattern: graph.Path("a", "b"), Weight: 1},
+		Query{ID: "a", Pattern: graph.Path("b", "c"), Weight: 1},
+	); err == nil {
+		t.Fatal("duplicate IDs should be rejected")
+	}
+}
+
+func TestSampleProportional(t *testing.T) {
+	w := MustNewWorkload(
+		Query{ID: "hot", Pattern: graph.Path("a", "b"), Weight: 9},
+		Query{ID: "cold", Pattern: graph.Path("b", "c"), Weight: 1},
+	)
+	r := rand.New(rand.NewSource(13))
+	counts := [2]int{}
+	for i := 0; i < 5000; i++ {
+		counts[w.Sample(r)]++
+	}
+	ratio := float64(counts[0]) / float64(counts[0]+counts[1])
+	if math.Abs(ratio-0.9) > 0.03 {
+		t.Fatalf("hot sampled %.3f of the time, want ~0.9", ratio)
+	}
+	empty := &Workload{}
+	if empty.Sample(r) != -1 {
+		t.Fatal("empty workload should sample -1")
+	}
+}
+
+func TestFig1Workload(t *testing.T) {
+	w := Fig1Workload()
+	if w.Len() != 3 {
+		t.Fatalf("len = %d, want 3", w.Len())
+	}
+	qs := w.Queries()
+	if qs[0].ID != "q1" || qs[0].Pattern.NumEdges() != 4 {
+		t.Fatalf("q1 = %+v", qs[0])
+	}
+	if qs[2].Pattern.NumVertices() != 4 {
+		t.Fatalf("q3 should be the 4-path")
+	}
+}
+
+func TestBuildTrie(t *testing.T) {
+	w := Fig1Workload()
+	tr := motif.New(signature.NewFactoryForAlphabet([]graph.Label{"a", "b", "c", "d"}), motif.Options{MaxMotifVertices: 4})
+	if err := w.BuildTrie(tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 14 {
+		t.Fatalf("trie nodes = %d, want 14 (Fig. 2)", tr.NumNodes())
+	}
+	if tr.TotalWeight() != 3 {
+		t.Fatalf("trie weight = %v, want 3", tr.TotalWeight())
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	alpha := []graph.Label{"a", "b", "c"}
+	for _, tc := range []struct {
+		shape Shape
+		size  int
+		wantV int
+		wantE int
+	}{
+		{PathShape, 4, 4, 3},
+		{StarShape, 5, 5, 4},
+		{CycleShape, 4, 4, 4},
+		{TreeShape, 6, 6, 5},
+	} {
+		g, err := Generate(tc.shape, tc.size, alpha, r)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.shape, err)
+		}
+		if g.NumVertices() != tc.wantV || g.NumEdges() != tc.wantE {
+			t.Fatalf("%v: |V|=%d |E|=%d, want %d,%d", tc.shape, g.NumVertices(), g.NumEdges(), tc.wantV, tc.wantE)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%v: disconnected", tc.shape)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	alpha := []graph.Label{"a"}
+	cases := []struct {
+		shape Shape
+		size  int
+	}{
+		{PathShape, 1}, {StarShape, 1}, {CycleShape, 2}, {TreeShape, 1}, {Shape(99), 3},
+	}
+	for _, c := range cases {
+		if _, err := Generate(c.shape, c.size, alpha, r); err == nil {
+			t.Errorf("Generate(%v,%d) should error", c.shape, c.size)
+		}
+	}
+	if _, err := Generate(PathShape, 3, nil, r); err == nil {
+		t.Error("empty alphabet should error")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	for s, want := range map[Shape]string{
+		PathShape: "path", StarShape: "star", CycleShape: "cycle", TreeShape: "tree",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	alpha := []graph.Label{"a", "b", "c", "d"}
+	w, err := GenerateWorkload(DefaultMix(20), alpha, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 20 {
+		t.Fatalf("len = %d, want 20", w.Len())
+	}
+	for _, q := range w.Queries() {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generated query invalid: %v", err)
+		}
+		if q.Pattern.NumVertices() < 2 || q.Pattern.NumVertices() > 4 {
+			t.Fatalf("query size %d out of [2,4]", q.Pattern.NumVertices())
+		}
+	}
+}
+
+func TestGenerateWorkloadZipf(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	mix := DefaultMix(10)
+	mix.ZipfSkew = 1.0
+	w, err := GenerateWorkload(mix, []graph.Label{"a", "b"}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := w.Queries()
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Weight > qs[i-1].Weight {
+			t.Fatal("zipf weights must be non-increasing")
+		}
+	}
+	top := w.TopByWeight(3)
+	if len(top) != 3 || top[0].Weight < top[2].Weight {
+		t.Fatalf("TopByWeight wrong: %v", top)
+	}
+	if got := w.TopByWeight(99); len(got) != 10 {
+		t.Fatalf("TopByWeight over-length = %d", len(got))
+	}
+}
+
+func TestGenerateWorkloadErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	alpha := []graph.Label{"a"}
+	bad := []Mix{
+		{Count: 0, Shapes: []Shape{PathShape}, Proportions: []float64{1}, MinSize: 2, MaxSize: 3},
+		{Count: 1, Shapes: nil, Proportions: nil, MinSize: 2, MaxSize: 3},
+		{Count: 1, Shapes: []Shape{PathShape}, Proportions: []float64{1, 2}, MinSize: 2, MaxSize: 3},
+		{Count: 1, Shapes: []Shape{PathShape}, Proportions: []float64{1}, MinSize: 1, MaxSize: 3},
+		{Count: 1, Shapes: []Shape{PathShape}, Proportions: []float64{1}, MinSize: 3, MaxSize: 2},
+		{Count: 1, Shapes: []Shape{PathShape}, Proportions: []float64{-1}, MinSize: 2, MaxSize: 3},
+		{Count: 1, Shapes: []Shape{PathShape}, Proportions: []float64{0}, MinSize: 2, MaxSize: 3},
+	}
+	for i, m := range bad {
+		if _, err := GenerateWorkload(m, alpha, r); err == nil {
+			t.Errorf("bad mix %d accepted", i)
+		}
+	}
+}
+
+func TestPropertySampleInRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		qs := make([]Query, n)
+		for i := range qs {
+			qs[i] = Query{
+				ID:      string(rune('a' + i)),
+				Pattern: graph.Path("a", "b"),
+				Weight:  r.Float64() + 0.01,
+			}
+		}
+		// Unique IDs needed; construct accordingly.
+		w, err := NewWorkload(qs...)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			got := w.Sample(r)
+			if got < 0 || got >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

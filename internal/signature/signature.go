@@ -1,0 +1,265 @@
+// Package signature implements the number-theoretic graph signatures of
+// Song et al. (VLDB 2015) that LOOM uses for non-authoritative isomorphism
+// checks (paper §4.3).
+//
+// Every distinct vertex label and every distinct unordered label pair is
+// assigned a unique prime "factor". The signature of a labelled graph is
+// the product of the factors of its vertices and edges. Two properties make
+// this useful for streaming pattern matching:
+//
+//  1. Incrementality: when an edge arrives, the signature of the grown
+//     subgraph is the previous signature multiplied by the edge's factor.
+//  2. Divisibility: if motif M is a subgraph of S (preserving labels) then
+//     sig(M) divides sig(S). The converse does not hold — signatures are a
+//     necessary condition, not proof of a match — but collisions are rare
+//     for small motifs (experiment E8 measures the rate, and the pattern
+//     package can verify candidates with exact isomorphism).
+//
+// Signatures are represented exactly as prime-exponent multisets (so
+// equality and divisibility are precise set operations), with an optional
+// *big.Int rendering for the paper-faithful integer form.
+package signature
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+	"sync"
+
+	"loom/internal/graph"
+)
+
+// Factory assigns prime factors to labels and label pairs. Assignment is
+// first-come-first-served, so signatures are comparable only when produced
+// by the same Factory (or one seeded with the same alphabet in the same
+// order). Factory is safe for concurrent use.
+type Factory struct {
+	mu            sync.Mutex
+	nextCandidate uint64
+	vertexFactor  map[graph.Label]uint64
+	edgeFactor    map[[2]graph.Label]uint64
+}
+
+// NewFactory returns an empty Factory.
+func NewFactory() *Factory {
+	return &Factory{
+		nextCandidate: 2,
+		vertexFactor:  make(map[graph.Label]uint64),
+		edgeFactor:    make(map[[2]graph.Label]uint64),
+	}
+}
+
+// NewFactoryForAlphabet returns a Factory with factors pre-assigned for
+// every label and label pair of the alphabet in sorted order, making factor
+// assignment independent of observation order.
+func NewFactoryForAlphabet(alphabet []graph.Label) *Factory {
+	f := NewFactory()
+	sorted := append([]graph.Label(nil), alphabet...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, l := range sorted {
+		f.VertexFactor(l)
+	}
+	for i, a := range sorted {
+		for _, b := range sorted[i:] {
+			f.EdgeFactor(a, b)
+		}
+	}
+	return f
+}
+
+// nextPrime returns the next unassigned prime, by trial division. Factor
+// counts are tiny (|alphabet| + |alphabet|^2/2), so this is never hot.
+func (f *Factory) nextPrime() uint64 {
+	for {
+		n := f.nextCandidate
+		f.nextCandidate++
+		if isPrime(n) {
+			return n
+		}
+	}
+}
+
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexFactor returns the prime assigned to label l, assigning one if new.
+func (f *Factory) VertexFactor(l graph.Label) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p, ok := f.vertexFactor[l]; ok {
+		return p
+	}
+	p := f.nextPrime()
+	f.vertexFactor[l] = p
+	return p
+}
+
+// EdgeFactor returns the prime assigned to the unordered label pair
+// {la, lb}, assigning one if new.
+func (f *Factory) EdgeFactor(la, lb graph.Label) uint64 {
+	if lb < la {
+		la, lb = lb, la
+	}
+	key := [2]graph.Label{la, lb}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p, ok := f.edgeFactor[key]; ok {
+		return p
+	}
+	p := f.nextPrime()
+	f.edgeFactor[key] = p
+	return p
+}
+
+// SignatureOf computes the signature of g from scratch.
+func (f *Factory) SignatureOf(g *graph.Graph) *Signature {
+	s := New()
+	for _, v := range g.Vertices() {
+		l, _ := g.Label(v)
+		s.MulPrime(f.VertexFactor(l))
+	}
+	for _, e := range g.Edges() {
+		la, _ := g.Label(e.U)
+		lb, _ := g.Label(e.V)
+		s.MulPrime(f.EdgeFactor(la, lb))
+	}
+	return s
+}
+
+// Signature is a multiset of prime factors: factor -> exponent. The zero
+// value is not usable; construct with New. Signature is not safe for
+// concurrent mutation.
+type Signature struct {
+	factors map[uint64]uint32
+}
+
+// New returns the empty signature (the multiplicative identity, integer 1).
+func New() *Signature {
+	return &Signature{factors: make(map[uint64]uint32)}
+}
+
+// Clone returns an independent copy.
+func (s *Signature) Clone() *Signature {
+	c := &Signature{factors: make(map[uint64]uint32, len(s.factors))}
+	for p, e := range s.factors {
+		c.factors[p] = e
+	}
+	return c
+}
+
+// MulPrime multiplies the signature by prime p in place and returns s for
+// chaining.
+func (s *Signature) MulPrime(p uint64) *Signature {
+	s.factors[p]++
+	return s
+}
+
+// DivPrime divides by prime p in place; it reports false (leaving s
+// unchanged) if p is not a factor.
+func (s *Signature) DivPrime(p uint64) bool {
+	e, ok := s.factors[p]
+	if !ok {
+		return false
+	}
+	if e == 1 {
+		delete(s.factors, p)
+	} else {
+		s.factors[p] = e - 1
+	}
+	return true
+}
+
+// Mul multiplies s by t in place and returns s.
+func (s *Signature) Mul(t *Signature) *Signature {
+	for p, e := range t.factors {
+		s.factors[p] += e
+	}
+	return s
+}
+
+// Equal reports exact signature equality.
+func (s *Signature) Equal(t *Signature) bool {
+	if len(s.factors) != len(t.factors) {
+		return false
+	}
+	for p, e := range s.factors {
+		if t.factors[p] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Divides reports whether s divides t, i.e. every factor of s appears in t
+// with at least the same multiplicity. sig(M).Divides(sig(S)) is the
+// necessary condition for M being a (label-preserving) subgraph of S.
+func (s *Signature) Divides(t *Signature) bool {
+	for p, e := range s.factors {
+		if t.factors[p] < e {
+			return false
+		}
+	}
+	return true
+}
+
+// IsOne reports whether s is the empty product.
+func (s *Signature) IsOne() bool { return len(s.factors) == 0 }
+
+// NumFactors returns the total factor count with multiplicity (= |V| + |E|
+// of the underlying graph when built by SignatureOf).
+func (s *Signature) NumFactors() int {
+	n := 0
+	for _, e := range s.factors {
+		n += int(e)
+	}
+	return n
+}
+
+// Key returns a canonical string key ("p^e.p^e..." with primes ascending),
+// suitable for indexing signatures in maps. Equal signatures have equal
+// keys and vice versa.
+func (s *Signature) Key() string {
+	if len(s.factors) == 0 {
+		return "1"
+	}
+	primes := make([]uint64, 0, len(s.factors))
+	for p := range s.factors {
+		primes = append(primes, p)
+	}
+	sort.Slice(primes, func(i, j int) bool { return primes[i] < primes[j] })
+	var sb strings.Builder
+	for i, p := range primes {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		fmt.Fprintf(&sb, "%d^%d", p, s.factors[p])
+	}
+	return sb.String()
+}
+
+// BigInt renders the signature as the integer product Π p^e, the
+// paper-faithful "large integer hash" form.
+func (s *Signature) BigInt() *big.Int {
+	out := big.NewInt(1)
+	pb := new(big.Int)
+	for p, e := range s.factors {
+		pb.SetUint64(p)
+		for i := uint32(0); i < e; i++ {
+			out.Mul(out, pb)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s *Signature) String() string { return "sig{" + s.Key() + "}" }

@@ -1,0 +1,332 @@
+package signature
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func TestFactoryAssignsDistinctPrimes(t *testing.T) {
+	f := NewFactory()
+	seen := map[uint64]string{}
+	check := func(p uint64, what string) {
+		if !isPrime(p) {
+			t.Fatalf("%s factor %d is not prime", what, p)
+		}
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("factor %d assigned to both %s and %s", p, prev, what)
+		}
+		seen[p] = what
+	}
+	check(f.VertexFactor("a"), "v:a")
+	check(f.VertexFactor("b"), "v:b")
+	check(f.EdgeFactor("a", "b"), "e:ab")
+	check(f.EdgeFactor("a", "a"), "e:aa")
+	check(f.EdgeFactor("b", "b"), "e:bb")
+}
+
+func TestFactoryStableAssignment(t *testing.T) {
+	f := NewFactory()
+	p1 := f.VertexFactor("a")
+	p2 := f.VertexFactor("a")
+	if p1 != p2 {
+		t.Fatalf("VertexFactor not stable: %d vs %d", p1, p2)
+	}
+	e1 := f.EdgeFactor("a", "b")
+	e2 := f.EdgeFactor("b", "a")
+	if e1 != e2 {
+		t.Fatalf("EdgeFactor must be order-insensitive: %d vs %d", e1, e2)
+	}
+}
+
+func TestFactoryForAlphabetDeterministic(t *testing.T) {
+	alpha := []graph.Label{"c", "a", "b"}
+	f1 := NewFactoryForAlphabet(alpha)
+	f2 := NewFactoryForAlphabet([]graph.Label{"b", "c", "a"})
+	for _, l := range alpha {
+		if f1.VertexFactor(l) != f2.VertexFactor(l) {
+			t.Fatalf("alphabet factories disagree on %s", l)
+		}
+	}
+	if f1.EdgeFactor("a", "c") != f2.EdgeFactor("c", "a") {
+		t.Fatal("alphabet factories disagree on edge factor")
+	}
+}
+
+func TestFactoryConcurrentUse(t *testing.T) {
+	f := NewFactory()
+	labels := []graph.Label{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	results := make([][]uint64, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make([]uint64, 0, len(labels))
+			for _, l := range labels {
+				out = append(out, f.VertexFactor(l))
+			}
+			results[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		for j := range labels {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("concurrent factor assignment diverged for %s", labels[j])
+			}
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 13, 97}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("%d should be prime", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 6, 9, 100}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("%d should not be prime", c)
+		}
+	}
+}
+
+func TestSignatureEqualAndKey(t *testing.T) {
+	a := New().MulPrime(2).MulPrime(3).MulPrime(2)
+	b := New().MulPrime(3).MulPrime(2).MulPrime(2)
+	if !a.Equal(b) {
+		t.Fatal("order of multiplication must not matter")
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %s vs %s", a.Key(), b.Key())
+	}
+	c := New().MulPrime(2).MulPrime(3)
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Fatal("different multiplicities must differ")
+	}
+	if New().Key() != "1" {
+		t.Fatalf("empty signature key = %q, want 1", New().Key())
+	}
+}
+
+func TestSignatureDivides(t *testing.T) {
+	m := New().MulPrime(2).MulPrime(5)
+	s := New().MulPrime(2).MulPrime(2).MulPrime(5).MulPrime(7)
+	if !m.Divides(s) {
+		t.Fatal("m should divide s")
+	}
+	if s.Divides(m) {
+		t.Fatal("s should not divide m")
+	}
+	if !New().Divides(m) {
+		t.Fatal("1 divides everything")
+	}
+	if !m.Divides(m) {
+		t.Fatal("signature divides itself")
+	}
+}
+
+func TestSignatureDivPrime(t *testing.T) {
+	s := New().MulPrime(2).MulPrime(2).MulPrime(3)
+	if !s.DivPrime(2) {
+		t.Fatal("DivPrime(2) should succeed")
+	}
+	if !s.DivPrime(2) {
+		t.Fatal("second DivPrime(2) should succeed")
+	}
+	if s.DivPrime(2) {
+		t.Fatal("third DivPrime(2) should fail")
+	}
+	if !s.DivPrime(3) {
+		t.Fatal("DivPrime(3) should succeed")
+	}
+	if !s.IsOne() {
+		t.Fatalf("signature should be 1, got %s", s)
+	}
+	if s.DivPrime(5) {
+		t.Fatal("DivPrime on absent prime should fail")
+	}
+}
+
+func TestSignatureCloneIndependence(t *testing.T) {
+	a := New().MulPrime(2)
+	b := a.Clone()
+	b.MulPrime(3)
+	if a.Equal(b) {
+		t.Fatal("clone mutation must not affect original")
+	}
+	if a.NumFactors() != 1 || b.NumFactors() != 2 {
+		t.Fatal("factor counts wrong")
+	}
+}
+
+func TestSignatureMul(t *testing.T) {
+	a := New().MulPrime(2)
+	b := New().MulPrime(3).MulPrime(2)
+	a.Mul(b)
+	want := New().MulPrime(2).MulPrime(2).MulPrime(3)
+	if !a.Equal(want) {
+		t.Fatalf("Mul result %s, want %s", a, want)
+	}
+}
+
+func TestBigInt(t *testing.T) {
+	s := New().MulPrime(2).MulPrime(3).MulPrime(3)
+	if got := s.BigInt().Int64(); got != 18 {
+		t.Fatalf("BigInt = %d, want 18", got)
+	}
+	if got := New().BigInt().Int64(); got != 1 {
+		t.Fatalf("empty BigInt = %d, want 1", got)
+	}
+}
+
+func TestSignatureOfGraph(t *testing.T) {
+	f := NewFactoryForAlphabet([]graph.Label{"a", "b", "c"})
+	p := graph.Path("a", "b", "c")
+	s := f.SignatureOf(p)
+	// 3 vertex factors + 2 edge factors.
+	if s.NumFactors() != 5 {
+		t.Fatalf("NumFactors = %d, want 5", s.NumFactors())
+	}
+	// Same structure, same labels => same signature regardless of IDs.
+	p2 := graph.New()
+	p2.AddVertex(10, "c")
+	p2.AddVertex(20, "b")
+	p2.AddVertex(30, "a")
+	if err := p2.AddEdge(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.AddEdge(20, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(f.SignatureOf(p2)) {
+		t.Fatal("isomorphic graphs must share signature")
+	}
+}
+
+func TestSignatureSubgraphDivisibility(t *testing.T) {
+	f := NewFactoryForAlphabet([]graph.Label{"a", "b", "c", "d"})
+	whole := graph.Path("a", "b", "c", "d")
+	sub := graph.Path("a", "b", "c")
+	if !f.SignatureOf(sub).Divides(f.SignatureOf(whole)) {
+		t.Fatal("sub-path signature must divide super-path signature")
+	}
+	other := graph.Path("d", "c", "b")
+	if !f.SignatureOf(other).Divides(f.SignatureOf(whole)) {
+		t.Fatal("dcb is a subgraph of abcd (reversed)")
+	}
+	not := graph.Path("a", "a")
+	if f.SignatureOf(not).Divides(f.SignatureOf(whole)) {
+		t.Fatal("aa is not a subgraph of abcd")
+	}
+}
+
+func TestSignatureIncrementalMatchesBatch(t *testing.T) {
+	// Growing a graph edge by edge and multiplying factors incrementally
+	// must equal SignatureOf the final graph.
+	f := NewFactoryForAlphabet([]graph.Label{"a", "b", "c"})
+	g := graph.New()
+	s := New()
+
+	addV := func(id graph.VertexID, l graph.Label) {
+		g.AddVertex(id, l)
+		s.MulPrime(f.VertexFactor(l))
+	}
+	addE := func(u, v graph.VertexID) {
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		lu, _ := g.Label(u)
+		lv, _ := g.Label(v)
+		s.MulPrime(f.EdgeFactor(lu, lv))
+	}
+	addV(1, "a")
+	addV(2, "b")
+	addE(1, 2)
+	addV(3, "c")
+	addE(2, 3)
+	addE(1, 3)
+
+	if !s.Equal(f.SignatureOf(g)) {
+		t.Fatalf("incremental %s != batch %s", s, f.SignatureOf(g))
+	}
+}
+
+func TestPropertyKeyBijective(t *testing.T) {
+	// Key equality iff Equal, over random signatures.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		primes := []uint64{2, 3, 5, 7, 11, 13}
+		mk := func() *Signature {
+			s := New()
+			for i := 0; i < r.Intn(8); i++ {
+				s.MulPrime(primes[r.Intn(len(primes))])
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		return a.Equal(b) == (a.Key() == b.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDivisibilityMatchesBigInt(t *testing.T) {
+	// Factor-multiset divisibility must agree with big.Int divisibility.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		primes := []uint64{2, 3, 5, 7}
+		mk := func(n int) *Signature {
+			s := New()
+			for i := 0; i < n; i++ {
+				s.MulPrime(primes[r.Intn(len(primes))])
+			}
+			return s
+		}
+		a, b := mk(r.Intn(6)), mk(r.Intn(10))
+		ai, bi := a.BigInt(), b.BigInt()
+		rem := ai.Mod(bi, ai) // bi mod ai
+		intDivides := rem.Sign() == 0
+		return a.Divides(b) == intDivides
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySubgraphSignatureDivides(t *testing.T) {
+	// For random graphs, any induced connected subgraph's signature divides
+	// the whole graph's signature.
+	alphabet := []graph.Label{"a", "b", "c"}
+	f := NewFactoryForAlphabet(alphabet)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.AddVertex(graph.VertexID(i), alphabet[r.Intn(len(alphabet))])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.4 {
+					if err := g.AddEdge(graph.VertexID(i), graph.VertexID(j)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		keep := g.Vertices()[:1+r.Intn(n)]
+		sub := g.InducedSubgraph(keep)
+		return f.SignatureOf(sub).Divides(f.SignatureOf(g))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// Advisor implements the hotspot-replication strategy of Yang et al.
+// (paper §3.2): observe which boundary vertices are fetched remotely most
+// often, and replicate the hottest ones into the shards that keep fetching
+// them, within a replica budget. The paper argues LOOM complements this
+// mechanism — a workload-aware initial partitioning leaves fewer hotspots
+// for replication to patch, so the same budget goes further.
+type Advisor struct {
+	st *Store
+	// heat counts remote fetches per (vertex, requesting shard).
+	heat map[heatKey]int
+}
+
+type heatKey struct {
+	v    graph.VertexID
+	from partition.ID
+}
+
+// NewAdvisor returns an Advisor over st.
+func NewAdvisor(st *Store) *Advisor {
+	return &Advisor{st: st, heat: make(map[heatKey]int)}
+}
+
+// Observe records that shard from fetched vertex v remotely. Engines call
+// it via Instrument, or callers can replay traces.
+func (a *Advisor) Observe(v graph.VertexID, from partition.ID) {
+	a.heat[heatKey{v: v, from: from}]++
+}
+
+// Hotspot is a replication candidate.
+type Hotspot struct {
+	V    graph.VertexID
+	From partition.ID // the shard that keeps fetching V
+	Heat int          // remote fetches observed
+}
+
+// Hotspots returns the observed candidates ordered by descending heat
+// (ties by vertex then shard, for determinism).
+func (a *Advisor) Hotspots() []Hotspot {
+	out := make([]Hotspot, 0, len(a.heat))
+	for k, h := range a.heat {
+		out = append(out, Hotspot{V: k.v, From: k.from, Heat: h})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Heat != out[j].Heat {
+			return out[i].Heat > out[j].Heat
+		}
+		if out[i].V != out[j].V {
+			return out[i].V < out[j].V
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// Apply replicates the hottest candidates until budget replicas have been
+// placed (or candidates run out), returning how many were placed.
+func (a *Advisor) Apply(budget int) int {
+	placed := 0
+	for _, h := range a.Hotspots() {
+		if placed >= budget {
+			break
+		}
+		if a.st.Replicate(h.V, h.From) {
+			placed++
+		}
+	}
+	return placed
+}
+
+// NewInstrumentedEngine returns an engine whose remote reads feed the
+// advisor's hotspot counters.
+func NewInstrumentedEngine(st *Store, advisor *Advisor) *Engine {
+	e := NewEngine(st)
+	e.SetObserver(advisor.Observe)
+	return e
+}

@@ -1,0 +1,353 @@
+// Package store is the sharded graph storage substrate: the deployment a
+// partitioning actually runs in (paper §1's distributed GDBMS, e.g.
+// Titan). Where package cluster instruments a centralised matcher to
+// measure traversal probabilities, store materialises one shard per
+// partition — local vertices, local adjacency, remote references for cut
+// edges — and executes traversals shard by shard, counting every
+// cross-shard message. It also implements the hotspot-replication layer of
+// Yang et al. (paper §3.2), which the paper argues complements LOOM:
+// read-only replicas of frequently crossed boundary vertices absorb remote
+// reads.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// Ref points at a neighbouring vertex together with the shard that owns
+// it, so traversals know whether following the edge leaves the shard.
+type Ref struct {
+	V    graph.VertexID
+	Home partition.ID
+}
+
+// Shard holds one partition's vertices and their adjacency.
+type Shard struct {
+	id     partition.ID
+	labels map[graph.VertexID]graph.Label
+	adj    map[graph.VertexID][]Ref
+	// replicas are read-only copies of remote vertices placed here by the
+	// replication layer: label plus adjacency refs.
+	replicas map[graph.VertexID]replica
+}
+
+type replica struct {
+	label graph.Label
+	adj   []Ref
+}
+
+// ID returns the shard's partition ID.
+func (s *Shard) ID() partition.ID { return s.id }
+
+// NumVertices returns the number of owned (non-replica) vertices.
+func (s *Shard) NumVertices() int { return len(s.labels) }
+
+// NumReplicas returns the number of replicated vertices hosted here.
+func (s *Shard) NumReplicas() int { return len(s.replicas) }
+
+// Store is a graph deployed across shards according to an assignment.
+type Store struct {
+	shards []*Shard
+	home   map[graph.VertexID]partition.ID
+}
+
+// Build deploys g across a.K() shards per assignment a. Every vertex must
+// be assigned.
+func Build(g *graph.Graph, a *partition.Assignment) (*Store, error) {
+	st := &Store{
+		shards: make([]*Shard, a.K()),
+		home:   make(map[graph.VertexID]partition.ID, g.NumVertices()),
+	}
+	for i := range st.shards {
+		st.shards[i] = &Shard{
+			id:       partition.ID(i),
+			labels:   make(map[graph.VertexID]graph.Label),
+			adj:      make(map[graph.VertexID][]Ref),
+			replicas: make(map[graph.VertexID]replica),
+		}
+	}
+	for _, v := range g.Vertices() {
+		p := a.Get(v)
+		if p == partition.Unassigned {
+			return nil, fmt.Errorf("store: vertex %d unassigned", v)
+		}
+		st.home[v] = p
+		l, _ := g.Label(v)
+		st.shards[p].labels[v] = l
+	}
+	for _, v := range g.Vertices() {
+		p := st.home[v]
+		refs := make([]Ref, 0, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			refs = append(refs, Ref{V: u, Home: st.home[u]})
+		}
+		st.shards[p].adj[v] = refs
+	}
+	return st, nil
+}
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Shard returns shard p.
+func (st *Store) Shard(p partition.ID) *Shard { return st.shards[p] }
+
+// Home returns the owning shard of v and whether v exists.
+func (st *Store) Home(v graph.VertexID) (partition.ID, bool) {
+	p, ok := st.home[v]
+	return p, ok
+}
+
+// CutEdges counts edges whose endpoints live on different shards
+// (replicas do not change ownership). Each edge is stored on both
+// endpoints' shards; counting only from the lower-ID endpoint tallies
+// every cut edge exactly once.
+func (st *Store) CutEdges() int {
+	cut := 0
+	for _, sh := range st.shards {
+		for v, refs := range sh.adj {
+			for _, r := range refs {
+				if r.Home != sh.id && v < r.V {
+					cut++
+				}
+			}
+		}
+	}
+	return cut
+}
+
+// Replicate places a read-only copy of v (label + adjacency) on shard p.
+// Replicating a vertex onto its home shard is a no-op. It reports whether
+// a new replica was created.
+func (st *Store) Replicate(v graph.VertexID, p partition.ID) bool {
+	home, ok := st.home[v]
+	if !ok || home == p {
+		return false
+	}
+	sh := st.shards[p]
+	if _, dup := sh.replicas[v]; dup {
+		return false
+	}
+	src := st.shards[home]
+	sh.replicas[v] = replica{label: src.labels[v], adj: src.adj[v]}
+	return true
+}
+
+// TotalReplicas returns the number of replicas across all shards.
+func (st *Store) TotalReplicas() int {
+	n := 0
+	for _, sh := range st.shards {
+		n += len(sh.replicas)
+	}
+	return n
+}
+
+// Stats counts storage-level operations of an Engine.
+type Stats struct {
+	LocalReads   int // vertex reads served by the current shard (owned or replica)
+	RemoteReads  int // vertex reads requiring another shard
+	ReplicaReads int // subset of LocalReads served by a replica
+	Messages     int // cross-shard messages (one per remote read)
+}
+
+// Engine executes traversals against the store, tracking which shard the
+// execution is currently "at" and charging a message whenever it must
+// fetch a vertex another shard owns (and no local replica exists).
+type Engine struct {
+	st       *Store
+	stats    Stats
+	observer func(v graph.VertexID, from partition.ID)
+}
+
+// NewEngine returns an engine over st.
+func NewEngine(st *Store) *Engine { return &Engine{st: st} }
+
+// Stats returns a copy of the operation counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// SetObserver registers a callback invoked on every remote fetch with the
+// fetched vertex and the shard that needed it; the replication Advisor
+// uses it to find hotspots.
+func (e *Engine) SetObserver(fn func(v graph.VertexID, from partition.ID)) {
+	e.observer = fn
+}
+
+// read fetches v's adjacency as seen from shard at, charging the
+// appropriate counter, and returns the refs plus the shard the execution
+// is at afterwards (remote reads move execution to the owning shard).
+func (e *Engine) read(at partition.ID, v graph.VertexID) ([]Ref, partition.ID, error) {
+	sh := e.st.shards[at]
+	if refs, owned := sh.adj[v]; owned {
+		e.stats.LocalReads++
+		return refs, at, nil
+	}
+	if rep, ok := sh.replicas[v]; ok {
+		e.stats.LocalReads++
+		e.stats.ReplicaReads++
+		return rep.adj, at, nil
+	}
+	home, ok := e.st.home[v]
+	if !ok {
+		return nil, at, fmt.Errorf("store: vertex %d does not exist", v)
+	}
+	e.stats.RemoteReads++
+	e.stats.Messages++
+	if e.observer != nil {
+		e.observer(v, at)
+	}
+	return e.st.shards[home].adj[v], home, nil
+}
+
+// Label reads v's label from shard at under the same cost model.
+func (e *Engine) Label(at partition.ID, v graph.VertexID) (graph.Label, partition.ID, error) {
+	sh := e.st.shards[at]
+	if l, owned := sh.labels[v]; owned {
+		e.stats.LocalReads++
+		return l, at, nil
+	}
+	if rep, ok := sh.replicas[v]; ok {
+		e.stats.LocalReads++
+		e.stats.ReplicaReads++
+		return rep.label, at, nil
+	}
+	home, ok := e.st.home[v]
+	if !ok {
+		return "", at, fmt.Errorf("store: vertex %d does not exist", v)
+	}
+	e.stats.RemoteReads++
+	e.stats.Messages++
+	if e.observer != nil {
+		e.observer(v, at)
+	}
+	return e.st.shards[home].labels[v], home, nil
+}
+
+// KHop performs a breadth-first exploration of radius k from start,
+// returning the visited vertices in BFS order. Execution starts at
+// start's home shard; every hop to a vertex whose data is not local to
+// the current shard costs a message.
+func (e *Engine) KHop(start graph.VertexID, k int) ([]graph.VertexID, error) {
+	home, ok := e.st.home[start]
+	if !ok {
+		return nil, fmt.Errorf("store: vertex %d does not exist", start)
+	}
+	type item struct {
+		v     graph.VertexID
+		depth int
+	}
+	visited := map[graph.VertexID]struct{}{start: {}}
+	order := []graph.VertexID{start}
+	queue := []item{{v: start, depth: 0}}
+	at := home
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth == k {
+			continue
+		}
+		refs, now, err := e.read(at, cur.v)
+		if err != nil {
+			return nil, err
+		}
+		at = now
+		// Deterministic expansion order.
+		sorted := append([]Ref(nil), refs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].V < sorted[j].V })
+		for _, r := range sorted {
+			if _, seen := visited[r.V]; seen {
+				continue
+			}
+			visited[r.V] = struct{}{}
+			order = append(order, r.V)
+			queue = append(queue, item{v: r.V, depth: cur.depth + 1})
+		}
+	}
+	return order, nil
+}
+
+// MatchPath finds label-constrained path instances: sequences of distinct
+// vertices v0-v1-...-vL whose labels equal labels and whose consecutive
+// pairs are edges. It walks the store shard by shard (the execution model
+// of an online GDBMS traversal), charging messages per remote hop, and
+// returns the number of instances found (capped by limit when limit > 0).
+func (e *Engine) MatchPath(labels []graph.Label, limit int) (int, error) {
+	if len(labels) == 0 {
+		return 0, nil
+	}
+	count := 0
+	// Anchor scan: every shard scans its own vertices for label[0] — no
+	// messages; index lookups are local.
+	for _, sh := range e.st.shards {
+		anchors := make([]graph.VertexID, 0)
+		for v, l := range sh.labels {
+			if l == labels[0] {
+				anchors = append(anchors, v)
+			}
+		}
+		sort.Slice(anchors, func(i, j int) bool { return anchors[i] < anchors[j] })
+		for _, a := range anchors {
+			n, err := e.extendPath(sh.id, []graph.VertexID{a}, labels, limit-count)
+			if err != nil {
+				return count, err
+			}
+			count += n
+			if limit > 0 && count >= limit {
+				return count, nil
+			}
+		}
+	}
+	return count, nil
+}
+
+// extendPath recursively extends a partial path; at is the shard where
+// execution currently resides.
+func (e *Engine) extendPath(at partition.ID, path []graph.VertexID, labels []graph.Label, budget int) (int, error) {
+	if len(path) == len(labels) {
+		return 1, nil
+	}
+	tip := path[len(path)-1]
+	refs, now, err := e.read(at, tip)
+	if err != nil {
+		return 0, err
+	}
+	sorted := append([]Ref(nil), refs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].V < sorted[j].V })
+	count := 0
+	for _, r := range sorted {
+		if containsVertex(path, r.V) {
+			continue
+		}
+		l, now2, err := e.Label(now, r.V)
+		if err != nil {
+			return count, err
+		}
+		if l != labels[len(path)] {
+			continue
+		}
+		n, err := e.extendPath(now2, append(path, r.V), labels, budget-count)
+		if err != nil {
+			return count, err
+		}
+		count += n
+		if budget > 0 && count >= budget {
+			return count, nil
+		}
+	}
+	return count, nil
+}
+
+func containsVertex(path []graph.VertexID, v graph.VertexID) bool {
+	for _, p := range path {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}

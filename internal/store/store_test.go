@@ -1,0 +1,314 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// fig1Store deploys the Fig.1 graph with the square {1,2,5,6} on shard 0.
+func fig1Store(t *testing.T) (*Store, *graph.Graph) {
+	t.Helper()
+	g := graph.Fig1Graph()
+	a := partition.MustNewAssignment(2)
+	for _, v := range []graph.VertexID{1, 2, 5, 6} {
+		if err := a.Set(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.VertexID{3, 4, 7, 8} {
+		if err := a.Set(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, g
+}
+
+func TestBuildRequiresFullAssignment(t *testing.T) {
+	g := graph.Path("a", "b")
+	a := partition.MustNewAssignment(2)
+	if _, err := Build(g, a); err == nil {
+		t.Fatal("unassigned vertex should be rejected")
+	}
+}
+
+func TestBuildShardContents(t *testing.T) {
+	st, g := fig1Store(t)
+	if st.NumShards() != 2 {
+		t.Fatalf("shards = %d", st.NumShards())
+	}
+	if st.Shard(0).NumVertices() != 4 || st.Shard(1).NumVertices() != 4 {
+		t.Fatal("shard vertex counts wrong")
+	}
+	if home, ok := st.Home(1); !ok || home != 0 {
+		t.Fatalf("Home(1) = %d,%v", home, ok)
+	}
+	if _, ok := st.Home(99); ok {
+		t.Fatal("unknown vertex should have no home")
+	}
+	// Cut edges between {1,2,5,6} and {3,4,7,8}: edges 2-3 and ... check
+	// against assignment-based count.
+	a := partition.MustNewAssignment(2)
+	for _, v := range []graph.VertexID{1, 2, 5, 6} {
+		_ = a.Set(v, 0)
+	}
+	for _, v := range []graph.VertexID{3, 4, 7, 8} {
+		_ = a.Set(v, 1)
+	}
+	if st.CutEdges() != a.CutEdges(g) {
+		t.Fatalf("store cut %d != assignment cut %d", st.CutEdges(), a.CutEdges(g))
+	}
+}
+
+func TestEngineKHopCountsMessages(t *testing.T) {
+	st, g := fig1Store(t)
+	e := NewEngine(st)
+	// 1-hop from vertex 1 (shard 0): neighbours 2, 5 — all local, read of
+	// vertex 1 itself is local. No messages.
+	out, err := e.KHop(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]graph.VertexID{1}, g.Neighbors(1)...)
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("KHop(1,1) = %v, want %v", out, want)
+	}
+	if e.Stats().Messages != 0 {
+		t.Fatalf("messages = %d, want 0 (local hop)", e.Stats().Messages)
+	}
+	// 2-hop from 1 expands 2 and 5: both local; vertex 3 appears (on
+	// shard 1) but its adjacency is only read at depth 2... KHop(1,2)
+	// reads 1,2,5 (local) — still 0 messages; visiting refs is free.
+	e.ResetStats()
+	if _, err := e.KHop(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Messages != 0 {
+		t.Fatalf("messages = %d, want 0 (only local reads at depth<2)", e.Stats().Messages)
+	}
+	// 3-hop from 1 must read vertex 3 and 6's neighbours... vertex 3 is
+	// remote: at least one message.
+	e.ResetStats()
+	if _, err := e.KHop(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Messages == 0 {
+		t.Fatal("3-hop crosses to shard 1; expected messages")
+	}
+}
+
+func TestEngineKHopUnknownStart(t *testing.T) {
+	st, _ := fig1Store(t)
+	if _, err := NewEngine(st).KHop(42, 1); err == nil {
+		t.Fatal("unknown start should error")
+	}
+}
+
+func TestEngineLabelReads(t *testing.T) {
+	st, _ := fig1Store(t)
+	e := NewEngine(st)
+	l, at, err := e.Label(0, 1)
+	if err != nil || l != "a" || at != 0 {
+		t.Fatalf("Label(0,1) = %s,%d,%v", l, at, err)
+	}
+	if e.Stats().LocalReads != 1 || e.Stats().Messages != 0 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+	// Remote label read costs a message and moves execution.
+	l, at, err = e.Label(0, 3)
+	if err != nil || l != "c" || at != 1 {
+		t.Fatalf("Label(0,3) = %s,%d,%v", l, at, err)
+	}
+	if e.Stats().Messages != 1 {
+		t.Fatalf("messages = %d, want 1", e.Stats().Messages)
+	}
+	if _, _, err := e.Label(0, 42); err == nil {
+		t.Fatal("unknown vertex should error")
+	}
+}
+
+func TestMatchPathCountsAndMessages(t *testing.T) {
+	st, _ := fig1Store(t)
+	e := NewEngine(st)
+	// abc paths in Fig.1: 1-2-3 and 6-2-3.
+	n, err := e.MatchPath([]graph.Label{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("abc instances = %d, want 2", n)
+	}
+	if e.Stats().Messages == 0 {
+		t.Fatal("the 2-3 hop crosses shards; expected messages")
+	}
+	// Empty labels.
+	if n, err := e.MatchPath(nil, 0); err != nil || n != 0 {
+		t.Fatalf("empty path = %d,%v", n, err)
+	}
+	// Limit respected.
+	if n, err := e.MatchPath([]graph.Label{"a", "b", "c"}, 1); err != nil || n != 1 {
+		t.Fatalf("limited = %d,%v", n, err)
+	}
+}
+
+func TestReplicationCutsMessages(t *testing.T) {
+	st, _ := fig1Store(t)
+	e := NewEngine(st)
+	if _, err := e.MatchPath([]graph.Label{"a", "b", "c"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats().Messages
+	if before == 0 {
+		t.Fatal("baseline should cross shards")
+	}
+	// Replicate vertex 3 (label c, shard 1) onto shard 0.
+	if !st.Replicate(3, 0) {
+		t.Fatal("Replicate(3,0) should place a replica")
+	}
+	if st.Replicate(3, 0) {
+		t.Fatal("duplicate replica should be a no-op")
+	}
+	if st.Replicate(3, 1) {
+		t.Fatal("replicating onto home shard should be a no-op")
+	}
+	if st.TotalReplicas() != 1 || st.Shard(0).NumReplicas() != 1 {
+		t.Fatal("replica accounting wrong")
+	}
+	e2 := NewEngine(st)
+	if _, err := e2.MatchPath([]graph.Label{"a", "b", "c"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := e2.Stats().Messages
+	if after >= before {
+		t.Fatalf("replication should cut messages: %d -> %d", before, after)
+	}
+	if e2.Stats().ReplicaReads == 0 {
+		t.Fatal("replica reads should be recorded")
+	}
+}
+
+func TestAdvisorPicksHottestBoundary(t *testing.T) {
+	st, _ := fig1Store(t)
+	adv := NewAdvisor(st)
+	adv.Observe(3, 0)
+	adv.Observe(3, 0)
+	adv.Observe(7, 0)
+	hs := adv.Hotspots()
+	if len(hs) != 2 || hs[0].V != 3 || hs[0].Heat != 2 {
+		t.Fatalf("hotspots = %+v", hs)
+	}
+	placed := adv.Apply(1)
+	if placed != 1 {
+		t.Fatalf("placed = %d, want 1", placed)
+	}
+	if st.Shard(0).NumReplicas() != 1 {
+		t.Fatal("the hottest vertex should be replicated onto shard 0")
+	}
+	// Budget larger than candidates.
+	placed = adv.Apply(10)
+	if placed != 1 {
+		t.Fatalf("second apply placed = %d, want 1 (vertex 7)", placed)
+	}
+}
+
+func TestInstrumentedEngineFeedsAdvisor(t *testing.T) {
+	st, _ := fig1Store(t)
+	adv := NewAdvisor(st)
+	e := NewInstrumentedEngine(st, adv)
+	if _, err := e.KHop(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Hotspots()) == 0 {
+		t.Fatal("3-hop crossing shards should produce hotspot observations")
+	}
+}
+
+func TestPropertyStoreMatchesAssignment(t *testing.T) {
+	// For random graphs and assignments: store cut == assignment cut, and
+	// KHop visits exactly the BFS ball regardless of sharding.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(20)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.AddVertex(graph.VertexID(i), graph.Label([]string{"a", "b"}[r.Intn(2)]))
+		}
+		for i := 1; i < n; i++ {
+			if err := g.AddEdge(graph.VertexID(r.Intn(i)), graph.VertexID(i)); err != nil {
+				return false
+			}
+		}
+		k := 2 + r.Intn(3)
+		a := partition.MustNewAssignment(k)
+		for i := 0; i < n; i++ {
+			if err := a.Set(graph.VertexID(i), partition.ID(r.Intn(k))); err != nil {
+				return false
+			}
+		}
+		st, err := Build(g, a)
+		if err != nil {
+			return false
+		}
+		if st.CutEdges() != a.CutEdges(g) {
+			return false
+		}
+		e := NewEngine(st)
+		start := graph.VertexID(r.Intn(n))
+		depth := 1 + r.Intn(3)
+		got, err := e.KHop(start, depth)
+		if err != nil {
+			return false
+		}
+		// Reference: central BFS truncated at depth.
+		want := centralKHop(g, start, depth)
+		if len(got) != len(want) {
+			return false
+		}
+		gotSet := map[graph.VertexID]bool{}
+		for _, v := range got {
+			gotSet[v] = true
+		}
+		for _, v := range want {
+			if !gotSet[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func centralKHop(g *graph.Graph, start graph.VertexID, k int) []graph.VertexID {
+	type item struct {
+		v graph.VertexID
+		d int
+	}
+	visited := map[graph.VertexID]struct{}{start: {}}
+	out := []graph.VertexID{start}
+	queue := []item{{start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d == k {
+			continue
+		}
+		for _, u := range g.Neighbors(cur.v) {
+			if _, seen := visited[u]; !seen {
+				visited[u] = struct{}{}
+				out = append(out, u)
+				queue = append(queue, item{u, cur.d + 1})
+			}
+		}
+	}
+	return out
+}

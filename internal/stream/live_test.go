@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func constLabeler(graph.VertexID) graph.Label { return "x" }
+
+func TestNewLiveSourceValidation(t *testing.T) {
+	if _, err := NewLiveSource(10, 0, constLabeler, 1); err == nil {
+		t.Fatal("mPer 0 should be rejected")
+	}
+	if _, err := NewLiveSource(3, 3, constLabeler, 1); err == nil {
+		t.Fatal("mPer >= total should be rejected")
+	}
+	if _, err := NewLiveSource(10, 2, nil, 1); err == nil {
+		t.Fatal("nil labeler should be rejected")
+	}
+}
+
+func TestLiveSourceShape(t *testing.T) {
+	n, m := 200, 2
+	src, err := NewLiveSource(n, m, constLabeler, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, elems, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), n)
+	}
+	// Same edge count as the batch BA generator: seed clique + m per
+	// later vertex.
+	seed := m + 1
+	wantEdges := seed*(seed-1)/2 + (n-seed)*m
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Stream validity: every edge follows both endpoints; Seq strictly
+	// increasing.
+	seen := map[graph.VertexID]bool{}
+	for i, el := range elems {
+		if el.Seq != i {
+			t.Fatalf("Seq gap at %d", i)
+		}
+		switch el.Kind {
+		case VertexElement:
+			if seen[el.V] {
+				t.Fatalf("vertex %d emitted twice", el.V)
+			}
+			seen[el.V] = true
+		case EdgeElement:
+			if !seen[el.V] || !seen[el.U] {
+				t.Fatalf("edge %v before its endpoints", el)
+			}
+		}
+	}
+	if src.Emitted() != n {
+		t.Fatalf("Emitted = %d, want %d", src.Emitted(), n)
+	}
+}
+
+func TestLiveSourceDeterministic(t *testing.T) {
+	mk := func() []Element {
+		src, err := NewLiveSource(100, 2, constLabeler, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, elems, err := Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elems
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLiveSourceSkewedDegrees(t *testing.T) {
+	src, err := NewLiveSource(2000, 2, constLabeler, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Fatalf("live BA should be skewed: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestLiveSourceExhausted(t *testing.T) {
+	src, err := NewLiveSource(3, 1, constLabeler, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source should stay exhausted")
+	}
+	// 3 vertices + edges (clique among first 2 = 1 edge, third attaches
+	// to 1) = 3 + 2.
+	if count != 5 {
+		t.Fatalf("elements = %d, want 5", count)
+	}
+}

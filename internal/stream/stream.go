@@ -1,0 +1,202 @@
+// Package stream turns a graph into a graph-stream and provides the sliding
+// window buffer LOOM partitions from.
+//
+// A graph-stream (paper §3.1) is an ordering over the elements of a dynamic
+// graph. Streaming partitioners are sensitive to this ordering, so the
+// package implements the three categories the literature evaluates —
+// random, adversarial and stochastic (here: BFS/DFS/temporal) — plus the
+// window abstraction of §4.1: a buffered sliding window over the stream
+// from which whole subgraphs can be assigned at once.
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"loom/internal/graph"
+)
+
+// ElementKind discriminates stream elements.
+type ElementKind uint8
+
+// Stream element kinds. A vertex element introduces a vertex and its label;
+// an edge element connects two previously introduced vertices.
+const (
+	VertexElement ElementKind = iota
+	EdgeElement
+)
+
+// Element is one item of a graph-stream.
+type Element struct {
+	Kind  ElementKind
+	V     graph.VertexID // vertex (VertexElement) or edge endpoint U (EdgeElement)
+	U     graph.VertexID // second endpoint for EdgeElement
+	Label graph.Label    // label for VertexElement
+	Seq   int            // position in the stream, assigned by the streamer
+}
+
+// String implements fmt.Stringer.
+func (e Element) String() string {
+	if e.Kind == VertexElement {
+		return fmt.Sprintf("v%d:%s@%d", e.V, e.Label, e.Seq)
+	}
+	return fmt.Sprintf("e(%d,%d)@%d", e.V, e.U, e.Seq)
+}
+
+// Order names a vertex ordering strategy for converting a static graph into
+// a stream.
+type Order int
+
+// Supported stream orderings (paper §3.1).
+const (
+	// RandomOrder shuffles vertices uniformly; the common evaluation default.
+	RandomOrder Order = iota
+	// BFSOrdering emits vertices in breadth-first order from a random
+	// start, restarting per component: the "stochastic/crawl" ordering that
+	// models graphs harvested by exploration.
+	BFSOrdering
+	// DFSOrdering is the depth-first analogue.
+	DFSOrdering
+	// AdversarialOrder emits vertices so that neighbourhood information is
+	// maximally delayed: vertices sorted by degree ascending, which starves
+	// greedy heuristics of placed neighbours (cf. §3.1's adversarial
+	// example).
+	AdversarialOrder
+	// TemporalOrder emits vertices in ID order, modelling creation-time
+	// ordering of a growing network (generators allocate IDs temporally).
+	TemporalOrder
+)
+
+// String implements fmt.Stringer.
+func (o Order) String() string {
+	switch o {
+	case RandomOrder:
+		return "random"
+	case BFSOrdering:
+		return "bfs"
+	case DFSOrdering:
+		return "dfs"
+	case AdversarialOrder:
+		return "adversarial"
+	case TemporalOrder:
+		return "temporal"
+	}
+	return fmt.Sprintf("order(%d)", int(o))
+}
+
+// VertexOrder returns g's vertices in the requested order. r is used only by
+// the stochastic orderings and may be nil for TemporalOrder/AdversarialOrder.
+func VertexOrder(g *graph.Graph, o Order, r *rand.Rand) ([]graph.VertexID, error) {
+	vs := g.Vertices()
+	switch o {
+	case TemporalOrder:
+		return vs, nil
+	case RandomOrder:
+		if r == nil {
+			return nil, fmt.Errorf("stream: RandomOrder requires a rand source")
+		}
+		r.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+		return vs, nil
+	case AdversarialOrder:
+		sort.SliceStable(vs, func(i, j int) bool {
+			di, dj := g.Degree(vs[i]), g.Degree(vs[j])
+			if di != dj {
+				return di < dj
+			}
+			return vs[i] < vs[j]
+		})
+		return vs, nil
+	case BFSOrdering, DFSOrdering:
+		if r == nil {
+			return nil, fmt.Errorf("stream: %v requires a rand source", o)
+		}
+		remaining := make(map[graph.VertexID]struct{}, len(vs))
+		for _, v := range vs {
+			remaining[v] = struct{}{}
+		}
+		out := make([]graph.VertexID, 0, len(vs))
+		for len(remaining) > 0 {
+			// Deterministic random start: pick among remaining, sorted.
+			keys := make([]graph.VertexID, 0, len(remaining))
+			for v := range remaining {
+				keys = append(keys, v)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			start := keys[r.Intn(len(keys))]
+			var comp []graph.VertexID
+			if o == BFSOrdering {
+				comp = g.BFSOrder(start)
+			} else {
+				comp = g.DFSOrder(start)
+			}
+			for _, v := range comp {
+				if _, ok := remaining[v]; ok {
+					out = append(out, v)
+					delete(remaining, v)
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("stream: unknown order %v", o)
+}
+
+// FromGraph converts a static graph into a stream: each vertex element is
+// followed immediately by the edge elements connecting it to previously
+// emitted vertices (the standard streaming-partitioner input model, where a
+// vertex arrives together with its known adjacency).
+func FromGraph(g *graph.Graph, o Order, r *rand.Rand) ([]Element, error) {
+	order, err := VertexOrder(g, o, r)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[graph.VertexID]struct{}, len(order))
+	out := make([]Element, 0, g.NumVertices()+g.NumEdges())
+	seq := 0
+	for _, v := range order {
+		l, _ := g.Label(v)
+		out = append(out, Element{Kind: VertexElement, V: v, Label: l, Seq: seq})
+		seq++
+		seen[v] = struct{}{}
+		for _, u := range g.Neighbors(v) {
+			if _, ok := seen[u]; ok {
+				out = append(out, Element{Kind: EdgeElement, V: v, U: u, Seq: seq})
+				seq++
+			}
+		}
+	}
+	return out, nil
+}
+
+// Source yields stream elements one at a time.
+type Source interface {
+	// Next returns the next element, or ok=false when the stream is
+	// exhausted.
+	Next() (Element, bool)
+}
+
+// SliceSource adapts a pre-materialised []Element to Source.
+type SliceSource struct {
+	elems []Element
+	pos   int
+}
+
+// NewSliceSource returns a Source reading from elems in order.
+func NewSliceSource(elems []Element) *SliceSource { return &SliceSource{elems: elems} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Element, bool) {
+	if s.pos >= len(s.elems) {
+		return Element{}, false
+	}
+	e := s.elems[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Len returns the total number of elements in the underlying slice.
+func (s *SliceSource) Len() int { return len(s.elems) }
+
+// Remaining returns how many elements have not been consumed yet.
+func (s *SliceSource) Remaining() int { return len(s.elems) - s.pos }

@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func TestVertexOrderTemporal(t *testing.T) {
+	g := graph.Fig1Graph()
+	order, err := VertexOrder(g, TemporalOrder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.VertexID{1, 2, 3, 4, 5, 6, 7, 8}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("temporal order = %v, want %v", order, want)
+	}
+}
+
+func TestVertexOrderRandomIsPermutation(t *testing.T) {
+	g := graph.Fig1Graph()
+	order, err := VertexOrder(g, RandomOrder, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("len = %d", len(order))
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("duplicate %d in order", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestVertexOrderRandomNeedsRand(t *testing.T) {
+	g := graph.Fig1Graph()
+	if _, err := VertexOrder(g, RandomOrder, nil); err == nil {
+		t.Fatal("RandomOrder without rand should error")
+	}
+	if _, err := VertexOrder(g, BFSOrdering, nil); err == nil {
+		t.Fatal("BFSOrdering without rand should error")
+	}
+}
+
+func TestVertexOrderAdversarial(t *testing.T) {
+	g := graph.Star("h", "x", "y", "z")
+	order, err := VertexOrder(g, AdversarialOrder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hub (degree 3) must come last.
+	if order[len(order)-1] != 0 {
+		t.Fatalf("adversarial order should delay the hub: %v", order)
+	}
+}
+
+func TestVertexOrderBFSCoversComponents(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.AddVertex(graph.VertexID(i), "x")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 3)
+	// 4, 5 isolated.
+	order, err := VertexOrder(g, BFSOrdering, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 6 {
+		t.Fatalf("BFS ordering must cover all components, got %d/6", len(order))
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, u, v graph.VertexID) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGraphEdgeAfterBothEndpoints(t *testing.T) {
+	g := graph.Fig1Graph()
+	elems, err := FromGraph(g, TemporalOrder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != g.NumVertices()+g.NumEdges() {
+		t.Fatalf("elements = %d, want %d", len(elems), g.NumVertices()+g.NumEdges())
+	}
+	seen := map[graph.VertexID]bool{}
+	edgeCount := 0
+	for i, el := range elems {
+		if el.Seq != i {
+			t.Fatalf("Seq not consecutive at %d", i)
+		}
+		switch el.Kind {
+		case VertexElement:
+			seen[el.V] = true
+		case EdgeElement:
+			if !seen[el.V] || !seen[el.U] {
+				t.Fatalf("edge %v before both endpoints", el)
+			}
+			edgeCount++
+		}
+	}
+	if edgeCount != g.NumEdges() {
+		t.Fatalf("edges streamed = %d, want %d", edgeCount, g.NumEdges())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	elems := []Element{{Kind: VertexElement, V: 1}, {Kind: VertexElement, V: 2}}
+	s := NewSliceSource(elems)
+	if s.Len() != 2 || s.Remaining() != 2 {
+		t.Fatal("initial lengths wrong")
+	}
+	e, ok := s.Next()
+	if !ok || e.V != 1 {
+		t.Fatal("first Next wrong")
+	}
+	if s.Remaining() != 1 {
+		t.Fatal("Remaining after one Next wrong")
+	}
+	if _, ok := s.Next(); !ok {
+		t.Fatal("second Next should succeed")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source should report !ok")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	names := map[Order]string{
+		RandomOrder:      "random",
+		BFSOrdering:      "bfs",
+		DFSOrdering:      "dfs",
+		AdversarialOrder: "adversarial",
+		TemporalOrder:    "temporal",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestElementString(t *testing.T) {
+	v := Element{Kind: VertexElement, V: 3, Label: "a", Seq: 7}
+	if v.String() != "v3:a@7" {
+		t.Fatalf("vertex element string = %q", v.String())
+	}
+	e := Element{Kind: EdgeElement, V: 3, U: 4, Seq: 8}
+	if e.String() != "e(3,4)@8" {
+		t.Fatalf("edge element string = %q", e.String())
+	}
+}
+
+func TestPropertyStreamCoversGraph(t *testing.T) {
+	// Replaying any ordering reconstructs the original graph.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 3 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			g.AddVertex(graph.VertexID(i), graph.Label([]string{"a", "b"}[r.Intn(2)]))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					if err := g.AddEdge(graph.VertexID(i), graph.VertexID(j)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		for _, o := range []Order{RandomOrder, BFSOrdering, DFSOrdering, AdversarialOrder, TemporalOrder} {
+			elems, err := FromGraph(g, o, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return false
+			}
+			rebuilt := graph.New()
+			for _, el := range elems {
+				switch el.Kind {
+				case VertexElement:
+					rebuilt.AddVertex(el.V, el.Label)
+				case EdgeElement:
+					if err := rebuilt.AddEdge(el.V, el.U); err != nil {
+						return false
+					}
+				}
+			}
+			if !g.Equal(rebuilt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

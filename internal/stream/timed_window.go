@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"fmt"
+
+	"loom/internal/graph"
+)
+
+// TimedWindow is the time-based variant of the stream window (paper §4.1
+// footnote 2: "Stream windows may be defined in terms of time, or element
+// count"). Vertices carry logical timestamps supplied by the stream; a
+// vertex is evicted once the newest observed timestamp exceeds its own by
+// more than Span. Unlike the count-based Window, occupancy is unbounded —
+// it tracks however many vertices arrive within one span — so it models
+// deployments that think in "the last hour of the stream" rather than
+// "the last N vertices".
+//
+// The bookkeeping contract matches Window: evictions report window and
+// assigned neighbours, and edges to evicted endpoints are deferred onto
+// their resident endpoint.
+type TimedWindow struct {
+	span     int64
+	now      int64
+	g        *graph.Graph
+	arrival  []timedEntry
+	resident map[graph.VertexID]struct{}
+	deferred map[graph.VertexID][]pendingEdge
+}
+
+type timedEntry struct {
+	v  graph.VertexID
+	at int64
+}
+
+// NewTimedWindow returns a window spanning the given number of logical
+// time units (span >= 1).
+func NewTimedWindow(span int64) (*TimedWindow, error) {
+	if span < 1 {
+		return nil, fmt.Errorf("stream: timed window span %d < 1", span)
+	}
+	return &TimedWindow{
+		span:     span,
+		g:        graph.New(),
+		resident: make(map[graph.VertexID]struct{}),
+		deferred: make(map[graph.VertexID][]pendingEdge),
+	}, nil
+}
+
+// Span returns the window's time span.
+func (w *TimedWindow) Span() int64 { return w.span }
+
+// Now returns the newest timestamp observed.
+func (w *TimedWindow) Now() int64 { return w.now }
+
+// Len returns the number of resident vertices.
+func (w *TimedWindow) Len() int { return len(w.arrival) }
+
+// Graph exposes the window-resident subgraph (read-only for callers).
+func (w *TimedWindow) Graph() *graph.Graph { return w.g }
+
+// Resident reports whether v is inside the window.
+func (w *TimedWindow) Resident(v graph.VertexID) bool {
+	_, ok := w.resident[v]
+	return ok
+}
+
+// AddVertex inserts v at timestamp at (which must be non-decreasing across
+// calls) and returns the evictions its arrival forces: every resident
+// vertex whose timestamp now falls outside the span.
+func (w *TimedWindow) AddVertex(v graph.VertexID, l graph.Label, at int64) ([]Eviction, error) {
+	if at < w.now {
+		return nil, fmt.Errorf("stream: timestamp %d regressed below %d", at, w.now)
+	}
+	w.now = at
+	evs := w.advance()
+	if !w.Resident(v) {
+		w.resident[v] = struct{}{}
+		w.arrival = append(w.arrival, timedEntry{v: v, at: at})
+	}
+	w.g.AddVertex(v, l)
+	return evs, nil
+}
+
+// advance evicts every vertex older than now-span.
+func (w *TimedWindow) advance() []Eviction {
+	var evs []Eviction
+	for len(w.arrival) > 0 && w.arrival[0].at < w.now-w.span {
+		v := w.arrival[0].v
+		w.arrival = w.arrival[1:]
+		evs = append(evs, *w.remove(v))
+	}
+	return evs
+}
+
+// AddEdge records stream edge {u,v} with the same semantics as
+// Window.AddEdge.
+func (w *TimedWindow) AddEdge(u, v graph.VertexID) (bothResident bool, err error) {
+	if u == v {
+		return false, fmt.Errorf("stream: self-loop {%d,%d}", u, v)
+	}
+	ur, vr := w.Resident(u), w.Resident(v)
+	switch {
+	case ur && vr:
+		if w.g.HasEdge(u, v) {
+			return true, nil
+		}
+		if err := w.g.AddEdge(u, v); err != nil {
+			return false, err
+		}
+		return true, nil
+	case ur:
+		w.deferred[u] = append(w.deferred[u], pendingEdge{other: v})
+		return false, nil
+	case vr:
+		w.deferred[v] = append(w.deferred[v], pendingEdge{other: u})
+		return false, nil
+	default:
+		return false, nil
+	}
+}
+
+// Flush evicts every resident vertex in arrival order.
+func (w *TimedWindow) Flush() []Eviction {
+	out := make([]Eviction, 0, len(w.arrival))
+	for len(w.arrival) > 0 {
+		v := w.arrival[0].v
+		w.arrival = w.arrival[1:]
+		out = append(out, *w.remove(v))
+	}
+	return out
+}
+
+// remove mirrors Window.remove: deferred edges propagate to resident
+// neighbours so their later evictions still see the assigned endpoint.
+func (w *TimedWindow) remove(v graph.VertexID) *Eviction {
+	l, _ := w.g.Label(v)
+	ev := &Eviction{V: v, Label: l}
+	ev.WindowNeighbors = w.g.Neighbors(v)
+	for _, pe := range w.deferred[v] {
+		ev.AssignedNeighbors = append(ev.AssignedNeighbors, pe.other)
+	}
+	for _, u := range ev.WindowNeighbors {
+		w.deferred[u] = append(w.deferred[u], pendingEdge{other: v})
+	}
+	delete(w.deferred, v)
+	delete(w.resident, v)
+	w.g.RemoveVertex(v)
+	return ev
+}

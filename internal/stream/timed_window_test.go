@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestTimedWindowValidation(t *testing.T) {
+	if _, err := NewTimedWindow(0); err == nil {
+		t.Fatal("span 0 should be rejected")
+	}
+	w, err := NewTimedWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Span() != 10 || w.Len() != 0 || w.Now() != 0 {
+		t.Fatal("fresh timed window state wrong")
+	}
+}
+
+func TestTimedWindowEvictsBySpan(t *testing.T) {
+	w, _ := NewTimedWindow(5)
+	evs, err := w.AddVertex(1, "a", 0)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("t=0: evs=%v err=%v", evs, err)
+	}
+	evs, err = w.AddVertex(2, "b", 3)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("t=3: evs=%v err=%v", evs, err)
+	}
+	// t=6: vertex 1 (t=0) is 6 old > span 5 -> evicted; vertex 2 stays.
+	evs, err = w.AddVertex(3, "c", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].V != 1 {
+		t.Fatalf("t=6 evictions = %v, want [1]", evs)
+	}
+	if !w.Resident(2) || !w.Resident(3) || w.Resident(1) {
+		t.Fatal("residency wrong after span eviction")
+	}
+}
+
+func TestTimedWindowRejectsTimeRegression(t *testing.T) {
+	w, _ := NewTimedWindow(5)
+	if _, err := w.AddVertex(1, "a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddVertex(2, "b", 9); err == nil {
+		t.Fatal("regressing timestamps should be rejected")
+	}
+}
+
+func TestTimedWindowUnboundedWithinSpan(t *testing.T) {
+	w, _ := NewTimedWindow(100)
+	for i := 0; i < 50; i++ {
+		evs, err := w.AddVertex(graph.VertexID(i), "x", int64(i))
+		if err != nil || len(evs) != 0 {
+			t.Fatalf("vertex %d: evs=%v err=%v", i, evs, err)
+		}
+	}
+	if w.Len() != 50 {
+		t.Fatalf("Len = %d, want 50 (no count cap)", w.Len())
+	}
+}
+
+func TestTimedWindowEdgeSemantics(t *testing.T) {
+	w, _ := NewTimedWindow(5)
+	if _, err := w.AddVertex(1, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddVertex(2, "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	both, err := w.AddEdge(1, 2)
+	if err != nil || !both {
+		t.Fatalf("AddEdge = %v,%v", both, err)
+	}
+	if _, err := w.AddEdge(3, 3); err == nil {
+		t.Fatal("self-loop should error")
+	}
+	// Evict 1 by time (t=6, span 5: only t<1 leaves); deferred edge lands
+	// on 2's eventual eviction.
+	if _, err := w.AddVertex(4, "d", 6); err != nil {
+		t.Fatal(err)
+	}
+	if w.Resident(1) {
+		t.Fatal("1 should be evicted at t=6")
+	}
+	if !w.Resident(2) {
+		t.Fatal("2 (t=1) should survive at t=6")
+	}
+	both, err = w.AddEdge(2, 1)
+	if err != nil || both {
+		t.Fatalf("edge to evicted endpoint = %v,%v; want false,nil", both, err)
+	}
+	evs := w.Flush()
+	var ev2 *Eviction
+	for i := range evs {
+		if evs[i].V == 2 {
+			ev2 = &evs[i]
+		}
+	}
+	if ev2 == nil {
+		t.Fatal("2 not flushed")
+	}
+	// 2's assigned neighbours: 1 via window-eviction propagation AND the
+	// explicitly deferred stream edge.
+	if len(ev2.AssignedNeighbors) < 1 {
+		t.Fatalf("AssignedNeighbors = %v, want to include 1", ev2.AssignedNeighbors)
+	}
+	found := false
+	for _, n := range ev2.AssignedNeighbors {
+		if n == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("AssignedNeighbors = %v missing 1", ev2.AssignedNeighbors)
+	}
+}
+
+func TestTimedWindowFlushOrder(t *testing.T) {
+	w, _ := NewTimedWindow(100)
+	for i := 1; i <= 3; i++ {
+		if _, err := w.AddVertex(graph.VertexID(i), "x", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := w.Flush()
+	got := []graph.VertexID{evs[0].V, evs[1].V, evs[2].V}
+	if !reflect.DeepEqual(got, []graph.VertexID{1, 2, 3}) {
+		t.Fatalf("flush order = %v", got)
+	}
+	if w.Len() != 0 {
+		t.Fatal("window should be empty")
+	}
+}
+
+func TestTimedWindowReAddResidentKeepsTimestamp(t *testing.T) {
+	w, _ := NewTimedWindow(5)
+	if _, err := w.AddVertex(1, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding relabels but does not refresh the arrival time.
+	if _, err := w.AddVertex(1, "b", 4); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := w.Graph().Label(1); l != "b" {
+		t.Fatal("relabel failed")
+	}
+	evs, err := w.AddVertex(2, "c", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].V != 1 {
+		t.Fatalf("vertex 1 should evict by its original timestamp: %v", evs)
+	}
+}

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"fmt"
+
+	"loom/internal/graph"
+)
+
+// Window is a count-based sliding window over a graph-stream (paper §4.1,
+// footnote 2: windows may be defined in terms of time or element count; we
+// use vertex count, which bounds memory independent of edge density).
+//
+// The window holds the most recent vertices and every stream edge whose
+// endpoints are both resident. When capacity is exceeded the oldest vertex
+// is evicted; the caller receives the evicted vertex and its
+// window-resident incident edges so it can be assigned to a partition.
+type Window struct {
+	capacity int
+	g        *graph.Graph     // window-resident subgraph
+	arrival  []graph.VertexID // FIFO arrival order of resident vertices
+	resident map[graph.VertexID]struct{}
+	deferred map[graph.VertexID][]pendingEdge // edges waiting for an evicted endpoint
+}
+
+// pendingEdge records an edge whose other endpoint already left the window;
+// it is surfaced to the caller at insertion time so the partitioner can
+// still count it toward placement scores.
+type pendingEdge struct {
+	other graph.VertexID
+}
+
+// NewWindow returns a window holding at most capacity vertices
+// (capacity >= 1).
+func NewWindow(capacity int) (*Window, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: window capacity %d < 1", capacity)
+	}
+	return &Window{
+		capacity: capacity,
+		g:        graph.New(),
+		resident: make(map[graph.VertexID]struct{}),
+		deferred: make(map[graph.VertexID][]pendingEdge),
+	}, nil
+}
+
+// Len returns the number of resident vertices.
+func (w *Window) Len() int { return len(w.arrival) }
+
+// Capacity returns the window's vertex capacity.
+func (w *Window) Capacity() int { return w.capacity }
+
+// Graph exposes the window-resident subgraph. Callers must treat it as
+// read-only; mutations would desynchronise eviction bookkeeping.
+func (w *Window) Graph() *graph.Graph { return w.g }
+
+// Resident reports whether v is currently inside the window.
+func (w *Window) Resident(v graph.VertexID) bool {
+	_, ok := w.resident[v]
+	return ok
+}
+
+// Oldest returns the vertex that would be evicted next and whether the
+// window is non-empty.
+func (w *Window) Oldest() (graph.VertexID, bool) {
+	if len(w.arrival) == 0 {
+		return 0, false
+	}
+	return w.arrival[0], true
+}
+
+// Eviction describes a vertex leaving the window: the vertex, its label and
+// the edges it had to other vertices (resident or already-assigned).
+type Eviction struct {
+	V     graph.VertexID
+	Label graph.Label
+	// WindowNeighbors are the still-resident neighbours of V at eviction.
+	WindowNeighbors []graph.VertexID
+	// AssignedNeighbors are neighbours of V that were evicted earlier
+	// (edges to the already-partitioned portion of the graph).
+	AssignedNeighbors []graph.VertexID
+}
+
+// AddVertex inserts a vertex into the window. If the window is full the
+// oldest vertex is evicted first and returned (evicted != nil). Inserting a
+// vertex that is already resident only relabels it.
+func (w *Window) AddVertex(v graph.VertexID, l graph.Label) *Eviction {
+	if w.Resident(v) {
+		w.g.AddVertex(v, l)
+		return nil
+	}
+	var ev *Eviction
+	if len(w.arrival) >= w.capacity {
+		ev = w.evictOldest()
+	}
+	w.g.AddVertex(v, l)
+	w.resident[v] = struct{}{}
+	w.arrival = append(w.arrival, v)
+	return ev
+}
+
+// AddEdge records the stream edge {u,v}.
+//
+// If both endpoints are resident the edge joins the window subgraph and
+// bothResident is true. If one endpoint has already been evicted (assigned),
+// the edge is recorded against the resident endpoint so that its eventual
+// Eviction lists it in AssignedNeighbors; bothResident is false. Edges whose
+// endpoints are both gone are ignored (they were already surfaced).
+func (w *Window) AddEdge(u, v graph.VertexID) (bothResident bool, err error) {
+	if u == v {
+		return false, fmt.Errorf("stream: self-loop {%d,%d}", u, v)
+	}
+	ur, vr := w.Resident(u), w.Resident(v)
+	switch {
+	case ur && vr:
+		if w.g.HasEdge(u, v) {
+			return true, nil
+		}
+		if err := w.g.AddEdge(u, v); err != nil {
+			return false, err
+		}
+		return true, nil
+	case ur:
+		w.deferred[u] = append(w.deferred[u], pendingEdge{other: v})
+		return false, nil
+	case vr:
+		w.deferred[v] = append(w.deferred[v], pendingEdge{other: u})
+		return false, nil
+	default:
+		return false, nil
+	}
+}
+
+// EvictOldest forces eviction of the oldest vertex; ok is false when the
+// window is empty.
+func (w *Window) EvictOldest() (Eviction, bool) {
+	if len(w.arrival) == 0 {
+		return Eviction{}, false
+	}
+	return *w.evictOldest(), true
+}
+
+// Evict removes a specific resident vertex (used when LOOM assigns a whole
+// motif match at once). It reports false if v is not resident.
+func (w *Window) Evict(v graph.VertexID) (Eviction, bool) {
+	if !w.Resident(v) {
+		return Eviction{}, false
+	}
+	for i, x := range w.arrival {
+		if x == v {
+			w.arrival = append(w.arrival[:i], w.arrival[i+1:]...)
+			break
+		}
+	}
+	return *w.remove(v), true
+}
+
+// Flush evicts every resident vertex in arrival order and returns the
+// evictions; used at end-of-stream.
+func (w *Window) Flush() []Eviction {
+	out := make([]Eviction, 0, len(w.arrival))
+	for len(w.arrival) > 0 {
+		out = append(out, *w.evictOldest())
+	}
+	return out
+}
+
+func (w *Window) evictOldest() *Eviction {
+	v := w.arrival[0]
+	w.arrival = w.arrival[1:]
+	return w.remove(v)
+}
+
+func (w *Window) remove(v graph.VertexID) *Eviction {
+	l, _ := w.g.Label(v)
+	ev := &Eviction{V: v, Label: l}
+	ev.WindowNeighbors = w.g.Neighbors(v)
+	for _, pe := range w.deferred[v] {
+		ev.AssignedNeighbors = append(ev.AssignedNeighbors, pe.other)
+	}
+	// Edges from v to still-resident neighbours must outlive v in the
+	// window: record them as deferred so each neighbour's own eviction
+	// still reports the (by then assigned) endpoint v.
+	for _, u := range ev.WindowNeighbors {
+		w.deferred[u] = append(w.deferred[u], pendingEdge{other: v})
+	}
+	delete(w.deferred, v)
+	delete(w.resident, v)
+	w.g.RemoveVertex(v)
+	return ev
+}

@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Fatal("capacity 0 should be rejected")
+	}
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Capacity() != 3 || w.Len() != 0 {
+		t.Fatal("fresh window state wrong")
+	}
+}
+
+func TestWindowAddAndEvictFIFO(t *testing.T) {
+	w, _ := NewWindow(2)
+	if ev := w.AddVertex(1, "a"); ev != nil {
+		t.Fatal("no eviction expected")
+	}
+	if ev := w.AddVertex(2, "b"); ev != nil {
+		t.Fatal("no eviction expected")
+	}
+	ev := w.AddVertex(3, "c")
+	if ev == nil || ev.V != 1 || ev.Label != "a" {
+		t.Fatalf("eviction = %+v, want vertex 1", ev)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+	if oldest, ok := w.Oldest(); !ok || oldest != 2 {
+		t.Fatalf("Oldest = %d,%v; want 2,true", oldest, ok)
+	}
+}
+
+func TestWindowRelabelDoesNotEvict(t *testing.T) {
+	w, _ := NewWindow(1)
+	w.AddVertex(1, "a")
+	if ev := w.AddVertex(1, "b"); ev != nil {
+		t.Fatal("re-adding a resident vertex must not evict")
+	}
+	if l, _ := w.Graph().Label(1); l != "b" {
+		t.Fatalf("label = %s, want b", l)
+	}
+}
+
+func TestWindowEdges(t *testing.T) {
+	w, _ := NewWindow(4)
+	w.AddVertex(1, "a")
+	w.AddVertex(2, "b")
+	both, err := w.AddEdge(1, 2)
+	if err != nil || !both {
+		t.Fatalf("AddEdge = %v,%v; want true,nil", both, err)
+	}
+	if !w.Graph().HasEdge(1, 2) {
+		t.Fatal("edge should be in window graph")
+	}
+	// Duplicate edge is idempotent.
+	if both, err := w.AddEdge(2, 1); err != nil || !both {
+		t.Fatalf("dup AddEdge = %v,%v", both, err)
+	}
+	if w.Graph().NumEdges() != 1 {
+		t.Fatal("duplicate edge should not double count")
+	}
+	if _, err := w.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop should error")
+	}
+}
+
+func TestWindowDeferredEdges(t *testing.T) {
+	w, _ := NewWindow(2)
+	w.AddVertex(1, "a")
+	w.AddVertex(2, "b")
+	ev := w.AddVertex(3, "c") // evicts 1
+	if ev == nil || ev.V != 1 {
+		t.Fatal("expected eviction of 1")
+	}
+	// Edge (3,1) arrives after 1 was assigned.
+	both, err := w.AddEdge(3, 1)
+	if err != nil || both {
+		t.Fatalf("AddEdge = %v,%v; want false,nil", both, err)
+	}
+	// When 3 is evicted its AssignedNeighbors must include 1.
+	_, _ = w.EvictOldest() // evicts 2
+	ev3, ok := w.EvictOldest()
+	if !ok || ev3.V != 3 {
+		t.Fatalf("expected eviction of 3, got %+v", ev3)
+	}
+	if !reflect.DeepEqual(ev3.AssignedNeighbors, []graph.VertexID{1}) {
+		t.Fatalf("AssignedNeighbors = %v, want [1]", ev3.AssignedNeighbors)
+	}
+}
+
+func TestWindowEdgeSurvivesNeighborEviction(t *testing.T) {
+	// Edge between residents; one endpoint evicted; the other's eventual
+	// eviction must still report the assigned endpoint.
+	w, _ := NewWindow(2)
+	w.AddVertex(1, "a")
+	w.AddVertex(2, "b")
+	if _, err := w.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ev := w.AddVertex(3, "c") // evicts 1; edge (1,2) leaves window graph
+	if ev.V != 1 || len(ev.WindowNeighbors) != 1 || ev.WindowNeighbors[0] != 2 {
+		t.Fatalf("eviction of 1 = %+v", ev)
+	}
+	_ = w.AddVertex(4, "d") // evicts 2
+	ev2, _ := w.EvictOldest()
+	if ev2.V != 3 {
+		// vertex 2 was evicted by AddVertex(4); pull its eviction record
+		t.Fatalf("unexpected eviction order: %+v", ev2)
+	}
+}
+
+func TestWindowEvictionNeighborAccounting(t *testing.T) {
+	w, _ := NewWindow(3)
+	w.AddVertex(1, "a")
+	w.AddVertex(2, "b")
+	w.AddVertex(3, "c")
+	if _, err := w.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := w.EvictOldest()
+	if !ok || ev.V != 1 {
+		t.Fatal("expected eviction of 1")
+	}
+	if !reflect.DeepEqual(ev.WindowNeighbors, []graph.VertexID{2, 3}) {
+		t.Fatalf("WindowNeighbors = %v, want [2 3]", ev.WindowNeighbors)
+	}
+	// 2's eviction must now list 1 as an assigned neighbour.
+	ev2, _ := w.EvictOldest()
+	if ev2.V != 2 || !reflect.DeepEqual(ev2.AssignedNeighbors, []graph.VertexID{1}) {
+		t.Fatalf("eviction of 2 = %+v, want AssignedNeighbors [1]", ev2)
+	}
+}
+
+func TestWindowEvictSpecific(t *testing.T) {
+	w, _ := NewWindow(3)
+	w.AddVertex(1, "a")
+	w.AddVertex(2, "b")
+	w.AddVertex(3, "c")
+	ev, ok := w.Evict(2)
+	if !ok || ev.V != 2 {
+		t.Fatalf("Evict(2) = %+v,%v", ev, ok)
+	}
+	if w.Resident(2) {
+		t.Fatal("2 should be gone")
+	}
+	if _, ok := w.Evict(2); ok {
+		t.Fatal("second Evict(2) should fail")
+	}
+	// FIFO order preserved for the rest.
+	ev1, _ := w.EvictOldest()
+	if ev1.V != 1 {
+		t.Fatalf("oldest = %d, want 1", ev1.V)
+	}
+}
+
+func TestWindowFlush(t *testing.T) {
+	w, _ := NewWindow(5)
+	for i := 1; i <= 4; i++ {
+		w.AddVertex(graph.VertexID(i), "x")
+	}
+	evs := w.Flush()
+	if len(evs) != 4 {
+		t.Fatalf("flushed %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.V != graph.VertexID(i+1) {
+			t.Fatalf("flush order wrong: %v", evs)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatal("window should be empty after flush")
+	}
+	if _, ok := w.EvictOldest(); ok {
+		t.Fatal("EvictOldest on empty window should fail")
+	}
+	if _, ok := w.Oldest(); ok {
+		t.Fatal("Oldest on empty window should fail")
+	}
+}
+
+func TestWindowEdgeBetweenUnknownVertices(t *testing.T) {
+	w, _ := NewWindow(2)
+	both, err := w.AddEdge(41, 42)
+	if err != nil || both {
+		t.Fatalf("edge between non-residents = %v,%v; want false,nil", both, err)
+	}
+}
+
+func TestPropertyWindowInvariants(t *testing.T) {
+	// Under random operations: Len <= capacity; the window graph contains
+	// exactly the resident vertices; every vertex is evicted exactly once.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cap := 1 + r.Intn(6)
+		w, err := NewWindow(cap)
+		if err != nil {
+			return false
+		}
+		evicted := map[graph.VertexID]int{}
+		added := 0
+		for i := 0; i < 60; i++ {
+			switch r.Intn(4) {
+			case 0, 1: // add vertex
+				v := graph.VertexID(added)
+				added++
+				if ev := w.AddVertex(v, "x"); ev != nil {
+					evicted[ev.V]++
+				}
+			case 2: // add edge between random known vertices
+				if added >= 2 {
+					u := graph.VertexID(r.Intn(added))
+					v := graph.VertexID(r.Intn(added))
+					if u != v {
+						if _, err := w.AddEdge(u, v); err != nil {
+							return false
+						}
+					}
+				}
+			case 3: // force eviction
+				if ev, ok := w.EvictOldest(); ok {
+					evicted[ev.V]++
+				}
+			}
+			if w.Len() > cap {
+				return false
+			}
+			if w.Graph().NumVertices() != w.Len() {
+				return false
+			}
+		}
+		for _, ev := range w.Flush() {
+			evicted[ev.V]++
+		}
+		if len(evicted) != added {
+			return false
+		}
+		for _, n := range evicted {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
