@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	loom-bench              # run everything at full size
-//	loom-bench -quick       # run everything at reduced size (seconds)
-//	loom-bench -run C2,E9   # run selected experiments
-//	loom-bench -list        # list experiment IDs
-//	loom-bench -seed 7      # change the global seed
+//	loom-bench                        # run everything at full size
+//	loom-bench -quick                 # run everything at reduced size (seconds)
+//	loom-bench -run C2,E9             # run selected experiments
+//	loom-bench -list                  # list experiment IDs
+//	loom-bench -seed 7                # change the global seed
+//	loom-bench -json BENCH_loom.json  # write the benchmark trajectory (ns/op,
+//	                                  # cut fraction, imbalance per scenario)
+//	                                  # and exit; combine with -quick
 package main
 
 import (
@@ -27,12 +30,22 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 42, "global random seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.String("json", "", "write the benchmark trajectory to this file (e.g. BENCH_loom.json) and exit")
 	flag.Parse()
 
 	if *list {
 		for _, s := range experiments.All() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
 		}
+		return
+	}
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loom-bench: wrote benchmark trajectory to %s\n", *jsonOut)
 		return
 	}
 
@@ -87,4 +100,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loom-bench: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeBenchJSON measures the benchmark trajectory and writes it as JSON,
+// so successive PRs can diff ns/op, cut fraction and imbalance per
+// scenario.
+func writeBenchJSON(path string, seed int64, quick bool) error {
+	records, err := experiments.BenchTrajectory(seed, quick)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchJSON(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,6 +7,7 @@
 //	loom partition -graph graph.txt -k 8 [-partitioner loom|ldg|fennel|hash|multilevel]
 //	               [-order random|bfs|dfs|adversarial|temporal]
 //	               [-window 256] [-threshold 0.05] [-workload n] [-out assignment.txt]
+//	               [-restream-passes 0] [-restream-priority none|degree|ambivalence|cutdegree]
 //	loom evaluate  -graph graph.txt -assign assignment.txt [-workload n] [-samples 200]
 //	loom inspect   [-workload n] [-threshold 0.1]
 //
@@ -193,12 +194,24 @@ func cmdPartition(args []string) error {
 	maxGroup := fs.Int("maxgroup", 0, "LOOM: split motif groups larger than this (0 = unlimited, future-work E13)")
 	slack := fs.Float64("slack", 1.2, "capacity slack factor")
 	seed := fs.Int64("seed", 1, "random seed")
+	restreamPasses := fs.Int("restream-passes", 0, "restreaming passes after the initial one (loom|ldg|fennel)")
+	restreamPriority := fs.String("restream-priority", "none", "between-pass stream reordering: none|degree|ambivalence|cutdegree")
 	out := fs.String("out", "", "assignment output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		return fmt.Errorf("-graph is required")
+	}
+	if *restreamPasses < 0 {
+		return fmt.Errorf("-restream-passes %d < 0", *restreamPasses)
+	}
+	priority, err := partition.ParsePriority(*restreamPriority)
+	if err != nil {
+		return err
+	}
+	if priority != partition.PriorityNone && *restreamPasses == 0 {
+		return fmt.Errorf("-restream-priority %s requires -restream-passes > 0", priority)
 	}
 	g, err := loadGraph(*graphPath)
 	if err != nil {
@@ -210,6 +223,7 @@ func cmdPartition(args []string) error {
 	}
 	cfg := partition.Config{K: *k, ExpectedVertices: g.NumVertices(), Slack: *slack, Seed: *seed}
 	rng := rand.New(rand.NewSource(*seed + 100))
+	rcfg := partition.RestreamConfig{Passes: 1 + *restreamPasses, Priority: priority}
 
 	var a *partition.Assignment
 	switch *part {
@@ -236,14 +250,30 @@ func cmdPartition(args []string) error {
 		if err != nil {
 			return err
 		}
+		ccfg := core.Config{
+			Partition: cfg, WindowSize: *window, Threshold: *threshold,
+			TraversalWeighting: *weighted, MaxGroupSize: *maxGroup,
+		}
+		if *restreamPasses > 0 {
+			// Workload-aware restreaming: re-run the full LOOM partitioner
+			// per pass, seeded with the previous assignment.
+			base, err := stream.VertexOrder(g, order, rng)
+			if err != nil {
+				return err
+			}
+			res, err := core.Restream(g, trie, ccfg, rcfg, base, nil)
+			if err != nil {
+				return err
+			}
+			printPassStats(res)
+			a = res.Final
+			break
+		}
 		elems, err := stream.FromGraph(g, order, rng)
 		if err != nil {
 			return err
 		}
-		p, err := core.New(core.Config{
-			Partition: cfg, WindowSize: *window, Threshold: *threshold,
-			TraversalWeighting: *weighted, MaxGroupSize: *maxGroup,
-		}, trie)
+		p, err := core.New(ccfg, trie)
 		if err != nil {
 			return err
 		}
@@ -254,32 +284,49 @@ func cmdPartition(args []string) error {
 		fmt.Fprintf(os.Stderr, "loom: %d motif groups, %d grouped vertices, largest group %d\n",
 			st.MotifGroups, st.GroupedVertices, st.LargestGroup)
 	case "multilevel":
+		if *restreamPasses > 0 {
+			return fmt.Errorf("-restream-passes applies to streaming partitioners, not multilevel")
+		}
 		ml := &partition.Multilevel{K: *k, Seed: *seed}
 		if a, err = ml.Partition(g); err != nil {
 			return err
 		}
 	default:
-		var s partition.Streaming
-		switch *part {
-		case "ldg":
-			s, err = partition.NewLDG(cfg)
-		case "fennel":
-			s, err = partition.NewFennel(partition.FennelConfig{Config: cfg, ExpectedEdges: g.NumEdges()})
-		case "hash":
-			s, err = partition.NewHash(cfg)
-		case "greedy":
-			s, err = partition.NewDeterministicGreedy(cfg)
-		case "balanced":
-			s, err = partition.NewBalanced(cfg)
-		case "chunking":
-			s, err = partition.NewChunking(cfg)
-		default:
-			return fmt.Errorf("unknown partitioner %q", *part)
+		newHeuristic := func() (partition.Streaming, error) {
+			switch *part {
+			case "ldg":
+				return partition.NewLDG(cfg)
+			case "fennel":
+				return partition.NewFennel(partition.FennelConfig{Config: cfg, ExpectedEdges: g.NumEdges()})
+			case "hash":
+				return partition.NewHash(cfg)
+			case "greedy":
+				return partition.NewDeterministicGreedy(cfg)
+			case "balanced":
+				return partition.NewBalanced(cfg)
+			case "chunking":
+				return partition.NewChunking(cfg)
+			}
+			return nil, fmt.Errorf("unknown partitioner %q", *part)
 		}
+		vs, err := stream.VertexOrder(g, order, rng)
 		if err != nil {
 			return err
 		}
-		vs, err := stream.VertexOrder(g, order, rng)
+		if *restreamPasses > 0 {
+			rs := &partition.Restreamer{
+				Config:  rcfg,
+				NewPass: func(int) (partition.Streaming, error) { return newHeuristic() },
+			}
+			res, err := rs.Run(g, vs, nil)
+			if err != nil {
+				return err
+			}
+			printPassStats(res)
+			a = res.Final
+			break
+		}
+		s, err := newHeuristic()
 		if err != nil {
 			return err
 		}
@@ -299,6 +346,15 @@ func cmdPartition(args []string) error {
 		w = f
 	}
 	return writeAssignment(w, a)
+}
+
+// printPassStats reports per-pass restreaming measures on stderr.
+func printPassStats(res *partition.RestreamResult) {
+	for _, st := range res.Passes {
+		fmt.Fprintf(os.Stderr, "restream: pass %d (%s) cut=%d cut%%=%.2f balance=%.3f migrated=%d (%.1f%%)\n",
+			st.Pass, st.Priority, st.CutEdges, 100*st.CutFraction, st.Imbalance,
+			st.Migrated, 100*st.MigrationFraction)
+	}
 }
 
 // writeAssignment serialises "p <vertex> <partition>" lines, sorted.

@@ -137,6 +137,44 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("future-work run: %v, len=%d", err, a.Len())
 	}
 
+	// Restreaming: ldg, fennel and loom accept the flags; multilevel and
+	// non-prior-aware heuristics reject them.
+	for _, p := range []string{"ldg", "fennel", "loom"} {
+		args := []string{
+			"-graph", gpath, "-k", "4", "-partitioner", p, "-seed", "5",
+			"-restream-passes", "2", "-restream-priority", "ambivalence", "-out", apath,
+		}
+		if p == "loom" {
+			args = append(args, "-window", "64", "-workload", "6")
+		}
+		if err := cmdPartition(args); err != nil {
+			t.Fatalf("partition %s restreamed: %v", p, err)
+		}
+		if a, err := readAssignment(apath); err != nil || a.Len() != 300 {
+			t.Fatalf("restreamed %s: %v, len=%d", p, err, a.Len())
+		}
+	}
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-partitioner", "multilevel", "-restream-passes", "1",
+	}); err == nil {
+		t.Fatal("multilevel with -restream-passes should error")
+	}
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-partitioner", "hash", "-restream-passes", "1",
+	}); err == nil {
+		t.Fatal("hash with -restream-passes should error (not PriorAware)")
+	}
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-partitioner", "ldg", "-restream-priority", "nope",
+	}); err == nil {
+		t.Fatal("unknown restream priority should error")
+	}
+	if err := cmdPartition([]string{
+		"-graph", gpath, "-partitioner", "ldg", "-restream-priority", "degree",
+	}); err == nil {
+		t.Fatal("restream priority without -restream-passes should error")
+	}
+
 	// LOOM with an explicit workload file.
 	wpath := filepath.Join(dir, "w.txt")
 	wl := "query probe 2 path a b c\nquery ring 1 cycle a b c\n"

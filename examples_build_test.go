@@ -1,0 +1,75 @@
+package loom_test
+
+// Build-and-run coverage for the example mains, which "go test ./..."
+// otherwise never compiles or executes.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs lists every program under examples/.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found")
+	}
+	return dirs
+}
+
+// TestExamplesBuildAndRun builds and executes every example main. Examples
+// are deterministic demos over small synthetic graphs, so a non-zero exit
+// or a hang is a regression.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	bin := t.TempDir()
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			exe := filepath.Join(bin, dir)
+			build := exec.Command(goTool, "build", "-o", exe, "./examples/"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(exe)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var runErr error
+				out, runErr = cmd.CombinedOutput()
+				done <- runErr
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, out)
+				}
+				if len(out) == 0 {
+					t.Fatal("example produced no output")
+				}
+			case <-time.After(2 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", dir)
+			}
+		})
+	}
+}

@@ -92,7 +92,12 @@ type Partitioner struct {
 	// deployment would read labels from the store; the simulator keeps
 	// them in memory (O(n) strings).
 	labels map[graph.VertexID]graph.Label
-	stats  Stats
+	// adjacency, when set, supplies the full neighbour list of a vertex at
+	// assignment time (restreaming passes, where the graph has been fully
+	// observed before); nil keeps the streaming-only view of edges seen so
+	// far.
+	adjacency func(graph.VertexID) []graph.VertexID
+	stats     Stats
 }
 
 // New returns a LOOM partitioner over the workload summarised by trie.
@@ -151,6 +156,34 @@ func (p *Partitioner) Stats() Stats {
 
 // Window exposes the live window (read-only) for inspection tools.
 func (p *Partitioner) Window() *stream.Window { return p.window }
+
+// SetPrior seeds the base LDG with a previous pass's assignment for
+// workload-aware restreaming (see partition.PriorAware): not-yet-replaced
+// neighbours score with their prior placement and each vertex's own prior
+// partition earns selfWeight, for singleton and motif-group placement
+// alike. Call before consuming any element.
+func (p *Partitioner) SetPrior(prev *partition.Assignment, selfWeight float64) {
+	p.ldg.SetPrior(prev, selfWeight)
+}
+
+// SetAdjacencyOracle supplies full-graph adjacency for restreaming passes:
+// evicted vertices score with their complete neighbour list instead of only
+// the edges the stream has delivered so far, so the prior placements of
+// later-arriving neighbours count too (the information advantage restreaming
+// exists to exploit). Neighbours that are neither assigned nor covered by a
+// prior still contribute nothing, which is why a cold-start pass behaves
+// identically with or without the oracle.
+func (p *Partitioner) SetAdjacencyOracle(fn func(graph.VertexID) []graph.VertexID) {
+	p.adjacency = fn
+}
+
+// neighborsOf returns the scoring neighbour list for an evicted vertex.
+func (p *Partitioner) neighborsOf(ev stream.Eviction) []graph.VertexID {
+	if p.adjacency != nil {
+		return p.adjacency(ev.V)
+	}
+	return append(append([]graph.VertexID(nil), ev.WindowNeighbors...), ev.AssignedNeighbors...)
+}
 
 // Consume processes one stream element.
 func (p *Partitioner) Consume(el stream.Element) error {
@@ -229,7 +262,7 @@ func (p *Partitioner) assignEvicted(ev stream.Eviction) {
 	// Gather neighbour information per group member. ev.V has already left
 	// the window; the others are force-evicted now.
 	neighbors := make(map[graph.VertexID][]graph.VertexID, len(group))
-	neighbors[ev.V] = append(append([]graph.VertexID(nil), ev.WindowNeighbors...), ev.AssignedNeighbors...)
+	neighbors[ev.V] = p.neighborsOf(ev)
 	for _, m := range group {
 		if m == ev.V {
 			continue
@@ -240,7 +273,7 @@ func (p *Partitioner) assignEvicted(ev stream.Eviction) {
 			// span resident vertices); fall back to no neighbour info.
 			continue
 		}
-		neighbors[m] = append(append([]graph.VertexID(nil), mev.WindowNeighbors...), mev.AssignedNeighbors...)
+		neighbors[m] = p.neighborsOf(mev)
 	}
 
 	blocks := p.splitGroup(ev.V, group, neighbors)
@@ -352,7 +385,7 @@ func (p *Partitioner) groupFor(v graph.VertexID) []graph.VertexID {
 
 // assignSingle places one vertex by LDG (traversal-weighted when enabled).
 func (p *Partitioner) assignSingle(ev stream.Eviction) {
-	neighbors := append(append([]graph.VertexID(nil), ev.WindowNeighbors...), ev.AssignedNeighbors...)
+	neighbors := p.neighborsOf(ev)
 	if p.cfg.TraversalWeighting {
 		p.ldg.PlaceWeighted(ev.V, neighbors, p.edgeWeight)
 	} else {

@@ -1,0 +1,34 @@
+package core
+
+// Workload-aware restreaming: re-run the full LOOM partitioner — window,
+// motif tracker and group placement included — over an already-partitioned
+// stream, each pass seeded with the previous assignment. Motif matches keep
+// being co-located, while the prior-aware LDG underneath stabilises
+// placements and lowers the cut across passes, exactly as ReLDG does for
+// the plain heuristic (see internal/partition/restream.go).
+
+import (
+	"loom/internal/graph"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/stream"
+)
+
+// Restream runs LOOM over g for rcfg.Passes passes. base is the cold-start
+// vertex order (empty = g.Vertices()); prev is the assignment to improve
+// (nil to start from scratch). Each pass streams the graph via
+// stream.FromVertexOrder, so deferred-edge and window semantics match a
+// single-pass run on the same order.
+func Restream(g *graph.Graph, trie *motif.Trie, cfg Config, rcfg partition.RestreamConfig, base []graph.VertexID, prev *partition.Assignment) (*partition.RestreamResult, error) {
+	return partition.Restream(g, base, prev, rcfg, func(pass int, order []graph.VertexID, prevA *partition.Assignment) (*partition.Assignment, error) {
+		p, err := New(cfg, trie)
+		if err != nil {
+			return nil, err
+		}
+		if prevA != nil {
+			p.SetPrior(prevA, rcfg.SelfWeight)
+		}
+		p.SetAdjacencyOracle(g.Neighbors)
+		return p.Run(stream.NewSliceSource(stream.FromVertexOrder(g, order)))
+	})
+}

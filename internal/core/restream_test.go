@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/signature"
+	"loom/internal/stream"
+)
+
+// restreamInstance builds a community graph plus a workload trie.
+func restreamInstance(t *testing.T, n, k int, seed int64) (*graph.Graph, *motif.Trie) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	alphabet := gen.DefaultAlphabet(4)
+	lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: r}
+	g, err := gen.PlantedPartitionDegrees(n, k, 12, 3, lab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := query.GenerateWorkload(query.DefaultMix(8), alphabet, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie := motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{MaxMotifVertices: 4})
+	if err := w.BuildTrie(trie); err != nil {
+		t.Fatal(err)
+	}
+	return g, trie
+}
+
+// TestRestreamLOOMImproves re-runs the full LOOM partitioner (motif
+// tracker included) for three passes and expects the cut to drop while the
+// placement stays complete and migration stays reported.
+func TestRestreamLOOMImproves(t *testing.T) {
+	const n, k, seed = 600, 4, 7
+	g, trie := restreamInstance(t, n, k, seed)
+	cfg := Config{
+		Partition:  partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: seed},
+		WindowSize: 64,
+		Threshold:  0.05,
+	}
+	base, err := stream.VertexOrder(g, stream.RandomOrder, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Restream(g, trie, cfg, partition.RestreamConfig{Passes: 3}, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Len() != n {
+		t.Fatalf("final assignment covers %d of %d vertices", res.Final.Len(), n)
+	}
+	if len(res.Passes) != 3 {
+		t.Fatalf("got %d pass stats, want 3", len(res.Passes))
+	}
+	if res.Passes[2].CutFraction > res.Passes[0].CutFraction {
+		t.Errorf("workload-aware restream worsened cut: %.4f -> %.4f",
+			res.Passes[0].CutFraction, res.Passes[2].CutFraction)
+	}
+	if res.Passes[1].Migrated == 0 {
+		t.Error("pass 2 reported no migration")
+	}
+}
+
+// TestRestreamLOOMSeedsFromPrior starts from a hash placement and expects
+// the workload-aware restream to beat it.
+func TestRestreamLOOMSeedsFromPrior(t *testing.T) {
+	const n, k, seed = 400, 4, 3
+	g, trie := restreamInstance(t, n, k, seed)
+	pcfg := partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: seed}
+	h, err := partition.NewHash(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := partition.PartitionStream(g, g.Vertices(), h)
+	priorCut := prior.CutEdges(g)
+
+	cfg := Config{Partition: pcfg, WindowSize: 64, Threshold: 0.05}
+	res, err := Restream(g, trie, cfg, partition.RestreamConfig{Passes: 2, Priority: partition.PriorityDegree}, nil, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final.CutEdges(g); got >= priorCut {
+		t.Fatalf("restreamed cut %d not below hash prior %d", got, priorCut)
+	}
+	if res.Passes[0].Migrated == 0 {
+		t.Error("restream from hash prior migrated nothing on pass 1")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/metrics"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/stream"
+)
+
+// BenchRecord is one scenario of the benchmark trajectory loom-bench emits
+// as BENCH_loom.json, so successive PRs can diff performance and quality.
+type BenchRecord struct {
+	// Scenario names graph x partitioner, e.g. "ba-8000/ldg".
+	Scenario string `json:"scenario"`
+	// NsPerOp is wall time per streamed vertex.
+	NsPerOp int64 `json:"ns_per_op"`
+	// CutFraction and Imbalance describe the resulting partitioning.
+	CutFraction float64 `json:"cut_fraction"`
+	Imbalance   float64 `json:"imbalance"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+	K           int     `json:"k"`
+}
+
+// BenchTrajectory measures the standard scenario set: the streaming
+// heuristics, LOOM, and a 3-pass ReLDG restream on a power-law and a
+// community graph. Deterministic per seed (timings aside).
+func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
+	n := 8000
+	if quick {
+		n = 1000
+	}
+	const k = 8
+	var out []BenchRecord
+
+	record := func(scenario string, g *graph.Graph, a *partition.Assignment, elapsed time.Duration) {
+		out = append(out, BenchRecord{
+			Scenario:    scenario,
+			NsPerOp:     elapsed.Nanoseconds() / int64(g.NumVertices()),
+			CutFraction: metrics.CutFraction(g, a),
+			Imbalance:   metrics.VertexImbalance(a),
+			Vertices:    g.NumVertices(),
+			Edges:       g.NumEdges(),
+			K:           k,
+		})
+	}
+
+	alphabet := gen.DefaultAlphabet(4)
+	graphs := make(map[string]*graph.Graph, 2)
+	{
+		rng := rand.New(rand.NewSource(seed))
+		lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+		ba, err := gen.BarabasiAlbert(n, 2, lab, rng)
+		if err != nil {
+			return nil, err
+		}
+		graphs[fmt.Sprintf("ba-%d", n)] = ba
+		comm, err := gen.PlantedPartitionDegrees(n, k, 12, 3, lab, rng)
+		if err != nil {
+			return nil, err
+		}
+		graphs[fmt.Sprintf("community-%d", n)] = comm
+	}
+
+	for _, gname := range []string{fmt.Sprintf("ba-%d", n), fmt.Sprintf("community-%d", n)} {
+		g := graphs[gname]
+		cfg := partition.Config{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: seed}
+		base, err := stream.VertexOrder(g, stream.RandomOrder, rand.New(rand.NewSource(seed+100)))
+		if err != nil {
+			return nil, err
+		}
+
+		for _, name := range []string{"hash", "ldg", "fennel"} {
+			var s partition.Streaming
+			switch name {
+			case "hash":
+				s, err = partition.NewHash(cfg)
+			case "ldg":
+				s, err = partition.NewLDG(cfg)
+			case "fennel":
+				s, err = partition.NewFennel(partition.FennelConfig{Config: cfg, ExpectedEdges: g.NumEdges()})
+			}
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			a := partition.PartitionStream(g, base, s)
+			record(gname+"/"+name, g, a, time.Since(start))
+		}
+
+		const passes = 3
+		rs := &partition.Restreamer{
+			Config:  partition.RestreamConfig{Passes: passes, Priority: partition.PriorityAmbivalence},
+			NewPass: func(int) (partition.Streaming, error) { return partition.NewLDG(cfg) },
+		}
+		start := time.Now()
+		res, err := rs.Run(g, base, nil)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		record(fmt.Sprintf("%s/reldg-%dpass", gname, passes), g, res.Final, elapsed/passes)
+
+		// LOOM with a synthetic workload, on the power-law graph only (the
+		// community graph has no meaningful workload here).
+		if gname == fmt.Sprintf("ba-%d", n) {
+			w, err := buildBenchTrie(alphabet, seed)
+			if err != nil {
+				return nil, err
+			}
+			p, err := core.New(core.Config{Partition: cfg, WindowSize: 256, Threshold: 0.05}, w)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			a, err := p.Run(stream.NewSliceSource(stream.FromVertexOrder(g, base)))
+			if err != nil {
+				return nil, err
+			}
+			record(gname+"/loom", g, a, time.Since(start))
+		}
+	}
+	return out, nil
+}
+
+// buildBenchTrie synthesises the default workload trie for the bench.
+func buildBenchTrie(alphabet []graph.Label, seed int64) (*trieType, error) {
+	rng := rand.New(rand.NewSource(seed))
+	w, err := query.GenerateWorkload(query.DefaultMix(10), alphabet, rng)
+	if err != nil {
+		return nil, err
+	}
+	trie := newTrieForAlphabet(alphabet)
+	if err := w.BuildTrie(trie); err != nil {
+		return nil, err
+	}
+	return trie, nil
+}
+
+// WriteBenchJSON renders records as indented JSON.
+func WriteBenchJSON(w io.Writer, records []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

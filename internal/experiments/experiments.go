@@ -174,6 +174,7 @@ func All() []Spec {
 		{"E12", "Future work: traversal-weighted LDG", (*Runner).E12},
 		{"E13", "Future work: local split of large motif groups", (*Runner).E13},
 		{"E14", "Sharded-store messages + hotspot replication", (*Runner).E14},
+		{"E15", "Restreaming: pass-count sweep vs single-pass and multilevel", (*Runner).E15},
 	}
 }
 

@@ -41,6 +41,22 @@ func VertexImbalance(a *partition.Assignment) float64 {
 	return float64(a.MaxSize()) / ideal
 }
 
+// Migration counts the vertices of cur placed differently than in prev
+// (vertices absent from prev count as migrated) — the data-movement cost of
+// adopting a restreamed or rebalanced assignment.
+func Migration(prev, cur *partition.Assignment) int {
+	return partition.Migration(prev, cur)
+}
+
+// MigrationFraction is Migration over cur's assigned vertex count (0 for
+// an empty cur).
+func MigrationFraction(prev, cur *partition.Assignment) float64 {
+	if cur.Len() == 0 {
+		return 0
+	}
+	return float64(partition.Migration(prev, cur)) / float64(cur.Len())
+}
+
 // EdgeCounts returns per-partition internal edge counts: edges with both
 // endpoints inside the partition.
 func EdgeCounts(g *graph.Graph, a *partition.Assignment) []int {

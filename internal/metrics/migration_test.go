@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+func TestMigration(t *testing.T) {
+	prev := partition.MustNewAssignment(2)
+	cur := partition.MustNewAssignment(2)
+	for i := 0; i < 4; i++ {
+		if err := prev.Set(graph.VertexID(i), partition.ID(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two stay, one moves, one is new to cur.
+	mustSet := func(a *partition.Assignment, v graph.VertexID, p partition.ID) {
+		t.Helper()
+		if err := a.Set(v, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(cur, 0, 0)
+	mustSet(cur, 1, 1)
+	mustSet(cur, 2, 1) // moved from 0
+	mustSet(cur, 9, 0) // absent from prev -> migrated
+
+	if got := Migration(prev, cur); got != 2 {
+		t.Fatalf("Migration = %d, want 2", got)
+	}
+	if got := MigrationFraction(prev, cur); got != 0.5 {
+		t.Fatalf("MigrationFraction = %v, want 0.5", got)
+	}
+	empty := partition.MustNewAssignment(2)
+	if got := MigrationFraction(prev, empty); got != 0 {
+		t.Fatalf("MigrationFraction(empty cur) = %v, want 0", got)
+	}
+	// A nil prev is the cold-start convention: everything counts as
+	// migrated, nothing panics.
+	if got := Migration(nil, cur); got != cur.Len() {
+		t.Fatalf("Migration(nil, cur) = %d, want %d", got, cur.Len())
+	}
+	if got := MigrationFraction(nil, cur); got != 1 {
+		t.Fatalf("MigrationFraction(nil, cur) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,47 @@
+package partition
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// starPlacements streams a 4-vertex star (hub first) through Fennel with a
+// negligible balance penalty, so only the hard-capacity guard can stop the
+// leaves from piling onto the hub's partition.
+func starPlacements(t *testing.T, slack float64) *Assignment {
+	t.Helper()
+	f, err := NewFennel(FennelConfig{
+		Config: Config{K: 2, ExpectedVertices: 4, Slack: slack, Seed: 1},
+		Alpha:  1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := graph.VertexID(0)
+	f.Place(hub, nil)
+	for i := 1; i <= 3; i++ {
+		f.Place(graph.VertexID(i), []graph.VertexID{hub})
+	}
+	return f.Assignment()
+}
+
+// TestFennelExplicitSlackOneEnforcesCapacity is the regression test for the
+// saturation guard: Slack == 1.0 is an explicit capacity request (C = n/k)
+// and must be enforced, not silently ignored.
+func TestFennelExplicitSlackOneEnforcesCapacity(t *testing.T) {
+	a := starPlacements(t, 1.0)
+	if got := a.MaxSize(); got > 2 {
+		t.Fatalf("slack 1.0: max partition size %d exceeds capacity 2", got)
+	}
+}
+
+// TestFennelDefaultSlackIsPenaltyOnly pins the pre-existing behaviour: with
+// Slack zero (unset) Fennel relies on the balance penalty alone, so a
+// negligible alpha lets the whole star share one partition.
+func TestFennelDefaultSlackIsPenaltyOnly(t *testing.T) {
+	a := starPlacements(t, 0)
+	if got := a.MaxSize(); got != 4 {
+		t.Fatalf("slack 0: max partition size %d, want 4 (no hard cap)", got)
+	}
+}

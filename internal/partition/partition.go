@@ -198,3 +198,16 @@ type Streaming interface {
 	// Name identifies the heuristic in reports.
 	Name() string
 }
+
+// PriorAware is a Streaming heuristic that can restream: score against a
+// previous pass's assignment for vertices not yet re-placed in the current
+// pass, with a self-affinity bonus for a vertex's own prior partition
+// (ReLDG / ReFennel, Awadelkarim & Ugander 2020). Capacity accounting stays
+// with the current pass's assignment.
+type PriorAware interface {
+	Streaming
+	// SetPrior installs the previous assignment and the self-affinity
+	// weight (<= 0 defaults to 1). Must be called before the first Place
+	// of the pass.
+	SetPrior(prev *Assignment, selfWeight float64)
+}

@@ -1,0 +1,307 @@
+package partition
+
+// Restreaming (multi-pass streaming partitioning): re-run a streaming
+// heuristic over an already-partitioned graph with the previous pass's
+// assignment visible to scoring. On pass >= 2 a vertex's neighbours that
+// have not yet been re-placed score with their prior placement, and the
+// vertex's own prior partition earns a self-affinity bonus, so placements
+// stabilise while the cut drops toward the offline reference. The
+// prioritized variant additionally reorders the stream between passes by a
+// per-vertex priority computed from the previous assignment.
+//
+// References: Nishimura & Ugander, "Restreaming graph partitioning" (KDD
+// 2013); Awadelkarim & Ugander, "Prioritized restreaming algorithms for
+// balanced graph partitioning" (KDD 2020); Le Merrer et al.,
+// "(Re)partitioning for stream-enabled computation".
+
+import (
+	"fmt"
+	"sort"
+
+	"loom/internal/graph"
+)
+
+// Priority names the between-pass stream reordering of prioritized
+// restreaming.
+type Priority int
+
+const (
+	// PriorityNone keeps the base vertex order on every pass.
+	PriorityNone Priority = iota
+	// PriorityDegree orders vertices by degree, descending: hubs are
+	// re-placed first, while most of their neighbourhood still carries
+	// prior-pass placements.
+	PriorityDegree
+	// PriorityAmbivalence orders vertices by the gap between their best and
+	// second-best per-partition link counts under the previous assignment,
+	// descending: decisively placed vertices first, ambivalent ones last,
+	// when more of the stream has been re-placed.
+	PriorityAmbivalence
+	// PriorityCutDegree orders vertices by the number of neighbours placed
+	// in a different partition under the previous assignment, descending:
+	// the vertices responsible for the most cut edges get the first chance
+	// to move.
+	PriorityCutDegree
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityNone:
+		return "none"
+	case PriorityDegree:
+		return "degree"
+	case PriorityAmbivalence:
+		return "ambivalence"
+	case PriorityCutDegree:
+		return "cutdegree"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// ParsePriority parses the String form of a Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "none", "":
+		return PriorityNone, nil
+	case "degree":
+		return PriorityDegree, nil
+	case "ambivalence":
+		return PriorityAmbivalence, nil
+	case "cutdegree":
+		return PriorityCutDegree, nil
+	}
+	return 0, fmt.Errorf("partition: unknown restream priority %q", s)
+}
+
+// RestreamConfig parameterises a multi-pass restream.
+type RestreamConfig struct {
+	// Passes is the total number of streaming passes (>= 1). With a prior
+	// assignment supplied, every pass restreams; without one, the first
+	// pass is a plain cold-start stream.
+	Passes int
+	// Priority reorders the stream before each pass that has a previous
+	// assignment to read.
+	Priority Priority
+	// SelfWeight is the link-count bonus a vertex's own prior partition
+	// receives; zero defaults to 1.
+	SelfWeight float64
+}
+
+func (c RestreamConfig) validate() error {
+	if c.Passes < 1 {
+		return fmt.Errorf("partition: restream Passes=%d < 1", c.Passes)
+	}
+	if c.SelfWeight < 0 {
+		return fmt.Errorf("partition: restream SelfWeight=%v < 0", c.SelfWeight)
+	}
+	return nil
+}
+
+// PassStats measures one restreaming pass.
+type PassStats struct {
+	// Pass is 1-based.
+	Pass int
+	// Priority is the ordering the pass actually used (PriorityNone on a
+	// cold-start first pass).
+	Priority Priority
+	// CutEdges / CutFraction are the structural cut after the pass.
+	CutEdges    int
+	CutFraction float64
+	// Imbalance is max partition size over ideal (1.0 = perfect).
+	Imbalance float64
+	// Migrated counts vertices placed differently than in the previous
+	// assignment (0 when there was none); MigrationFraction is Migrated
+	// over the number of assigned vertices.
+	Migrated          int
+	MigrationFraction float64
+}
+
+// RestreamResult is the outcome of a multi-pass restream.
+type RestreamResult struct {
+	// Final is the assignment after the last pass.
+	Final *Assignment
+	// Passes holds one PassStats per pass, in order.
+	Passes []PassStats
+}
+
+// PassFunc runs one streaming pass over g in the given vertex order, seeded
+// with the previous pass's assignment (nil on a cold start), and returns
+// the new assignment. pass is 1-based.
+type PassFunc func(pass int, order []graph.VertexID, prev *Assignment) (*Assignment, error)
+
+// Restream drives pass cfg.Passes times over g, reordering the stream by
+// cfg.Priority between passes and collecting per-pass statistics. base is
+// the cold-start vertex order (defaults to g.Vertices() when empty); prev
+// may be nil.
+func Restream(g *graph.Graph, base []graph.VertexID, prev *Assignment, cfg RestreamConfig, pass PassFunc) (*RestreamResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		base = g.Vertices()
+	}
+	res := &RestreamResult{}
+	for i := 1; i <= cfg.Passes; i++ {
+		order := base
+		used := PriorityNone
+		if prev != nil && cfg.Priority != PriorityNone {
+			order = PriorityOrder(g, prev, cfg.Priority, base)
+			used = cfg.Priority
+		}
+		cur, err := pass(i, order, prev)
+		if err != nil {
+			return nil, fmt.Errorf("partition: restream pass %d: %w", i, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("partition: restream pass %d returned nil assignment", i)
+		}
+		res.Passes = append(res.Passes, passStats(g, i, used, prev, cur))
+		prev = cur
+	}
+	res.Final = prev
+	return res, nil
+}
+
+// passStats computes the per-pass measures without importing metrics (which
+// imports this package).
+func passStats(g *graph.Graph, pass int, used Priority, prev, cur *Assignment) PassStats {
+	st := PassStats{Pass: pass, Priority: used, CutEdges: cur.CutEdges(g)}
+	if m := g.NumEdges(); m > 0 {
+		st.CutFraction = float64(st.CutEdges) / float64(m)
+	}
+	if n := cur.Len(); n > 0 {
+		st.Imbalance = float64(cur.MaxSize()) / (float64(n) / float64(cur.K()))
+	}
+	if prev != nil {
+		st.Migrated = Migration(prev, cur)
+		if n := cur.Len(); n > 0 {
+			st.MigrationFraction = float64(st.Migrated) / float64(n)
+		}
+	}
+	return st
+}
+
+// Migration counts the vertices of cur whose placement differs from prev
+// (vertices absent from prev count as migrated; a nil prev counts every
+// vertex, matching the cold-start convention of the restream APIs).
+func Migration(prev, cur *Assignment) int {
+	if prev == nil {
+		return cur.Len()
+	}
+	moved := 0
+	cur.EachVertex(func(v graph.VertexID, p ID) {
+		if prev.Get(v) != p {
+			moved++
+		}
+	})
+	return moved
+}
+
+// PriorityOrder returns base reordered for the next restreaming pass:
+// vertices sorted by the chosen priority under prev, descending, stable
+// with respect to base so equal-priority vertices keep their relative
+// order (deterministic for a deterministic base).
+func PriorityOrder(g *graph.Graph, prev *Assignment, pri Priority, base []graph.VertexID) []graph.VertexID {
+	out := append([]graph.VertexID(nil), base...)
+	if pri == PriorityNone {
+		return out
+	}
+	score := make(map[graph.VertexID]float64, len(out))
+	for _, v := range out {
+		switch pri {
+		case PriorityDegree:
+			score[v] = float64(g.Degree(v))
+		case PriorityAmbivalence:
+			score[v] = decisiveness(g, prev, v)
+		case PriorityCutDegree:
+			score[v] = float64(cutDegree(g, prev, v))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return score[out[i]] > score[out[j]] })
+	return out
+}
+
+// decisiveness is the gap between the best and second-best per-partition
+// neighbour counts of v under prev — the negation of Awadelkarim &
+// Ugander's ambivalence. Isolated vertices score 0.
+func decisiveness(g *graph.Graph, prev *Assignment, v graph.VertexID) float64 {
+	links := make([]int, prev.K())
+	g.EachNeighbor(v, func(n graph.VertexID) bool {
+		if p := prev.Get(n); p != Unassigned {
+			links[p]++
+		}
+		return true
+	})
+	best, second := 0, 0
+	for _, l := range links {
+		if l > best {
+			best, second = l, best
+		} else if l > second {
+			second = l
+		}
+	}
+	return float64(best - second)
+}
+
+// cutDegree counts v's neighbours placed in a different partition under
+// prev.
+func cutDegree(g *graph.Graph, prev *Assignment, v graph.VertexID) int {
+	pv := prev.Get(v)
+	cut := 0
+	g.EachNeighbor(v, func(n graph.VertexID) bool {
+		if p := prev.Get(n); p != Unassigned && p != pv {
+			cut++
+		}
+		return true
+	})
+	return cut
+}
+
+// Restreamer re-runs a Streaming heuristic over a previously partitioned
+// graph for multiple passes. The heuristic must implement PriorAware for
+// every pass that reads a previous assignment.
+type Restreamer struct {
+	// Config carries pass count, priority and self-affinity weight.
+	Config RestreamConfig
+	// NewPass returns a fresh heuristic for the given 1-based pass, so
+	// capacity accounting restarts from empty each time.
+	NewPass func(pass int) (Streaming, error)
+}
+
+// Run restreams g: base is the cold-start order, prev the assignment to
+// improve (nil to start from scratch).
+func (r *Restreamer) Run(g *graph.Graph, base []graph.VertexID, prev *Assignment) (*RestreamResult, error) {
+	if r.NewPass == nil {
+		return nil, fmt.Errorf("partition: Restreamer.NewPass is nil")
+	}
+	if prev != nil || r.Config.Passes > 1 {
+		// Fail before the first streaming pass, not after it: a heuristic
+		// that cannot read a prior would otherwise burn a full cold-start
+		// pass before the type assertion fires on pass 2.
+		probe, err := r.NewPass(1)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := probe.(PriorAware); !ok {
+			return nil, fmt.Errorf("partition: %s cannot restream: not PriorAware", probe.Name())
+		}
+	}
+	return Restream(g, base, prev, r.Config, func(pass int, order []graph.VertexID, prevA *Assignment) (*Assignment, error) {
+		s, err := r.NewPass(pass)
+		if err != nil {
+			return nil, err
+		}
+		if prevA != nil {
+			pa, ok := s.(PriorAware)
+			if !ok {
+				return nil, fmt.Errorf("%s cannot restream: not PriorAware", s.Name())
+			}
+			pa.SetPrior(prevA, r.Config.SelfWeight)
+		}
+		for _, v := range order {
+			s.Place(v, g.Neighbors(v))
+		}
+		return s.Assignment(), nil
+	})
+}

@@ -135,11 +135,13 @@ const (
 // builds on; it reduces cut edges by up to 90% relative to hashing on
 // power-law graphs.
 type Greedy struct {
-	cfg  Config
-	kind greedyKind
-	a    *Assignment
-	rng  *rand.Rand
-	name string
+	cfg        Config
+	kind       greedyKind
+	a          *Assignment
+	rng        *rand.Rand
+	name       string
+	prior      *Assignment
+	selfWeight float64
 }
 
 // NewDeterministicGreedy returns the unweighted greedy heuristic
@@ -187,6 +189,35 @@ func (g *Greedy) weight(size, add int) float64 {
 	default:
 		return 1
 	}
+}
+
+// SetPrior implements PriorAware: prev becomes the fallback placement for
+// vertices not yet re-placed in the current pass (ReLDG), and a vertex's
+// own previous partition contributes selfWeight to its link count, so
+// placements stabilise across restreaming passes. selfWeight <= 0 defaults
+// to 1. Prior placements outside [0, K) are ignored, so a restream may
+// shrink k: vertices from dropped partitions simply carry no prior signal.
+func (g *Greedy) SetPrior(prev *Assignment, selfWeight float64) {
+	if selfWeight <= 0 {
+		selfWeight = 1
+	}
+	g.prior = prev
+	g.selfWeight = selfWeight
+}
+
+// effective returns n's partition for scoring: the current pass's placement
+// when n has been re-placed, the prior pass's otherwise. Prior partitions
+// beyond this heuristic's K (a shrinking restream) read as Unassigned.
+func (g *Greedy) effective(n graph.VertexID) ID {
+	if p := g.a.Get(n); p != Unassigned {
+		return p
+	}
+	if g.prior != nil {
+		if p := g.prior.Get(n); int(p) < g.cfg.K {
+			return p
+		}
+	}
+	return Unassigned
 }
 
 // Place implements Streaming.
@@ -252,12 +283,20 @@ func (g *Greedy) scoreGroupWeighted(group []graph.VertexID, neighbors map[graph.
 			if _, self := inGroup[n]; self {
 				continue
 			}
-			if p := g.a.Get(n); p != Unassigned {
+			if p := g.effective(n); p != Unassigned {
 				if weightFn == nil {
 					links[p]++
 				} else {
 					links[p] += weightFn(v, n)
 				}
+			}
+		}
+	}
+	if g.prior != nil {
+		// Restreaming self-affinity: staying put is worth selfWeight.
+		for _, v := range group {
+			if p := g.prior.Get(v); p != Unassigned && int(p) < g.cfg.K {
+				links[p] += g.selfWeight
 			}
 		}
 	}
@@ -306,11 +345,13 @@ func (g *Greedy) Name() string { return g.name }
 // alpha = sqrt(k) * m / n^1.5 it interpolates between greedy cut
 // minimisation and balance.
 type Fennel struct {
-	cfg   Config
-	alpha float64
-	gamma float64
-	a     *Assignment
-	rng   *rand.Rand
+	cfg        Config
+	alpha      float64
+	gamma      float64
+	a          *Assignment
+	rng        *rand.Rand
+	prior      *Assignment
+	selfWeight float64
 }
 
 // FennelConfig extends Config with Fennel's parameters.
@@ -352,12 +393,30 @@ func NewFennel(cfg FennelConfig) (*Fennel, error) {
 	}, nil
 }
 
+// SetPrior implements PriorAware; see Greedy.SetPrior (ReFennel).
+func (f *Fennel) SetPrior(prev *Assignment, selfWeight float64) {
+	if selfWeight <= 0 {
+		selfWeight = 1
+	}
+	f.prior = prev
+	f.selfWeight = selfWeight
+}
+
 // Place implements Streaming.
 func (f *Fennel) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
-	links := make([]int, f.cfg.K)
+	links := make([]float64, f.cfg.K)
 	for _, n := range neighbors {
-		if p := f.a.Get(n); p != Unassigned {
+		p := f.a.Get(n)
+		if p == Unassigned && f.prior != nil {
+			p = f.prior.Get(n)
+		}
+		if p != Unassigned && int(p) < f.cfg.K {
 			links[p]++
+		}
+	}
+	if f.prior != nil {
+		if p := f.prior.Get(v); p != Unassigned && int(p) < f.cfg.K {
+			links[p] += f.selfWeight
 		}
 	}
 	cap := f.cfg.Capacity()
@@ -365,12 +424,13 @@ func (f *Fennel) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
 	var best []ID
 	for p := 0; p < f.cfg.K; p++ {
 		size := float64(f.a.Size(ID(p)))
-		if size+1 > cap && f.cfg.Slack > 0 && f.cfg.Slack != 1.0 {
-			// Hard capacity: skip saturated partitions when slack is
-			// explicit; default Fennel relies on the penalty only.
+		if size+1 > cap && f.cfg.Slack > 0 {
+			// Hard capacity: any explicitly configured slack (1.0 included)
+			// enforces the cap; default Fennel (Slack == 0) relies on the
+			// balance penalty only.
 			continue
 		}
-		score := float64(links[p]) - f.alpha*f.gamma*math.Pow(size, f.gamma-1)
+		score := links[p] - f.alpha*f.gamma*math.Pow(size, f.gamma-1)
 		if score > bestScore {
 			bestScore = score
 			best = best[:0]

@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// TestFromVertexOrderMatchesFromGraph replays the temporal order through
+// FromVertexOrder and expects the exact element sequence FromGraph emits.
+func TestFromVertexOrderMatchesFromGraph(t *testing.T) {
+	g := graph.Path("a", "b", "c", "d")
+	want, err := FromGraph(g, TemporalOrder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FromVertexOrder(g, g.Vertices())
+	if len(got) != len(want) {
+		t.Fatalf("element counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("element %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFromVertexOrderCustomOrder emits edges only once both endpoints have
+// appeared, regardless of the order supplied.
+func TestFromVertexOrderCustomOrder(t *testing.T) {
+	g := graph.Path("a", "b", "c")
+	elems := FromVertexOrder(g, []graph.VertexID{2, 0, 1})
+	vertices, edges := 0, 0
+	seen := map[graph.VertexID]bool{}
+	for _, e := range elems {
+		switch e.Kind {
+		case VertexElement:
+			vertices++
+			seen[e.V] = true
+		case EdgeElement:
+			edges++
+			if !seen[e.V] || !seen[e.U] {
+				t.Fatalf("edge %v emitted before both endpoints", e)
+			}
+		}
+	}
+	if vertices != 3 || edges != 2 {
+		t.Fatalf("got %d vertices, %d edges; want 3, 2", vertices, edges)
+	}
+}

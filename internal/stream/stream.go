@@ -151,6 +151,14 @@ func FromGraph(g *graph.Graph, o Order, r *rand.Rand) ([]Element, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromVertexOrder(g, order), nil
+}
+
+// FromVertexOrder converts a static graph into a stream following an
+// explicit vertex order (restreaming passes replay priority-reordered
+// streams through here). Edges to vertices outside the order are dropped,
+// matching FromGraph's known-adjacency model.
+func FromVertexOrder(g *graph.Graph, order []graph.VertexID) []Element {
 	seen := make(map[graph.VertexID]struct{}, len(order))
 	out := make([]Element, 0, g.NumVertices()+g.NumEdges())
 	seq := 0
@@ -166,7 +174,7 @@ func FromGraph(g *graph.Graph, o Order, r *rand.Rand) ([]Element, error) {
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Source yields stream elements one at a time.

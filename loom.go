@@ -35,6 +35,7 @@
 package loom
 
 import (
+	"fmt"
 	"math/rand"
 
 	"loom/internal/cluster"
@@ -200,6 +201,98 @@ func Rebalance(g *Graph, a *Assignment, loadFactor float64, maxMoves int) partit
 	rb := &partition.Rebalancer{MaxLoadFactor: loadFactor, MaxMoves: maxMoves}
 	return rb.Rebalance(g, a)
 }
+
+// Restreaming (multi-pass refinement, Nishimura & Ugander 2013 /
+// Awadelkarim & Ugander 2020).
+type (
+	// RestreamPriority names the between-pass stream reordering.
+	RestreamPriority = partition.Priority
+	// RestreamResult bundles the final assignment and per-pass statistics.
+	RestreamResult = partition.RestreamResult
+	// RestreamPassStats measures one restreaming pass (cut, imbalance,
+	// migration).
+	RestreamPassStats = partition.PassStats
+)
+
+// Restream priorities.
+const (
+	RestreamNone        = partition.PriorityNone
+	RestreamDegree      = partition.PriorityDegree
+	RestreamAmbivalence = partition.PriorityAmbivalence
+	RestreamCutDegree   = partition.PriorityCutDegree
+)
+
+// ParseRestreamPriority parses "none", "degree", "ambivalence" or
+// "cutdegree".
+func ParseRestreamPriority(s string) (RestreamPriority, error) { return partition.ParsePriority(s) }
+
+// RestreamOptions configures Restream.
+type RestreamOptions struct {
+	// Heuristic picks the prior-aware base heuristic: "ldg" (ReLDG, the
+	// default) or "fennel" (ReFennel).
+	Heuristic string
+	// Priority reorders the stream before every pass that has a previous
+	// assignment to read.
+	Priority RestreamPriority
+	// SelfWeight is the bonus a vertex's own prior partition earns during
+	// scoring; zero defaults to 1.
+	SelfWeight float64
+	// Order is the cold-start stream order (RandomOrder when zero-valued;
+	// stochastic orders draw from Partition.Seed).
+	Order StreamOrder
+	// Partition carries k, expected vertices, slack and seed. Zero K
+	// defaults to a.K() when a prior assignment is given.
+	Partition PartitionConfig
+}
+
+// Restream re-runs a streaming heuristic over g for passes passes, seeded
+// with prior assignment a (nil to cold-start), and returns the final
+// assignment plus per-pass cut/imbalance/migration statistics. Placements
+// stabilise while the cut drops toward the offline reference.
+func Restream(g *Graph, a *Assignment, passes int, cfg RestreamOptions) (*RestreamResult, error) {
+	pcfg := cfg.Partition
+	if pcfg.K == 0 && a != nil {
+		pcfg.K = a.K()
+	}
+	if pcfg.ExpectedVertices == 0 {
+		pcfg.ExpectedVertices = g.NumVertices()
+	}
+	newPass := func(pass int) (partition.Streaming, error) {
+		switch cfg.Heuristic {
+		case "", "ldg":
+			return partition.NewLDG(pcfg)
+		case "fennel":
+			return partition.NewFennel(partition.FennelConfig{Config: pcfg, ExpectedEdges: g.NumEdges()})
+		}
+		return nil, fmt.Errorf("loom: unknown restream heuristic %q", cfg.Heuristic)
+	}
+	base, err := stream.VertexOrder(g, cfg.Order, rand.New(rand.NewSource(pcfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	rs := &partition.Restreamer{
+		Config:  partition.RestreamConfig{Passes: passes, Priority: cfg.Priority, SelfWeight: cfg.SelfWeight},
+		NewPass: newPass,
+	}
+	return rs.Run(g, base, a)
+}
+
+// RestreamLOOM is the workload-aware restream: every pass re-runs the full
+// LOOM partitioner (window and motif tracker included) seeded with the
+// previous assignment, so frequently traversed sub-graphs stay co-located
+// while placements stabilise. a may be nil to cold-start.
+func RestreamLOOM(g *Graph, a *Assignment, passes int, cfg Config, trie *Trie, priority RestreamPriority) (*RestreamResult, error) {
+	base, err := stream.VertexOrder(g, TemporalOrder, nil)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := partition.RestreamConfig{Passes: passes, Priority: priority}
+	return core.Restream(g, trie, cfg, rcfg, base, a)
+}
+
+// MigrationFraction returns the fraction of cur's vertices placed
+// differently than in prev — the cost of adopting a restreamed assignment.
+func MigrationFraction(prev, cur *Assignment) float64 { return metrics.MigrationFraction(prev, cur) }
 
 // PartitionGraph runs LOOM over a whole static graph presented in the
 // given order and returns the final assignment: the one-call entry point.

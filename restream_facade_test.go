@@ -1,0 +1,136 @@
+package loom_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom"
+)
+
+// TestRestreamFacade exercises loom.Restream end to end: ReLDG over a
+// community graph must beat the single-pass LDG baseline at equal k while
+// reporting shrinking migration.
+func TestRestreamFacade(t *testing.T) {
+	const n, k, seed = 800, 4, 7
+	alphabet := loom.DefaultAlphabet(4)
+	g, err := loom.CommunityGraph(n, k, alphabet, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loom.PartitionConfig{K: k, ExpectedVertices: n, Slack: 1.1, Seed: seed}
+	single, err := loom.PartitionWithLDG(g, loom.RandomOrder, rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := loom.Restream(g, nil, 3, loom.RestreamOptions{
+		Priority:  loom.RestreamAmbivalence,
+		Partition: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Len() != n {
+		t.Fatalf("restream covered %d of %d vertices", res.Final.Len(), n)
+	}
+	if got, base := loom.CutFraction(g, res.Final), loom.CutFraction(g, single); got >= base {
+		t.Fatalf("restreamed cut %.4f not below single-pass LDG %.4f", got, base)
+	}
+	if bal := loom.VertexImbalance(res.Final); bal > cfg.Slack+1e-9 {
+		t.Fatalf("imbalance %.4f exceeds slack %.2f", bal, cfg.Slack)
+	}
+	if res.Passes[2].MigrationFraction >= res.Passes[1].MigrationFraction {
+		t.Errorf("migration did not decrease: %.4f -> %.4f",
+			res.Passes[1].MigrationFraction, res.Passes[2].MigrationFraction)
+	}
+}
+
+// TestRestreamFacadeFromPrior refines an existing hash assignment; K is
+// inferred from the prior.
+func TestRestreamFacadeFromPrior(t *testing.T) {
+	const n, k, seed = 400, 4, 3
+	g, err := loom.CommunityGraph(n, k, loom.DefaultAlphabet(4), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loom.PartitionConfig{K: k, ExpectedVertices: n, Slack: 1.2, Seed: seed}
+	prior, err := loom.PartitionWithHash(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loom.Restream(g, prior, 2, loom.RestreamOptions{
+		Heuristic: "fennel",
+		Priority:  loom.RestreamCutDegree,
+		Partition: loom.PartitionConfig{ExpectedVertices: n, Slack: 1.2, Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.K() != k {
+		t.Fatalf("K not inferred from prior: got %d", res.Final.K())
+	}
+	if got, base := loom.CutFraction(g, res.Final), loom.CutFraction(g, prior); got >= base {
+		t.Fatalf("refined cut %.4f not below hash prior %.4f", got, base)
+	}
+	if frac := loom.MigrationFraction(prior, res.Final); frac <= 0 {
+		t.Fatalf("MigrationFraction = %v, want > 0", frac)
+	}
+}
+
+// TestRestreamLOOMFacade runs the workload-aware restream through the
+// facade.
+func TestRestreamLOOMFacade(t *testing.T) {
+	const n, k, seed = 400, 4, 5
+	alphabet := loom.DefaultAlphabet(4)
+	g, err := loom.CommunityGraph(n, k, alphabet, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := loom.DefaultWorkload(8, alphabet, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie, err := loom.CaptureWorkload(w, loom.CaptureOptions{Alphabet: alphabet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loom.Config{
+		Partition:  loom.PartitionConfig{K: k, ExpectedVertices: n, Slack: 1.2, Seed: seed},
+		WindowSize: 64,
+		Threshold:  0.05,
+	}
+	res, err := loom.RestreamLOOM(g, nil, 2, cfg, trie, loom.RestreamDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Len() != n {
+		t.Fatalf("covered %d of %d vertices", res.Final.Len(), n)
+	}
+	if res.Passes[1].Migrated == 0 {
+		t.Error("pass 2 migrated nothing")
+	}
+}
+
+func TestRestreamFacadeErrors(t *testing.T) {
+	g, err := loom.CommunityGraph(100, 2, loom.DefaultAlphabet(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loom.Restream(g, nil, 2, loom.RestreamOptions{
+		Heuristic: "nope",
+		Partition: loom.PartitionConfig{K: 2},
+	}); err == nil {
+		t.Error("unknown heuristic should error")
+	}
+	if _, err := loom.Restream(g, nil, 0, loom.RestreamOptions{
+		Partition: loom.PartitionConfig{K: 2},
+	}); err == nil {
+		t.Error("zero passes should error")
+	}
+	if _, err := loom.ParseRestreamPriority("degree"); err != nil {
+		t.Errorf("ParseRestreamPriority(degree): %v", err)
+	}
+	if _, err := loom.ParseRestreamPriority("bogus"); err == nil {
+		t.Error("bogus priority should error")
+	}
+}
