@@ -9,9 +9,10 @@
 //	loom-bench -run C2,E9             # run selected experiments
 //	loom-bench -list                  # list experiment IDs
 //	loom-bench -seed 7                # change the global seed
-//	loom-bench -json BENCH_loom.json  # write the benchmark trajectory (ns/op,
-//	                                  # cut fraction, imbalance per scenario)
-//	                                  # and exit; combine with -quick
+//	loom-bench -json BENCH_loom.json  # write the benchmark trajectory
+//	                                  # (ns/vertex, allocs/vertex, cut fraction,
+//	                                  # imbalance per scenario) and exit;
+//	                                  # combine with -quick
 package main
 
 import (
@@ -103,8 +104,8 @@ func main() {
 }
 
 // writeBenchJSON measures the benchmark trajectory and writes it as JSON,
-// so successive PRs can diff ns/op, cut fraction and imbalance per
-// scenario.
+// so successive PRs can diff ns/vertex, allocs/vertex, cut fraction and
+// imbalance per scenario.
 func writeBenchJSON(path string, seed int64, quick bool) error {
 	records, err := experiments.BenchTrajectory(seed, quick)
 	if err != nil {

@@ -1,0 +1,234 @@
+package loom_test
+
+// Golden equivalence harness for the dense-core refactor: the map-backed
+// reference engine produced these fixtures (testdata/equivalence_golden.json)
+// before the interned/slice-backed representations landed, and the dense
+// engine must keep reproducing them bit-for-bit — same cut, same partition
+// sizes, same per-vertex placements — for fixed seeds.
+//
+// Regenerate (only when an intentional behaviour change occurs) with:
+//
+//	go test -run TestGoldenEquivalence -update-golden .
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loom/internal/core"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/signature"
+	"loom/internal/stream"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/equivalence_golden.json from the current engine")
+
+// goldenRecord pins one (workload, partitioner) outcome.
+type goldenRecord struct {
+	Scenario    string `json:"scenario"`
+	Partitioner string `json:"partitioner"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	K           int    `json:"k"`
+	CutEdges    int    `json:"cut_edges"`
+	Sizes       []int  `json:"sizes"`
+	// PlacementHash is an FNV-1a hash over (vertex, partition) pairs in
+	// ascending vertex order: any single moved vertex changes it.
+	PlacementHash uint64 `json:"placement_hash"`
+}
+
+// placementHash digests the full assignment.
+func placementHash(g *graph.Graph, a *partition.Assignment) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, v := range g.Vertices() {
+		put(int64(v))
+		put(int64(a.Get(v)))
+	}
+	return h.Sum64()
+}
+
+// goldenScenario is one generated workload the equivalence suite runs.
+type goldenScenario struct {
+	name string
+	g    *graph.Graph
+	trie *motif.Trie
+	k    int
+	seed int64
+}
+
+// goldenScenarios builds the three generated workloads deterministically.
+func goldenScenarios(t testing.TB) []goldenScenario {
+	t.Helper()
+	alphabet := gen.DefaultAlphabet(4)
+	mkTrie := func(seed int64, nq int) *motif.Trie {
+		rng := rand.New(rand.NewSource(seed))
+		w, err := query.GenerateWorkload(query.DefaultMix(nq), alphabet, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trie := motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{})
+		if err := w.BuildTrie(trie); err != nil {
+			t.Fatal(err)
+		}
+		return trie
+	}
+
+	var out []goldenScenario
+	{
+		rng := rand.New(rand.NewSource(11))
+		lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+		g, err := gen.BarabasiAlbert(800, 2, lab, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, goldenScenario{name: "ba-800", g: g, trie: mkTrie(11, 8), k: 4, seed: 11})
+	}
+	{
+		rng := rand.New(rand.NewSource(23))
+		lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+		g, err := gen.PlantedPartitionDegrees(600, 6, 10, 2, lab, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, goldenScenario{name: "community-600", g: g, trie: mkTrie(23, 6), k: 6, seed: 23})
+	}
+	{
+		rng := rand.New(rand.NewSource(37))
+		lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+		g, err := gen.ErdosRenyi(500, 2000, lab, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, goldenScenario{name: "er-500", g: g, trie: mkTrie(37, 10), k: 5, seed: 37})
+	}
+	return out
+}
+
+// runGoldenScenario produces the records for every partitioner on sc.
+func runGoldenScenario(t testing.TB, sc goldenScenario) []goldenRecord {
+	t.Helper()
+	cfg := partition.Config{K: sc.k, ExpectedVertices: sc.g.NumVertices(), Slack: 1.1, Seed: sc.seed}
+	order, err := stream.VertexOrder(sc.g, stream.RandomOrder, rand.New(rand.NewSource(sc.seed+1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := func(name string, a *partition.Assignment) goldenRecord {
+		return goldenRecord{
+			Scenario:      sc.name,
+			Partitioner:   name,
+			Vertices:      sc.g.NumVertices(),
+			Edges:         sc.g.NumEdges(),
+			K:             sc.k,
+			CutEdges:      a.CutEdges(sc.g),
+			Sizes:         a.Sizes(),
+			PlacementHash: placementHash(sc.g, a),
+		}
+	}
+
+	var out []goldenRecord
+
+	ldg, err := partition.NewLDG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, rec("ldg", partition.PartitionStream(sc.g, order, ldg)))
+
+	fennel, err := partition.NewFennel(partition.FennelConfig{Config: cfg, ExpectedEdges: sc.g.NumEdges()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, rec("fennel", partition.PartitionStream(sc.g, order, fennel)))
+
+	p, err := core.New(core.Config{Partition: cfg, WindowSize: 128, Threshold: 0.05}, sc.trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(stream.NewSliceSource(stream.FromVertexOrder(sc.g, order)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, rec("loom", a))
+
+	// LOOM with traversal weighting exercises the label/PEdge hot path too.
+	pw, err := core.New(core.Config{Partition: cfg, WindowSize: 128, Threshold: 0.05, TraversalWeighting: true}, sc.trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := pw.Run(stream.NewSliceSource(stream.FromVertexOrder(sc.g, order)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, rec("loom-weighted", aw))
+
+	return out
+}
+
+// TestGoldenEquivalence checks the engine against the committed map-backed
+// reference fixtures (or regenerates them under -update-golden).
+func TestGoldenEquivalence(t *testing.T) {
+	path := filepath.Join("testdata", "equivalence_golden.json")
+	var got []goldenRecord
+	for _, sc := range goldenScenarios(t) {
+		got = append(got, runGoldenScenario(t, sc)...)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden records to %s", len(got), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update-golden to create): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		id := fmt.Sprintf("%s/%s", w.Scenario, w.Partitioner)
+		if g.Scenario != w.Scenario || g.Partitioner != w.Partitioner {
+			t.Fatalf("record %d is %s/%s, golden has %s", i, g.Scenario, g.Partitioner, id)
+		}
+		if g.CutEdges != w.CutEdges {
+			t.Errorf("%s: cut edges %d, golden %d", id, g.CutEdges, w.CutEdges)
+		}
+		if fmt.Sprint(g.Sizes) != fmt.Sprint(w.Sizes) {
+			t.Errorf("%s: sizes %v, golden %v", id, g.Sizes, w.Sizes)
+		}
+		if g.PlacementHash != w.PlacementHash {
+			t.Errorf("%s: placement hash %#x, golden %#x (assignment drifted)", id, g.PlacementHash, w.PlacementHash)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/gen"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/signature"
+	"loom/internal/stream"
+)
+
+// BenchmarkLoomRun measures a full LOOM pass (window + tracker + group LDG)
+// over a 2000-vertex BA stream, reporting ns/vertex.
+func BenchmarkLoomRun(b *testing.B) {
+	const n = 2000
+	r := rand.New(rand.NewSource(7))
+	alphabet := gen.DefaultAlphabet(4)
+	lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: r}
+	g, err := gen.BarabasiAlbert(n, 2, lab, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := query.GenerateWorkload(query.DefaultMix(12), alphabet, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trie := motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{})
+	if err := w.BuildTrie(trie); err != nil {
+		b.Fatal(err)
+	}
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Partition:  partition.Config{K: 8, ExpectedVertices: n, Slack: 1.2, Seed: 1},
+		WindowSize: 256,
+		Threshold:  0.05,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := New(cfg, trie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(stream.NewSliceSource(elems)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/vertex")
+}

@@ -53,14 +53,14 @@ func TestEdgeWeightFallsBackToBias(t *testing.T) {
 		t.Fatalf("weight for unknown labels = %v, want bias 0.25", w)
 	}
 	// Known labels of a hot motif: bias + P(ab) = 0.25 + 1.0.
-	p.labels[1] = "a"
-	p.labels[2] = "b"
+	p.noteLabel(1, "a")
+	p.noteLabel(2, "b")
 	if w := p.edgeWeight(1, 2); w != 1.25 {
 		t.Fatalf("weight for ab = %v, want 1.25", w)
 	}
 	// Known labels never traversed together: bias only (P(dd)=0).
-	p.labels[3] = "d"
-	p.labels[4] = "d"
+	p.noteLabel(3, "d")
+	p.noteLabel(4, "d")
 	if w := p.edgeWeight(3, 4); w != 0.25 {
 		t.Fatalf("weight for dd = %v, want 0.25", w)
 	}
@@ -173,9 +173,9 @@ func TestWeightedPlacementPrefersHotEdges(t *testing.T) {
 		}
 		// Pre-place: hot neighbour 10 (label b) on partition 1; cold
 		// neighbours 20, 21 (label d) on partition 0.
-		p.labels[10] = "b"
-		p.labels[20] = "d"
-		p.labels[21] = "d"
+		p.noteLabel(10, "b")
+		p.noteLabel(20, "d")
+		p.noteLabel(21, "d")
 		if err := p.ldg.Assignment().Set(10, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +185,7 @@ func TestWeightedPlacementPrefersHotEdges(t *testing.T) {
 		if err := p.ldg.Assignment().Set(21, 0); err != nil {
 			t.Fatal(err)
 		}
-		p.labels[1] = "a"
+		p.noteLabel(1, "a")
 		ev := stream.Eviction{V: 1, Label: "a", AssignedNeighbors: []graph.VertexID{10, 20, 21}}
 		p.assignSingle(ev)
 		return p.ldg.Assignment().Get(1)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"loom/internal/graph"
+	"loom/internal/ident"
 	"loom/internal/motif"
 	"loom/internal/partition"
 	"loom/internal/pattern"
@@ -87,11 +88,15 @@ type Partitioner struct {
 	window  *stream.Window
 	tracker *pattern.Tracker
 	ldg     *partition.Greedy
-	// labels remembers every observed vertex label so traversal-weighted
-	// placement can score edges to already-assigned neighbours. A real
-	// deployment would read labels from the store; the simulator keeps
-	// them in memory (O(n) strings).
-	labels map[graph.VertexID]graph.Label
+	// verts/labelIDs remember every observed vertex's label so
+	// traversal-weighted placement can score edges to already-assigned
+	// neighbours: verts interns the stream's VertexIDs and labelIDs (indexed
+	// by the interned handle) holds LabelIDs from the factory's shared label
+	// interner. A real deployment would read labels from the store; the
+	// simulator keeps them in memory (O(n) x 4 bytes).
+	verts    *ident.Interner
+	labelIDs []ident.LabelID
+	labelSet *ident.Labels
 	// adjacency, when set, supplies the full neighbour list of a vertex at
 	// assignment time (restreaming passes, where the graph has been fully
 	// observed before); nil keeps the streaming-only view of edges seen so
@@ -116,7 +121,10 @@ func New(cfg Config, trie *motif.Trie) (*Partitioner, error) {
 	if cfg.Threshold < 0 || cfg.Threshold > 1 {
 		return nil, fmt.Errorf("core: threshold %v out of [0,1]", cfg.Threshold)
 	}
-	w, err := stream.NewWindow(cfg.WindowSize)
+	// The window graph shares the signature factory's label interner, so
+	// the tracker can probe factor tables by LabelID instead of hashing
+	// label strings on every observed edge.
+	w, err := stream.NewWindowWithLabels(cfg.WindowSize, trie.Factory().Labels())
 	if err != nil {
 		return nil, err
 	}
@@ -139,9 +147,19 @@ func New(cfg Config, trie *motif.Trie) (*Partitioner, error) {
 			MaxMatchesPerVertex: cfg.MaxMatchesPerVertex,
 			Verify:              cfg.Verify,
 		}),
-		ldg:    ldg,
-		labels: make(map[graph.VertexID]graph.Label),
+		ldg:      ldg,
+		verts:    ident.NewInterner(),
+		labelSet: trie.Factory().Labels(),
 	}, nil
+}
+
+// noteLabel records v's label for traversal-weighted scoring.
+func (p *Partitioner) noteLabel(v graph.VertexID, l graph.Label) {
+	h := p.verts.Intern(int64(v))
+	for int(h) >= len(p.labelIDs) {
+		p.labelIDs = append(p.labelIDs, ident.NoLabel)
+	}
+	p.labelIDs[h] = p.labelSet.Intern(string(l))
 }
 
 // Assignment returns the accumulated placement.
@@ -202,7 +220,7 @@ func (p *Partitioner) AddVertex(v graph.VertexID, l graph.Label) error {
 	if p.Assignment().Assigned(v) {
 		return fmt.Errorf("core: vertex %d already assigned", v)
 	}
-	p.labels[v] = l
+	p.noteLabel(v, l)
 	if ev := p.window.AddVertex(v, l); ev != nil {
 		p.assignEvicted(*ev)
 	}
@@ -306,14 +324,15 @@ func (p *Partitioner) placeGroup(block []graph.VertexID, neighbors map[graph.Ver
 
 // edgeWeight implements the future-work LDG extension: an edge counts for
 // the baseline bias plus the probability the workload traverses an edge
-// with its endpoint labels.
+// with its endpoint labels. With interned labels and the trie's memoised
+// edge-probability table this is a handful of slice reads, no hashing.
 func (p *Partitioner) edgeWeight(v, n graph.VertexID) float64 {
-	lv, okV := p.labels[v]
-	ln, okN := p.labels[n]
+	hv, okV := p.verts.Lookup(int64(v))
+	hn, okN := p.verts.Lookup(int64(n))
 	if !okV || !okN {
 		return p.cfg.TraversalBias
 	}
-	return p.cfg.TraversalBias + p.trie.PEdge(lv, ln)
+	return p.cfg.TraversalBias + p.trie.PEdgeByID(p.labelIDs[hv], p.labelIDs[hn])
 }
 
 // splitGroup applies MaxGroupSize: groups within the cap (or with the cap

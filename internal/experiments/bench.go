@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"loom/internal/core"
@@ -21,14 +22,37 @@ import (
 type BenchRecord struct {
 	// Scenario names graph x partitioner, e.g. "ba-8000/ldg".
 	Scenario string `json:"scenario"`
-	// NsPerOp is wall time per streamed vertex.
+	// NsPerOp is wall time per streamed vertex (legacy name, kept so
+	// trajectories recorded before the dense-core refactor stay diffable).
 	NsPerOp int64 `json:"ns_per_op"`
+	// NsPerVertex is wall time per streamed vertex; AllocsPerVertex is heap
+	// allocations per streamed vertex (runtime.MemStats.Mallocs delta over
+	// the run). Together they are the speed trajectory: ns/vertex tracks
+	// throughput, allocs/vertex catches hot-path allocation regressions
+	// even when wall time is noisy.
+	NsPerVertex     int64   `json:"ns_per_vertex"`
+	AllocsPerVertex float64 `json:"allocs_per_vertex"`
 	// CutFraction and Imbalance describe the resulting partitioning.
 	CutFraction float64 `json:"cut_fraction"`
 	Imbalance   float64 `json:"imbalance"`
 	Vertices    int     `json:"vertices"`
 	Edges       int     `json:"edges"`
 	K           int     `json:"k"`
+}
+
+// measure runs fn, returning its wall time and the number of heap
+// allocations it performed (best effort: a concurrent GC's own allocations
+// are counted too, but the scenarios here are single-goroutine and
+// allocation-dominated, so the delta is stable).
+func measure(fn func() error) (time.Duration, uint64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return elapsed, ms.Mallocs - m0, err
 }
 
 // BenchTrajectory measures the standard scenario set: the streaming
@@ -42,15 +66,18 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 	const k = 8
 	var out []BenchRecord
 
-	record := func(scenario string, g *graph.Graph, a *partition.Assignment, elapsed time.Duration) {
+	record := func(scenario string, g *graph.Graph, a *partition.Assignment, elapsed time.Duration, mallocs uint64) {
+		perVertex := elapsed.Nanoseconds() / int64(g.NumVertices())
 		out = append(out, BenchRecord{
-			Scenario:    scenario,
-			NsPerOp:     elapsed.Nanoseconds() / int64(g.NumVertices()),
-			CutFraction: metrics.CutFraction(g, a),
-			Imbalance:   metrics.VertexImbalance(a),
-			Vertices:    g.NumVertices(),
-			Edges:       g.NumEdges(),
-			K:           k,
+			Scenario:        scenario,
+			NsPerOp:         perVertex,
+			NsPerVertex:     perVertex,
+			AllocsPerVertex: float64(mallocs) / float64(g.NumVertices()),
+			CutFraction:     metrics.CutFraction(g, a),
+			Imbalance:       metrics.VertexImbalance(a),
+			Vertices:        g.NumVertices(),
+			Edges:           g.NumEdges(),
+			K:               k,
 		})
 	}
 
@@ -92,9 +119,15 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
-			a := partition.PartitionStream(g, base, s)
-			record(gname+"/"+name, g, a, time.Since(start))
+			var a *partition.Assignment
+			elapsed, mallocs, err := measure(func() error {
+				a = partition.PartitionStream(g, base, s)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			record(gname+"/"+name, g, a, elapsed, mallocs)
 		}
 
 		const passes = 3
@@ -102,13 +135,16 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 			Config:  partition.RestreamConfig{Passes: passes, Priority: partition.PriorityAmbivalence},
 			NewPass: func(int) (partition.Streaming, error) { return partition.NewLDG(cfg) },
 		}
-		start := time.Now()
-		res, err := rs.Run(g, base, nil)
+		var res *partition.RestreamResult
+		elapsed, mallocs, err := measure(func() error {
+			var rerr error
+			res, rerr = rs.Run(g, base, nil)
+			return rerr
+		})
 		if err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(start)
-		record(fmt.Sprintf("%s/reldg-%dpass", gname, passes), g, res.Final, elapsed/passes)
+		record(fmt.Sprintf("%s/reldg-%dpass", gname, passes), g, res.Final, elapsed/passes, mallocs/passes)
 
 		// LOOM with a synthetic workload, on the power-law graph only (the
 		// community graph has no meaningful workload here).
@@ -121,12 +157,16 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
-			a, err := p.Run(stream.NewSliceSource(stream.FromVertexOrder(g, base)))
+			var a *partition.Assignment
+			elapsed, mallocs, err := measure(func() error {
+				var rerr error
+				a, rerr = p.Run(stream.NewSliceSource(stream.FromVertexOrder(g, base)))
+				return rerr
+			})
 			if err != nil {
 				return nil, err
 			}
-			record(gname+"/loom", g, a, time.Since(start))
+			record(gname+"/loom", g, a, elapsed, mallocs)
 		}
 	}
 	return out, nil

@@ -5,18 +5,27 @@
 // finite alphabet, edges are unordered pairs of distinct vertices, and the
 // labelling function maps every vertex to exactly one label.
 //
-// The implementation favours predictable iteration (sorted snapshots) and
-// cheap incremental mutation, because graphs are primarily consumed as
-// streams of insertions by the partitioners.
+// The implementation is the dense core of the engine: external VertexIDs and
+// Labels are interned (package ident) into small dense handles, adjacency is
+// a grow-on-append slice of neighbour handles per vertex, and labels are a
+// handle-indexed slice of LabelIDs. Sorted snapshots (Neighbors, Vertices,
+// Edges) are materialised only on demand; hot paths iterate handles without
+// allocating. The API is unchanged from the earlier map-backed
+// representation, and iteration-order-sensitive results (sorted snapshots)
+// are bit-identical to it.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"loom/internal/ident"
 )
 
 // VertexID identifies a vertex. IDs are opaque to the library; generators
-// use dense non-negative integers but nothing relies on density.
+// use dense non-negative integers but nothing relies on density (sparse and
+// negative IDs take the interner's map fallback).
 type VertexID int64
 
 // Label is a vertex label drawn from a finite alphabet.
@@ -54,73 +63,133 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 // Graph is a mutable, simple, undirected, vertex-labelled graph.
 // The zero value is not usable; construct with New.
 type Graph struct {
-	labels map[VertexID]Label
-	adj    map[VertexID]map[VertexID]struct{}
-	m      int // number of edges
+	ids *ident.Interner // VertexID -> dense handle
+	lab *ident.Labels   // Label -> dense LabelID (possibly shared)
+	// labelOf and adj are indexed by handle; entries of freed handles are
+	// reset on reuse (adj keeps its capacity, so a sliding-window graph
+	// reaches a steady state with no per-vertex allocation).
+	labelOf []ident.LabelID
+	adj     [][]ident.Handle
+	m       int // number of edges
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		labels: make(map[VertexID]Label),
-		adj:    make(map[VertexID]map[VertexID]struct{}),
-	}
+	return NewWithLabels(ident.NewLabels())
 }
 
 // NewWithCapacity returns an empty graph with room for n vertices.
 func NewWithCapacity(n int) *Graph {
-	return &Graph{
-		labels: make(map[VertexID]Label, n),
-		adj:    make(map[VertexID]map[VertexID]struct{}, n),
-	}
+	g := NewWithLabels(ident.NewLabels())
+	g.ids = ident.NewInternerWithCapacity(n)
+	g.labelOf = make([]ident.LabelID, 0, n)
+	g.adj = make([][]ident.Handle, 0, n)
+	return g
 }
 
+// NewWithLabels returns an empty graph interning labels in lab, which may be
+// shared with other components (e.g. a signature.Factory) so that LabelIDs
+// agree across them. Sharing is not synchronised; share only within a single
+// goroutine's pipeline.
+func NewWithLabels(lab *ident.Labels) *Graph {
+	return &Graph{ids: ident.NewInterner(), lab: lab}
+}
+
+// LabelInterner exposes the graph's label interner for components that need
+// to agree on LabelIDs.
+func (g *Graph) LabelInterner() *ident.Labels { return g.lab }
+
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.labels) }
+func (g *Graph) NumVertices() int { return g.ids.Len() }
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.m }
 
+// HandleOf returns the dense handle of v, if present. Handles are stable
+// while v stays in the graph and may be reused after RemoveVertex.
+func (g *Graph) HandleOf(v VertexID) (ident.Handle, bool) {
+	return g.ids.Lookup(int64(v))
+}
+
 // HasVertex reports whether v is present.
 func (g *Graph) HasVertex(v VertexID) bool {
-	_, ok := g.labels[v]
+	_, ok := g.ids.Lookup(int64(v))
 	return ok
+}
+
+// hasEdgeH reports whether the edge {hu,hv} is present, scanning the shorter
+// adjacency list.
+func (g *Graph) hasEdgeH(hu, hv ident.Handle) bool {
+	a, b := g.adj[hu], g.adj[hv]
+	if len(b) < len(a) {
+		a, b = b, a
+		hu, hv = hv, hu
+	}
+	for _, n := range a {
+		if n == hv {
+			return true
+		}
+	}
+	return false
 }
 
 // HasEdge reports whether the undirected edge {u,v} is present.
 func (g *Graph) HasEdge(u, v VertexID) bool {
-	n, ok := g.adj[u]
+	hu, ok := g.ids.Lookup(int64(u))
 	if !ok {
 		return false
 	}
-	_, ok = n[v]
-	return ok
+	hv, ok := g.ids.Lookup(int64(v))
+	if !ok {
+		return false
+	}
+	return g.hasEdgeH(hu, hv)
 }
 
 // Label returns the label of v and whether v exists.
 func (g *Graph) Label(v VertexID) (Label, bool) {
-	l, ok := g.labels[v]
-	return l, ok
+	h, ok := g.ids.Lookup(int64(v))
+	if !ok {
+		return "", false
+	}
+	return Label(g.lab.Name(g.labelOf[h])), true
 }
 
 // MustLabel returns the label of v, panicking if v is absent. It is intended
 // for callers that have already established membership.
 func (g *Graph) MustLabel(v VertexID) Label {
-	l, ok := g.labels[v]
+	l, ok := g.Label(v)
 	if !ok {
 		panic(fmt.Sprintf("graph: vertex %d not present", v))
 	}
 	return l
 }
 
+// LabelIDOf returns the interned LabelID of v's label, if v is present.
+func (g *Graph) LabelIDOf(v VertexID) (ident.LabelID, bool) {
+	h, ok := g.ids.Lookup(int64(v))
+	if !ok {
+		return ident.NoLabel, false
+	}
+	return g.labelOf[h], true
+}
+
 // AddVertex inserts v with the given label. Adding an existing vertex
 // relabels it; this matches streaming semantics where the latest observation
 // wins.
 func (g *Graph) AddVertex(v VertexID, l Label) {
-	if _, ok := g.labels[v]; !ok {
-		g.adj[v] = make(map[VertexID]struct{})
+	lid := g.lab.Intern(string(l))
+	if h, ok := g.ids.Lookup(int64(v)); ok {
+		g.labelOf[h] = lid
+		return
 	}
-	g.labels[v] = l
+	h := g.ids.Intern(int64(v))
+	for int(h) >= len(g.labelOf) {
+		g.labelOf = append(g.labelOf, ident.NoLabel)
+		g.adj = append(g.adj, nil)
+	}
+	g.labelOf[h] = lid
+	g.adj[h] = g.adj[h][:0]
 }
 
 // AddEdge inserts the undirected edge {u,v}. Both endpoints must already be
@@ -130,17 +199,19 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop on vertex %d", u)
 	}
-	if !g.HasVertex(u) {
+	hu, ok := g.ids.Lookup(int64(u))
+	if !ok {
 		return fmt.Errorf("graph: edge endpoint %d not present", u)
 	}
-	if !g.HasVertex(v) {
+	hv, ok := g.ids.Lookup(int64(v))
+	if !ok {
 		return fmt.Errorf("graph: edge endpoint %d not present", v)
 	}
-	if g.HasEdge(u, v) {
+	if g.hasEdgeH(hu, hv) {
 		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
 	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	g.adj[hu] = append(g.adj[hu], hv)
+	g.adj[hv] = append(g.adj[hv], hu)
 	g.m++
 	return nil
 }
@@ -158,63 +229,108 @@ func (g *Graph) EnsureEdge(u, v VertexID, lu, lv Label) bool {
 	if !g.HasVertex(v) {
 		g.AddVertex(v, lv)
 	}
-	if g.HasEdge(u, v) {
+	hu, _ := g.ids.Lookup(int64(u))
+	hv, _ := g.ids.Lookup(int64(v))
+	if g.hasEdgeH(hu, hv) {
 		return false
 	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	g.adj[hu] = append(g.adj[hu], hv)
+	g.adj[hv] = append(g.adj[hv], hu)
 	g.m++
 	return true
 }
 
+// removeHalfEdge deletes hv from hu's adjacency list (swap-remove; neighbour
+// order is unspecified).
+func (g *Graph) removeHalfEdge(hu, hv ident.Handle) bool {
+	a := g.adj[hu]
+	for i, n := range a {
+		if n == hv {
+			a[i] = a[len(a)-1]
+			g.adj[hu] = a[:len(a)-1]
+			return true
+		}
+	}
+	return false
+}
+
 // RemoveEdge deletes {u,v} if present and reports whether it was removed.
 func (g *Graph) RemoveEdge(u, v VertexID) bool {
-	if !g.HasEdge(u, v) {
+	hu, ok := g.ids.Lookup(int64(u))
+	if !ok {
 		return false
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	hv, ok := g.ids.Lookup(int64(v))
+	if !ok {
+		return false
+	}
+	if !g.removeHalfEdge(hu, hv) {
+		return false
+	}
+	g.removeHalfEdge(hv, hu)
 	g.m--
 	return true
 }
 
 // RemoveVertex deletes v and all incident edges, reporting whether v existed.
+// Its handle is recycled for the next new vertex, so a bounded-population
+// graph (LOOM's stream window) keeps a bounded handle space.
 func (g *Graph) RemoveVertex(v VertexID) bool {
-	if !g.HasVertex(v) {
+	h, ok := g.ids.Lookup(int64(v))
+	if !ok {
 		return false
 	}
-	for u := range g.adj[v] {
-		delete(g.adj[u], v)
+	for _, nh := range g.adj[h] {
+		g.removeHalfEdge(nh, h)
 		g.m--
 	}
-	delete(g.adj, v)
-	delete(g.labels, v)
+	g.adj[h] = g.adj[h][:0]
+	g.labelOf[h] = ident.NoLabel
+	g.ids.Remove(int64(v))
 	return true
 }
 
 // Degree returns the number of neighbours of v (0 if absent).
-func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v VertexID) int {
+	h, ok := g.ids.Lookup(int64(v))
+	if !ok {
+		return 0
+	}
+	return len(g.adj[h])
+}
 
 // Neighbors returns the neighbours of v in ascending order. The slice is
 // freshly allocated; callers may retain it.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
-	n := g.adj[v]
-	if len(n) == 0 {
-		return nil
+	return g.AppendNeighbors(nil, v)
+}
+
+// AppendNeighbors appends the neighbours of v to dst in ascending order and
+// returns the extended slice, letting hot paths reuse a scratch buffer. dst
+// may be nil; when v is absent or isolated dst is returned unchanged.
+func (g *Graph) AppendNeighbors(dst []VertexID, v VertexID) []VertexID {
+	h, ok := g.ids.Lookup(int64(v))
+	if !ok || len(g.adj[h]) == 0 {
+		return dst
 	}
-	out := make([]VertexID, 0, len(n))
-	for u := range n {
-		out = append(out, u)
+	start := len(dst)
+	for _, nh := range g.adj[h] {
+		dst = append(dst, VertexID(g.ids.KeyOf(nh)))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
 }
 
 // EachNeighbor calls fn for every neighbour of v in unspecified order,
 // without allocating. If fn returns false the iteration stops.
 func (g *Graph) EachNeighbor(v VertexID, fn func(VertexID) bool) {
-	for u := range g.adj[v] {
-		if !fn(u) {
+	h, ok := g.ids.Lookup(int64(v))
+	if !ok {
+		return
+	}
+	for _, nh := range g.adj[h] {
+		if !fn(VertexID(g.ids.KeyOf(nh))) {
 			return
 		}
 	}
@@ -222,24 +338,50 @@ func (g *Graph) EachNeighbor(v VertexID, fn func(VertexID) bool) {
 
 // Vertices returns all vertex IDs in ascending order.
 func (g *Graph) Vertices() []VertexID {
-	out := make([]VertexID, 0, len(g.labels))
-	for v := range g.labels {
-		out = append(out, v)
-	}
+	out := make([]VertexID, 0, g.ids.Len())
+	g.ids.EachLive(func(k int64, _ ident.Handle) bool {
+		out = append(out, VertexID(k))
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// EachVertex calls fn for every vertex in unspecified order, without
+// allocating. If fn returns false the iteration stops.
+func (g *Graph) EachVertex(fn func(VertexID) bool) {
+	g.ids.EachLive(func(k int64, _ ident.Handle) bool {
+		return fn(VertexID(k))
+	})
+}
+
+// EachEdge calls fn once for every undirected edge {u,v}, in unspecified
+// order, without materialising or sorting the edge set. If fn returns false
+// the iteration stops.
+func (g *Graph) EachEdge(fn func(u, v VertexID) bool) {
+	stop := false
+	g.ids.EachLive(func(k int64, h ident.Handle) bool {
+		u := VertexID(k)
+		for _, nh := range g.adj[h] {
+			v := VertexID(g.ids.KeyOf(nh))
+			if u < v {
+				if !fn(u, v) {
+					stop = true
+					return false
+				}
+			}
+		}
+		return !stop
+	})
 }
 
 // Edges returns all edges, normalized and sorted lexicographically.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
-	for u, ns := range g.adj {
-		for v := range ns {
-			if u < v {
-				out = append(out, Edge{U: u, V: v})
-			}
-		}
-	}
+	g.EachEdge(func(u, v VertexID) bool {
+		out = append(out, Edge{U: u, V: v})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
 			return out[i].U < out[j].U
@@ -251,29 +393,43 @@ func (g *Graph) Edges() []Edge {
 
 // Labels returns the distinct labels present, sorted.
 func (g *Graph) Labels() []Label {
-	set := make(map[Label]struct{})
-	for _, l := range g.labels {
-		set[l] = struct{}{}
-	}
-	out := make([]Label, 0, len(set))
-	for l := range set {
-		out = append(out, l)
+	seen := make(map[ident.LabelID]struct{})
+	g.ids.EachLive(func(_ int64, h ident.Handle) bool {
+		seen[g.labelOf[h]] = struct{}{}
+		return true
+	})
+	out := make([]Label, 0, len(seen))
+	for lid := range seen {
+		out = append(out, Label(g.lab.Name(lid)))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy shares g's label interner (labels
+// are immutable once interned); vertex handles are reassigned, so handles
+// are not comparable across a clone boundary.
 func (g *Graph) Clone() *Graph {
-	c := NewWithCapacity(len(g.labels))
-	for v, l := range g.labels {
-		c.labels[v] = l
-		nn := make(map[VertexID]struct{}, len(g.adj[v]))
-		for u := range g.adj[v] {
-			nn[u] = struct{}{}
+	c := NewWithLabels(g.lab)
+	c.ids = ident.NewInternerWithCapacity(g.ids.Len())
+	c.labelOf = make([]ident.LabelID, 0, g.ids.Len())
+	c.adj = make([][]ident.Handle, 0, g.ids.Len())
+	g.ids.EachLive(func(k int64, h ident.Handle) bool {
+		ch := c.ids.Intern(k)
+		for int(ch) >= len(c.labelOf) {
+			c.labelOf = append(c.labelOf, ident.NoLabel)
+			c.adj = append(c.adj, nil)
 		}
-		c.adj[v] = nn
-	}
+		c.labelOf[ch] = g.labelOf[h]
+		return true
+	})
+	g.EachEdge(func(u, v VertexID) bool {
+		hu, _ := c.ids.Lookup(int64(u))
+		hv, _ := c.ids.Lookup(int64(v))
+		c.adj[hu] = append(c.adj[hu], hv)
+		c.adj[hv] = append(c.adj[hv], hu)
+		return true
+	})
 	c.m = g.m
 	return c
 }
@@ -281,26 +437,21 @@ func (g *Graph) Clone() *Graph {
 // InducedSubgraph returns the subgraph induced by keep: all vertices in keep
 // that exist in g, plus every edge of g with both endpoints in keep.
 func (g *Graph) InducedSubgraph(keep []VertexID) *Graph {
-	in := make(map[VertexID]struct{}, len(keep))
+	s := NewWithLabels(g.lab)
 	for _, v := range keep {
-		if g.HasVertex(v) {
-			in[v] = struct{}{}
+		if l, ok := g.Label(v); ok {
+			s.AddVertex(v, l)
 		}
 	}
-	s := NewWithCapacity(len(in))
-	for v := range in {
-		s.AddVertex(v, g.labels[v])
-	}
-	for v := range in {
-		for u := range g.adj[v] {
-			if _, ok := in[u]; ok && v < u {
-				// Both endpoints known present; AddEdge cannot fail.
-				if err := s.AddEdge(v, u); err != nil {
-					panic(err)
-				}
+	g.EachEdge(func(u, v VertexID) bool {
+		if s.HasVertex(u) && s.HasVertex(v) {
+			// Both endpoints known present; AddEdge cannot fail.
+			if err := s.AddEdge(u, v); err != nil {
+				panic(err)
 			}
 		}
-	}
+		return true
+	})
 	return s
 }
 
@@ -310,31 +461,41 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.NumVertices() != h.NumVertices() || g.NumEdges() != h.NumEdges() {
 		return false
 	}
-	for v, l := range g.labels {
-		hl, ok := h.labels[v]
-		if !ok || hl != l {
+	equal := true
+	g.EachVertex(func(v VertexID) bool {
+		gl, _ := g.Label(v)
+		hl, ok := h.Label(v)
+		if !ok || hl != gl {
+			equal = false
 			return false
 		}
+		return true
+	})
+	if !equal {
+		return false
 	}
-	for u, ns := range g.adj {
-		for v := range ns {
-			if !h.HasEdge(u, v) {
-				return false
-			}
+	g.EachEdge(func(u, v VertexID) bool {
+		if !h.HasEdge(u, v) {
+			equal = false
+			return false
 		}
-	}
-	return true
+		return true
+	})
+	return equal
 }
 
 // String returns a compact human-readable rendering, stable across runs.
 func (g *Graph) String() string {
 	vs := g.Vertices()
-	s := fmt.Sprintf("graph{|V|=%d |E|=%d", len(vs), g.m)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph{|V|=%d |E|=%d", len(vs), g.m)
 	for _, v := range vs {
-		s += fmt.Sprintf(" %d:%s", v, g.labels[v])
+		fmt.Fprintf(&sb, " %d:%s", v, g.MustLabel(v))
 	}
 	for _, e := range g.Edges() {
-		s += " " + e.String()
+		sb.WriteByte(' ')
+		sb.WriteString(e.String())
 	}
-	return s + "}"
+	sb.WriteByte('}')
+	return sb.String()
 }

@@ -1,23 +1,36 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"loom/internal/ident"
+)
+
+// visitedSet is a handle-indexed membership scratch for traversals, replacing
+// the map-based sets of the earlier representation.
+func (g *Graph) visitedSet() []bool { return make([]bool, g.ids.Cap()) }
 
 // BFSOrder returns vertices reachable from start in breadth-first order.
 // Neighbour ties are broken by ascending vertex ID so the order is
 // deterministic. If start is absent the result is nil.
 func (g *Graph) BFSOrder(start VertexID) []VertexID {
-	if !g.HasVertex(start) {
+	sh, ok := g.ids.Lookup(int64(start))
+	if !ok {
 		return nil
 	}
-	visited := map[VertexID]struct{}{start: {}}
+	visited := g.visitedSet()
+	visited[sh] = true
 	order := []VertexID{start}
 	queue := []VertexID{start}
+	var scratch []VertexID
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
-			if _, ok := visited[u]; !ok {
-				visited[u] = struct{}{}
+		scratch = g.AppendNeighbors(scratch[:0], v)
+		for _, u := range scratch {
+			uh, _ := g.ids.Lookup(int64(u))
+			if !visited[uh] {
+				visited[uh] = true
 				order = append(order, u)
 				queue = append(queue, u)
 			}
@@ -29,25 +42,28 @@ func (g *Graph) BFSOrder(start VertexID) []VertexID {
 // DFSOrder returns vertices reachable from start in depth-first preorder,
 // with neighbour ties broken by ascending vertex ID.
 func (g *Graph) DFSOrder(start VertexID) []VertexID {
-	if !g.HasVertex(start) {
+	if _, ok := g.ids.Lookup(int64(start)); !ok {
 		return nil
 	}
-	visited := make(map[VertexID]struct{})
+	visited := g.visitedSet()
 	var order []VertexID
 	stack := []VertexID{start}
+	var scratch []VertexID
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if _, ok := visited[v]; ok {
+		vh, _ := g.ids.Lookup(int64(v))
+		if visited[vh] {
 			continue
 		}
-		visited[v] = struct{}{}
+		visited[vh] = true
 		order = append(order, v)
 		// Push descending so the smallest neighbour pops first.
-		ns := g.Neighbors(v)
-		for i := len(ns) - 1; i >= 0; i-- {
-			if _, ok := visited[ns[i]]; !ok {
-				stack = append(stack, ns[i])
+		scratch = g.AppendNeighbors(scratch[:0], v)
+		for i := len(scratch) - 1; i >= 0; i-- {
+			uh, _ := g.ids.Lookup(int64(scratch[i]))
+			if !visited[uh] {
+				stack = append(stack, scratch[i])
 			}
 		}
 	}
@@ -57,15 +73,17 @@ func (g *Graph) DFSOrder(start VertexID) []VertexID {
 // ConnectedComponents returns the vertex sets of the connected components,
 // each sorted ascending, ordered by their smallest member.
 func (g *Graph) ConnectedComponents() [][]VertexID {
-	seen := make(map[VertexID]struct{}, len(g.labels))
+	seen := g.visitedSet()
 	var comps [][]VertexID
 	for _, v := range g.Vertices() {
-		if _, ok := seen[v]; ok {
+		vh, _ := g.ids.Lookup(int64(v))
+		if seen[vh] {
 			continue
 		}
 		comp := g.BFSOrder(v)
 		for _, u := range comp {
-			seen[u] = struct{}{}
+			uh, _ := g.ids.Lookup(int64(u))
+			seen[uh] = true
 		}
 		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
 		comps = append(comps, comp)
@@ -80,33 +98,39 @@ func (g *Graph) IsConnected() bool {
 		return true
 	}
 	var start VertexID
-	for v := range g.labels {
+	g.EachVertex(func(v VertexID) bool {
 		start = v
-		break
-	}
+		return false
+	})
 	return len(g.BFSOrder(start)) == g.NumVertices()
 }
 
 // ShortestPathLen returns the number of edges on a shortest path from u to v
 // and whether v is reachable from u.
 func (g *Graph) ShortestPathLen(u, v VertexID) (int, bool) {
-	if !g.HasVertex(u) || !g.HasVertex(v) {
+	uh, okU := g.ids.Lookup(int64(u))
+	vh, okV := g.ids.Lookup(int64(v))
+	if !okU || !okV {
 		return 0, false
 	}
 	if u == v {
 		return 0, true
 	}
-	dist := map[VertexID]int{u: 0}
-	queue := []VertexID{u}
+	dist := make([]int, g.ids.Cap())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[uh] = 0
+	queue := []ident.Handle{uh}
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		for n := range g.adj[x] {
-			if _, ok := dist[n]; ok {
+		for _, n := range g.adj[x] {
+			if dist[n] >= 0 {
 				continue
 			}
 			dist[n] = dist[x] + 1
-			if n == v {
+			if n == vh {
 				return dist[n], true
 			}
 			queue = append(queue, n)
@@ -119,59 +143,63 @@ func (g *Graph) ShortestPathLen(u, v VertexID) (int, bool) {
 // that degree.
 func (g *Graph) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
-	for v := range g.labels {
-		h[len(g.adj[v])]++
-	}
+	g.ids.EachLive(func(_ int64, vh ident.Handle) bool {
+		h[len(g.adj[vh])]++
+		return true
+	})
 	return h
 }
 
 // MaxDegree returns the largest vertex degree (0 for the empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.labels {
-		if d := len(g.adj[v]); d > max {
+	g.ids.EachLive(func(_ int64, vh ident.Handle) bool {
+		if d := len(g.adj[vh]); d > max {
 			max = d
 		}
-	}
+		return true
+	})
 	return max
 }
 
 // AvgDegree returns the mean vertex degree (0 for the empty graph).
 func (g *Graph) AvgDegree() float64 {
-	if len(g.labels) == 0 {
+	if g.NumVertices() == 0 {
 		return 0
 	}
-	return 2 * float64(g.m) / float64(len(g.labels))
+	return 2 * float64(g.m) / float64(g.NumVertices())
 }
 
 // LabelHistogram returns a map from label to the number of vertices carrying
 // that label.
 func (g *Graph) LabelHistogram() map[Label]int {
 	h := make(map[Label]int)
-	for _, l := range g.labels {
-		h[l]++
-	}
+	g.ids.EachLive(func(_ int64, vh ident.Handle) bool {
+		h[Label(g.lab.Name(g.labelOf[vh]))]++
+		return true
+	})
 	return h
 }
 
 // TriangleCount returns the number of triangles in g. It enumerates each
-// triangle once by requiring u < v < w.
+// triangle once by requiring u < v < w (by VertexID).
 func (g *Graph) TriangleCount() int {
 	count := 0
-	for u, ns := range g.adj {
-		for v := range ns {
-			if v <= u {
+	g.ids.EachLive(func(uk int64, uh ident.Handle) bool {
+		for _, vh := range g.adj[uh] {
+			if g.ids.KeyOf(vh) <= uk {
 				continue
 			}
-			for w := range g.adj[v] {
-				if w <= v {
+			for _, wh := range g.adj[vh] {
+				if g.ids.KeyOf(wh) <= g.ids.KeyOf(vh) {
 					continue
 				}
-				if _, ok := ns[w]; ok {
+				if g.hasEdgeH(uh, wh) {
 					count++
 				}
 			}
 		}
-	}
+		return true
+	})
 	return count
 }

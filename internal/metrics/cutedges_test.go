@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// refCutEdges is the pre-refactor implementation: materialise and sort the
+// full edge list, then count cut edges.
+func refCutEdges(g *graph.Graph, a *partition.Assignment) int {
+	cut := 0
+	for _, e := range g.Edges() {
+		pu, pv := a.Get(e.U), a.Get(e.V)
+		if pu == partition.Unassigned || pv == partition.Unassigned {
+			continue
+		}
+		if pu != pv {
+			cut++
+		}
+	}
+	return cut
+}
+
+// refEdgeCounts is the pre-refactor per-partition internal edge counter.
+func refEdgeCounts(g *graph.Graph, a *partition.Assignment) []int {
+	out := make([]int, a.K())
+	for _, e := range g.Edges() {
+		pu, pv := a.Get(e.U), a.Get(e.V)
+		if pu != partition.Unassigned && pu == pv {
+			out[pu]++
+		}
+	}
+	return out
+}
+
+// randomAssignment partially assigns g's vertices (some left unassigned to
+// exercise the skip branch).
+func randomAssignment(g *graph.Graph, k int, rng *rand.Rand) *partition.Assignment {
+	a := partition.MustNewAssignment(k)
+	for _, v := range g.Vertices() {
+		if rng.Intn(10) == 0 {
+			continue // leave unassigned
+		}
+		if err := a.Set(v, partition.ID(rng.Intn(k))); err != nil {
+			panic(err)
+		}
+	}
+	return a
+}
+
+// TestCutEdgesMatchesEdgeListReference proves the adjacency-direct
+// CutEdges/EdgeCounts produce exactly the counts of the edge-list-based
+// reference on a spread of random graphs and partial assignments.
+func TestCutEdgesMatchesEdgeListReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	lab := &gen.UniformLabeler{Alphabet: gen.DefaultAlphabet(4), Rand: rng}
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		m := n + rng.Intn(3*n)
+		g, err := gen.ErdosRenyi(n, m, lab, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + rng.Intn(7)
+		a := randomAssignment(g, k, rng)
+
+		if got, want := a.CutEdges(g), refCutEdges(g, a); got != want {
+			t.Fatalf("trial %d: CutEdges = %d, reference %d", trial, got, want)
+		}
+		got, want := EdgeCounts(g, a), refEdgeCounts(g, a)
+		for p := range want {
+			if got[p] != want[p] {
+				t.Fatalf("trial %d: EdgeCounts[%d] = %d, reference %d", trial, p, got[p], want[p])
+			}
+		}
+	}
+}
+
+// TestCutEdgesAfterVertexRemoval exercises the handle-recycling path: counts
+// must stay consistent after vertices are removed and new ones reuse their
+// slots.
+func TestCutEdgesAfterVertexRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lab := &gen.UniformLabeler{Alphabet: gen.DefaultAlphabet(4), Rand: rng}
+	g, err := gen.ErdosRenyi(100, 300, lab, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Vertices() {
+		if rng.Intn(4) == 0 {
+			g.RemoveVertex(v)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		u := graph.VertexID(1000 + i)
+		g.AddVertex(u, "a")
+		for _, v := range g.Vertices() {
+			if v != u && rng.Intn(20) == 0 && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	a := randomAssignment(g, 4, rng)
+	if got, want := a.CutEdges(g), refCutEdges(g, a); got != want {
+		t.Fatalf("CutEdges after churn = %d, reference %d", got, want)
+	}
+}

@@ -58,15 +58,17 @@ func MigrationFraction(prev, cur *partition.Assignment) float64 {
 }
 
 // EdgeCounts returns per-partition internal edge counts: edges with both
-// endpoints inside the partition.
+// endpoints inside the partition. Like Assignment.CutEdges it iterates
+// adjacency directly instead of materialising and sorting the edge set.
 func EdgeCounts(g *graph.Graph, a *partition.Assignment) []int {
 	out := make([]int, a.K())
-	for _, e := range g.Edges() {
-		pu, pv := a.Get(e.U), a.Get(e.V)
+	g.EachEdge(func(u, v graph.VertexID) bool {
+		pu, pv := a.Get(u), a.Get(v)
 		if pu != partition.Unassigned && pu == pv {
 			out[pu]++
 		}
-	}
+		return true
+	})
 	return out
 }
 

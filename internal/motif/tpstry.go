@@ -20,8 +20,10 @@ package motif
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"loom/internal/graph"
+	"loom/internal/ident"
 	"loom/internal/signature"
 )
 
@@ -95,6 +97,14 @@ type Trie struct {
 	byID        []*Node
 	roots       map[graph.Label]*Node
 	totalWeight float64
+
+	// pedge caches PEdgeByID results: pedge[a*pedgeStride+b] is the
+	// traversal probability of the single-edge motif with endpoint
+	// LabelIDs a, b; pedgeOK marks computed cells. Invalidated by AddQuery
+	// and rebuilt (larger) when a new LabelID appears.
+	pedge       []float64
+	pedgeOK     []bool
+	pedgeStride int
 }
 
 // New returns an empty TPSTry++ using the given signature factory.
@@ -215,15 +225,48 @@ func (t *Trie) MaxFrequentMotifVertices(threshold float64) int {
 // probability the paper's future work proposes feeding back into LDG. It
 // is 0 when the edge motif never occurs in the workload.
 func (t *Trie) PEdge(la, lb graph.Label) float64 {
+	return t.PEdgeByID(t.factory.LabelID(la), t.factory.LabelID(lb))
+}
+
+// pedgeCompute is the uncached PEdge: build the single-edge signature and
+// look its node up.
+func (t *Trie) pedgeCompute(a, b ident.LabelID) float64 {
 	sig := signature.New()
-	sig.MulPrime(t.factory.VertexFactor(la))
-	sig.MulPrime(t.factory.VertexFactor(lb))
-	sig.MulPrime(t.factory.EdgeFactor(la, lb))
+	sig.MulPrime(t.factory.VertexFactorByID(a))
+	sig.MulPrime(t.factory.VertexFactorByID(b))
+	sig.MulPrime(t.factory.EdgeFactorByID(a, b))
 	n, ok := t.NodeFor(sig)
 	if !ok {
 		return 0
 	}
 	return t.P(n)
+}
+
+// PEdgeByID is PEdge for already-interned labels, memoised in a dense
+// LabelID-indexed table so the traversal-weighted LDG hot path costs two
+// slice reads after the first probe of a pair.
+func (t *Trie) PEdgeByID(a, b ident.LabelID) float64 {
+	n := t.factory.Labels().Len()
+	if int(a) >= n || int(b) >= n {
+		// Labels the factory has never seen cannot appear in any motif.
+		return 0
+	}
+	if t.pedgeStride < n {
+		t.pedge = make([]float64, n*n)
+		t.pedgeOK = make([]bool, n*n)
+		t.pedgeStride = n
+	}
+	idx := int(a)*t.pedgeStride + int(b)
+	if !t.pedgeOK[idx] {
+		p := t.pedgeCompute(a, b)
+		t.pedge[idx] = p
+		t.pedgeOK[idx] = true
+		// The pair is unordered; fill the mirror cell too.
+		j := int(b)*t.pedgeStride + int(a)
+		t.pedge[j] = p
+		t.pedgeOK[j] = true
+	}
+	return t.pedge[idx]
 }
 
 // AddQuery folds query graph q with the given workload weight into the
@@ -241,6 +284,9 @@ func (t *Trie) AddQuery(id string, q *graph.Graph, weight float64) error {
 		return fmt.Errorf("motif: query %q is disconnected", id)
 	}
 	t.totalWeight += weight
+	// Support and total weight change, so cached edge probabilities are
+	// stale.
+	t.pedge, t.pedgeOK, t.pedgeStride = nil, nil, 0
 
 	// Enumerate connected sub-graphs of q (the co-recursive weave). Each
 	// enumerated state is a vertex set + edge set; states are deduplicated
@@ -371,15 +417,19 @@ func (s *embedding) key() string {
 		}
 		return es[i].V < es[j].V
 	})
-	out := ""
+	out := make([]byte, 0, 8*(len(vs)+2*len(es)))
 	for _, v := range vs {
-		out += fmt.Sprintf("%d,", v)
+		out = strconv.AppendInt(out, int64(v), 10)
+		out = append(out, ',')
 	}
-	out += "|"
+	out = append(out, '|')
 	for _, e := range es {
-		out += fmt.Sprintf("%d-%d,", e.U, e.V)
+		out = strconv.AppendInt(out, int64(e.U), 10)
+		out = append(out, '-')
+		out = strconv.AppendInt(out, int64(e.V), 10)
+		out = append(out, ',')
 	}
-	return out
+	return string(out)
 }
 
 // graph materialises the embedding as a labelled graph over q's labels.

@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// saturatedFennel returns a Fennel instance whose partitions are all at the
+// hard capacity, so the next Place must take the saturated fallback path.
+func saturatedFennel(t *testing.T, seed int64) *Fennel {
+	t.Helper()
+	// K=4, n=8, Slack=1.0 -> capacity 2 per partition. Fill all 8 slots.
+	f, err := NewFennel(FennelConfig{
+		Config: Config{K: 4, ExpectedVertices: 8, Slack: 1.0, Seed: seed},
+		Alpha:  1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := f.Assignment().Set(graph.VertexID(i), ID(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestFennelSaturatedFallbackRandomisesTies is the regression test for the
+// saturated-capacity fallback: with every partition equally (over)loaded the
+// spill partition must be drawn uniformly at random from the least-loaded
+// set using the seeded rng — not deterministically partition 0.
+func TestFennelSaturatedFallbackRandomisesTies(t *testing.T) {
+	counts := make(map[ID]int)
+	for seed := int64(0); seed < 64; seed++ {
+		f := saturatedFennel(t, seed)
+		p := f.Place(graph.VertexID(100), nil)
+		counts[p]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("saturated fallback always picked partition(s) %v across 64 seeds; want randomised ties", counts)
+	}
+}
+
+// TestFennelSaturatedFallbackPrefersLeastLoaded checks the fallback still
+// targets the least-loaded partitions when loads differ.
+func TestFennelSaturatedFallbackPrefersLeastLoaded(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		f, err := NewFennel(FennelConfig{
+			Config: Config{K: 2, ExpectedVertices: 2, Slack: 1.0, Seed: seed},
+			Alpha:  1e-9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Partition 0 holds two vertices, partition 1 one; both exceed the
+		// capacity of 1, so the fallback triggers and must pick partition 1.
+		for i, p := range []ID{0, 0, 1} {
+			if err := f.Assignment().Set(graph.VertexID(i), p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := f.Place(graph.VertexID(100), nil); got != 1 {
+			t.Fatalf("seed %d: saturated fallback chose %d, want least-loaded 1", seed, got)
+		}
+	}
+}
+
+// TestFennelSaturatedFallbackDeterministicPerSeed pins seeded determinism:
+// the same seed must always produce the same spill partition.
+func TestFennelSaturatedFallbackDeterministicPerSeed(t *testing.T) {
+	first := saturatedFennel(t, 7).Place(graph.VertexID(100), nil)
+	for i := 0; i < 4; i++ {
+		if got := saturatedFennel(t, 7).Place(graph.VertexID(100), nil); got != first {
+			t.Fatalf("seed 7 run %d: got partition %d, want %d", i, got, first)
+		}
+	}
+}

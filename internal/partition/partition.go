@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"loom/internal/graph"
+	"loom/internal/ident"
 )
 
 // ID identifies a partition, in [0, k).
@@ -30,10 +31,22 @@ type ID int
 const Unassigned ID = -1
 
 // Assignment records the placement of vertices into k partitions.
+//
+// Placements live in a dense slice indexed by interned vertex handle
+// (package ident), with an epoch stamp per slot so the whole assignment can
+// be reset in O(1) without reallocating; Get on the common dense-ID case is
+// two slice indexes instead of a hash probe.
 type Assignment struct {
-	k     int
-	place map[graph.VertexID]ID
+	k   int
+	ids *ident.Interner
+	// place and stamp are indexed by handle; a slot is live iff its stamp
+	// equals the current epoch. The interner may hold handles for vertices
+	// that were interned for scratch purposes but never assigned.
+	place []ID
+	stamp []uint32
+	epoch uint32
 	sizes []int
+	n     int // number of live placements (Len)
 }
 
 // NewAssignment returns an empty assignment over k partitions (k >= 1).
@@ -43,7 +56,8 @@ func NewAssignment(k int) (*Assignment, error) {
 	}
 	return &Assignment{
 		k:     k,
-		place: make(map[graph.VertexID]ID),
+		ids:   ident.NewInterner(),
+		epoch: 1, // zero-valued stamps must read as stale
 		sizes: make([]int, k),
 	}, nil
 }
@@ -61,20 +75,40 @@ func MustNewAssignment(k int) *Assignment {
 func (a *Assignment) K() int { return a.k }
 
 // Len returns the number of assigned vertices.
-func (a *Assignment) Len() int { return len(a.place) }
+func (a *Assignment) Len() int { return a.n }
 
-// Get returns the partition of v, or Unassigned.
-func (a *Assignment) Get(v graph.VertexID) ID {
-	if p, ok := a.place[v]; ok {
-		return p
+// getH returns the placement of handle h, or Unassigned.
+func (a *Assignment) getH(h ident.Handle) ID {
+	if int(h) < len(a.place) && a.stamp[h] == a.epoch {
+		return a.place[h]
 	}
 	return Unassigned
 }
 
+// Get returns the partition of v, or Unassigned.
+func (a *Assignment) Get(v graph.VertexID) ID {
+	h, ok := a.ids.Lookup(int64(v))
+	if !ok {
+		return Unassigned
+	}
+	return a.getH(h)
+}
+
 // Assigned reports whether v has been placed.
 func (a *Assignment) Assigned(v graph.VertexID) bool {
-	_, ok := a.place[v]
-	return ok
+	return a.Get(v) != Unassigned
+}
+
+// intern returns v's handle, growing the placement slices to cover it. The
+// slot is left stale (unassigned); partitioner scratch (Greedy's group
+// stamps) relies on this to reuse assignment handles.
+func (a *Assignment) intern(v graph.VertexID) ident.Handle {
+	h := a.ids.Intern(int64(v))
+	for int(h) >= len(a.place) {
+		a.place = append(a.place, Unassigned)
+		a.stamp = append(a.stamp, 0)
+	}
+	return h
 }
 
 // Set places v in partition p. Re-placing a vertex moves it (load counts
@@ -83,12 +117,32 @@ func (a *Assignment) Set(v graph.VertexID, p ID) error {
 	if p < 0 || int(p) >= a.k {
 		return fmt.Errorf("partition: partition %d out of range [0,%d)", p, a.k)
 	}
-	if old, ok := a.place[v]; ok {
-		a.sizes[old]--
+	h := a.intern(v)
+	if a.stamp[h] == a.epoch {
+		a.sizes[a.place[h]]--
+	} else {
+		a.stamp[h] = a.epoch
+		a.n++
 	}
-	a.place[v] = p
+	a.place[h] = p
 	a.sizes[p]++
 	return nil
+}
+
+// Reset clears every placement in O(1) (epoch bump), retaining the interned
+// handle space and slice capacity for reuse.
+func (a *Assignment) Reset() {
+	a.epoch++
+	if a.epoch == 0 { // wrapped: stamps from 2^32 resets ago could alias
+		for i := range a.stamp {
+			a.stamp[i] = 0
+		}
+		a.epoch = 1
+	}
+	a.n = 0
+	for i := range a.sizes {
+		a.sizes[i] = 0
+	}
 }
 
 // Size returns the number of vertices in partition p.
@@ -116,34 +170,35 @@ func (a *Assignment) MaxSize() int {
 // Clone returns an independent copy.
 func (a *Assignment) Clone() *Assignment {
 	c := MustNewAssignment(a.k)
-	for v, p := range a.place {
-		c.place[v] = p
-	}
-	copy(c.sizes, a.sizes)
+	a.EachVertex(func(v graph.VertexID, p ID) {
+		_ = c.Set(v, p)
+	})
 	return c
 }
 
 // EachVertex calls fn for every assigned vertex, in unspecified order.
 func (a *Assignment) EachVertex(fn func(v graph.VertexID, p ID)) {
-	for v, p := range a.place {
-		fn(v, p)
-	}
+	a.ids.EachLive(func(k int64, h ident.Handle) bool {
+		if a.stamp[h] == a.epoch {
+			fn(graph.VertexID(k), a.place[h])
+		}
+		return true
+	})
 }
 
 // CutEdges returns the number of edges of g whose endpoints are assigned
 // to different partitions. Edges with an unassigned endpoint are not
-// counted.
+// counted. It iterates adjacency directly (no edge materialisation or
+// sorting), so metrics calls stay cheap on large graphs.
 func (a *Assignment) CutEdges(g *graph.Graph) int {
 	cut := 0
-	for _, e := range g.Edges() {
-		pu, pv := a.Get(e.U), a.Get(e.V)
-		if pu == Unassigned || pv == Unassigned {
-			continue
-		}
-		if pu != pv {
+	g.EachEdge(func(u, v graph.VertexID) bool {
+		pu, pv := a.Get(u), a.Get(v)
+		if pu != Unassigned && pv != Unassigned && pu != pv {
 			cut++
 		}
-	}
+		return true
+	})
 	return cut
 }
 
@@ -191,7 +246,9 @@ func (c Config) validate() error {
 type Streaming interface {
 	// Place assigns v, whose currently-known neighbours are neighbors
 	// (only the already-assigned ones influence scoring), and returns the
-	// chosen partition.
+	// chosen partition. neighbors is only valid for the duration of the
+	// call: drivers (PartitionStream, Restreamer) reuse one scratch buffer
+	// across vertices, so implementations must not retain it.
 	Place(v graph.VertexID, neighbors []graph.VertexID) ID
 	// Assignment exposes the accumulated placement.
 	Assignment() *Assignment

@@ -77,6 +77,55 @@ func mustSet(t *testing.T, a *Assignment, v graph.VertexID, p ID) {
 	}
 }
 
+func TestAssignmentReset(t *testing.T) {
+	a := MustNewAssignment(3)
+	for v := graph.VertexID(0); v < 9; v++ {
+		mustSet(t, a, v, ID(v%3))
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", a.Len())
+	}
+	for p := ID(0); p < 3; p++ {
+		if a.Size(p) != 0 {
+			t.Fatalf("Size(%d) after Reset = %d, want 0", p, a.Size(p))
+		}
+	}
+	for v := graph.VertexID(0); v < 9; v++ {
+		if a.Get(v) != Unassigned || a.Assigned(v) {
+			t.Fatalf("vertex %d still assigned after Reset", v)
+		}
+	}
+	a.EachVertex(func(v graph.VertexID, p ID) {
+		t.Fatalf("EachVertex visited %d -> %d after Reset", v, p)
+	})
+	// The handle space is retained: re-assigning reuses it and reads back.
+	mustSet(t, a, 4, 2)
+	if a.Get(4) != 2 || a.Len() != 1 || a.Size(2) != 1 {
+		t.Fatal("re-assignment after Reset wrong")
+	}
+}
+
+func TestAssignmentResetEpochWrap(t *testing.T) {
+	a := MustNewAssignment(2)
+	mustSet(t, a, 7, 1)
+	// Force the wrap branch: the next Reset overflows the epoch counter and
+	// must rewrite stamps so ancient slots cannot alias as live.
+	a.epoch = ^uint32(0)
+	a.stamp[0] = ^uint32(0) // pretend vertex 7 was placed in this epoch
+	a.Reset()
+	if a.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", a.epoch)
+	}
+	if a.Get(7) != Unassigned || a.Len() != 0 {
+		t.Fatal("stale placement survived epoch wrap")
+	}
+	mustSet(t, a, 7, 0)
+	if a.Get(7) != 0 || a.Len() != 1 {
+		t.Fatal("re-assignment after wrap wrong")
+	}
+}
+
 func TestAssignmentCloneIndependent(t *testing.T) {
 	a := MustNewAssignment(2)
 	mustSet(t, a, 1, 0)

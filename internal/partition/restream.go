@@ -299,8 +299,13 @@ func (r *Restreamer) Run(g *graph.Graph, base []graph.VertexID, prev *Assignment
 			}
 			pa.SetPrior(prevA, r.Config.SelfWeight)
 		}
+		// Place never retains the neighbour slice, so one scratch buffer
+		// serves the whole pass (this is the regime where per-vertex
+		// allocation is multiplied by the pass count).
+		var scratch []graph.VertexID
 		for _, v := range order {
-			s.Place(v, g.Neighbors(v))
+			scratch = g.AppendNeighbors(scratch[:0], v)
+			s.Place(v, scratch)
 		}
 		return s.Assignment(), nil
 	})

@@ -49,9 +49,10 @@ func (h *Hash) Name() string { return "hash" }
 // Balanced places each vertex on the currently least-loaded partition,
 // breaking ties uniformly at random. It ignores structure entirely.
 type Balanced struct {
-	cfg Config
-	a   *Assignment
-	rng *rand.Rand
+	cfg  Config
+	a    *Assignment
+	rng  *rand.Rand
+	best []ID // scratch, reused across Place calls
 }
 
 // NewBalanced returns a Balanced partitioner.
@@ -59,20 +60,26 @@ func NewBalanced(cfg Config) (*Balanced, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Balanced{cfg: cfg, a: MustNewAssignment(cfg.K), rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Balanced{
+		cfg:  cfg,
+		a:    MustNewAssignment(cfg.K),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		best: make([]ID, 0, cfg.K),
+	}, nil
 }
 
 // Place implements Streaming.
 func (b *Balanced) Place(v graph.VertexID, _ []graph.VertexID) ID {
-	best := []ID{0}
+	best := append(b.best[:0], 0)
 	for p := 1; p < b.cfg.K; p++ {
 		switch {
 		case b.a.Size(ID(p)) < b.a.Size(best[0]):
-			best = []ID{ID(p)}
+			best = append(best[:0], ID(p))
 		case b.a.Size(ID(p)) == b.a.Size(best[0]):
 			best = append(best, ID(p))
 		}
 	}
+	b.best = best
 	p := best[b.rng.Intn(len(best))]
 	_ = b.a.Set(v, p)
 	return p
@@ -89,9 +96,10 @@ func (b *Balanced) Name() string { return "balanced" }
 // streams of grown graphs this preserves accidental locality; on random
 // orders it is as blind as hashing.
 type Chunking struct {
-	cfg  Config
-	a    *Assignment
-	next int
+	cfg   Config
+	a     *Assignment
+	next  int
+	chunk int // ceil(Capacity()), hoisted out of the per-vertex hot path
 }
 
 // NewChunking returns a Chunking partitioner.
@@ -99,16 +107,16 @@ func NewChunking(cfg Config) (*Chunking, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Chunking{cfg: cfg, a: MustNewAssignment(cfg.K)}, nil
+	chunk := int(math.Ceil(cfg.Capacity()))
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Chunking{cfg: cfg, a: MustNewAssignment(cfg.K), chunk: chunk}, nil
 }
 
 // Place implements Streaming.
 func (c *Chunking) Place(v graph.VertexID, _ []graph.VertexID) ID {
-	chunk := int(math.Ceil(c.cfg.Capacity()))
-	if chunk < 1 {
-		chunk = 1
-	}
-	p := ID((c.next / chunk) % c.cfg.K)
+	p := ID((c.next / c.chunk) % c.cfg.K)
 	c.next++
 	_ = c.a.Set(v, p)
 	return p
@@ -142,6 +150,18 @@ type Greedy struct {
 	name       string
 	prior      *Assignment
 	selfWeight float64
+	capacity   float64 // cfg.Capacity(), hoisted out of the scoring loop
+
+	// Scoring scratch, reused across Place/PlaceGroup calls so steady-state
+	// placement does not allocate.
+	links       []float64 // per-partition link weight, len K
+	best        []ID
+	leastLoaded []ID
+	// inGroupGen marks the current group's members: slot h (an assignment
+	// handle) is in the group iff inGroupGen[h] == groupGen. Bumping the
+	// generation clears the set in O(1).
+	inGroupGen []uint32
+	groupGen   uint32
 }
 
 // NewDeterministicGreedy returns the unweighted greedy heuristic
@@ -165,18 +185,22 @@ func newGreedy(cfg Config, kind greedyKind, name string) (*Greedy, error) {
 		return nil, err
 	}
 	return &Greedy{
-		cfg:  cfg,
-		kind: kind,
-		a:    MustNewAssignment(cfg.K),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		name: name,
+		cfg:         cfg,
+		kind:        kind,
+		a:           MustNewAssignment(cfg.K),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		name:        name,
+		capacity:    cfg.Capacity(),
+		links:       make([]float64, cfg.K),
+		best:        make([]ID, 0, cfg.K),
+		leastLoaded: make([]ID, 0, cfg.K),
 	}, nil
 }
 
 // weight returns the capacity penalty for a partition currently holding
 // size vertices and about to receive add more.
 func (g *Greedy) weight(size, add int) float64 {
-	c := g.cfg.Capacity()
+	c := g.capacity
 	switch g.kind {
 	case linearGreedy:
 		w := 1 - (float64(size)+float64(add)/2)/c
@@ -222,7 +246,7 @@ func (g *Greedy) effective(n graph.VertexID) ID {
 
 // Place implements Streaming.
 func (g *Greedy) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
-	p := g.scoreGroup([]graph.VertexID{v}, map[graph.VertexID][]graph.VertexID{v: neighbors})
+	p := g.scoreOne(v, neighbors, nil)
 	_ = g.a.Set(v, p)
 	return p
 }
@@ -250,7 +274,7 @@ type EdgeWeightFunc func(v, neighbor graph.VertexID) float64
 // the choice toward partitions holding neighbours the workload is likely
 // to traverse to.
 func (g *Greedy) PlaceWeighted(v graph.VertexID, neighbors []graph.VertexID, weightFn EdgeWeightFunc) ID {
-	p := g.scoreGroupWeighted([]graph.VertexID{v}, map[graph.VertexID][]graph.VertexID{v: neighbors}, weightFn)
+	p := g.scoreOne(v, neighbors, weightFn)
 	_ = g.a.Set(v, p)
 	return p
 }
@@ -264,23 +288,78 @@ func (g *Greedy) PlaceGroupWeighted(group []graph.VertexID, neighbors map[graph.
 	return p
 }
 
-// scoreGroup evaluates every partition for the group and returns the best.
-func (g *Greedy) scoreGroup(group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID) ID {
-	return g.scoreGroupWeighted(group, neighbors, nil)
+// resetLinks zeroes and returns the per-partition link scratch.
+func (g *Greedy) resetLinks() []float64 {
+	for i := range g.links {
+		g.links[i] = 0
+	}
+	return g.links
 }
 
-// scoreGroupWeighted is the scoring core: with weightFn nil every external
-// edge counts 1 (classic LDG); otherwise each counts weightFn(v, n).
-func (g *Greedy) scoreGroupWeighted(group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID, weightFn EdgeWeightFunc) ID {
-	inGroup := make(map[graph.VertexID]struct{}, len(group))
-	for _, v := range group {
-		inGroup[v] = struct{}{}
+// scoreOne is the single-vertex scoring fast path: the degenerate group {v}
+// needs no group-membership set (a vertex is never its own neighbour in a
+// simple graph, but the n == v guard preserves the old semantics for
+// malformed input) and no per-call allocation at all.
+func (g *Greedy) scoreOne(v graph.VertexID, neighbors []graph.VertexID, weightFn EdgeWeightFunc) ID {
+	links := g.resetLinks()
+	for _, n := range neighbors {
+		if n == v {
+			continue
+		}
+		if p := g.effective(n); p != Unassigned {
+			if weightFn == nil {
+				links[p]++
+			} else {
+				links[p] += weightFn(v, n)
+			}
+		}
 	}
+	if g.prior != nil {
+		// Restreaming self-affinity: staying put is worth selfWeight.
+		if p := g.prior.Get(v); p != Unassigned && int(p) < g.cfg.K {
+			links[p] += g.selfWeight
+		}
+	}
+	return g.pickBest(links, 1)
+}
+
+// markGroup stamps the group members into the generation-stamped membership
+// scratch (keyed by assignment handle) and returns the generation to test
+// against.
+func (g *Greedy) markGroup(group []graph.VertexID) uint32 {
+	if g.groupGen == math.MaxUint32 { // wrapped: stale stamps could alias
+		for i := range g.inGroupGen {
+			g.inGroupGen[i] = 0
+		}
+		g.groupGen = 0
+	}
+	g.groupGen++
+	for _, v := range group {
+		h := g.a.intern(v)
+		for int(h) >= len(g.inGroupGen) {
+			g.inGroupGen = append(g.inGroupGen, 0)
+		}
+		g.inGroupGen[h] = g.groupGen
+	}
+	return g.groupGen
+}
+
+// inGroup reports whether n was stamped by the latest markGroup.
+func (g *Greedy) inGroup(n graph.VertexID, gen uint32) bool {
+	h, ok := g.a.ids.Lookup(int64(n))
+	return ok && int(h) < len(g.inGroupGen) && g.inGroupGen[h] == gen
+}
+
+// scoreGroupWeighted is the scoring core for whole-group placement: with
+// weightFn nil every external edge counts 1 (classic LDG); otherwise each
+// counts weightFn(v, n).
+func (g *Greedy) scoreGroupWeighted(group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID, weightFn EdgeWeightFunc) ID {
+	gen := g.markGroup(group)
 	// Weighted edges from the group to each partition.
-	links := make([]float64, g.cfg.K)
+	links := g.resetLinks()
 	for _, v := range group {
 		for _, n := range neighbors[v] {
-			if _, self := inGroup[n]; self {
+			if g.inGroup(n, gen) {
 				continue
 			}
 			if p := g.effective(n); p != Unassigned {
@@ -300,37 +379,43 @@ func (g *Greedy) scoreGroupWeighted(group []graph.VertexID, neighbors map[graph.
 			}
 		}
 	}
-	add := len(group)
+	return g.pickBest(links, len(group))
+}
+
+// pickBest selects argmax links[p] * weight(size, add), breaking ties to the
+// least-loaded candidates and then uniformly at random among them, per
+// Stanton & Kliot. The rng is consumed only on a genuine tie, matching the
+// map-backed reference bit for bit.
+func (g *Greedy) pickBest(links []float64, add int) ID {
 	bestScore := math.Inf(-1)
-	var best []ID
+	best := g.best[:0]
 	for p := 0; p < g.cfg.K; p++ {
 		score := links[p] * g.weight(g.a.Size(ID(p)), add)
 		if score > bestScore {
 			bestScore = score
-			best = best[:0]
-			best = append(best, ID(p))
+			best = append(best[:0], ID(p))
 		} else if score == bestScore {
 			best = append(best, ID(p))
 		}
 	}
+	g.best = best
 	if len(best) == 1 {
 		return best[0]
 	}
 	// Ties (including the all-zero score of a neighbourless vertex) break
-	// to the least-loaded candidates, then uniformly at random among them,
-	// per Stanton & Kliot.
+	// to the least-loaded candidates.
 	minSize := math.MaxInt
-	var leastLoaded []ID
+	leastLoaded := g.leastLoaded[:0]
 	for _, p := range best {
 		s := g.a.Size(p)
 		if s < minSize {
 			minSize = s
-			leastLoaded = leastLoaded[:0]
-			leastLoaded = append(leastLoaded, p)
+			leastLoaded = append(leastLoaded[:0], p)
 		} else if s == minSize {
 			leastLoaded = append(leastLoaded, p)
 		}
 	}
+	g.leastLoaded = leastLoaded
 	return leastLoaded[g.rng.Intn(len(leastLoaded))]
 }
 
@@ -352,6 +437,12 @@ type Fennel struct {
 	rng        *rand.Rand
 	prior      *Assignment
 	selfWeight float64
+	capacity   float64 // cfg.Capacity(), hoisted out of the scoring loop
+
+	// Scoring scratch, reused across Place calls so steady-state placement
+	// does not allocate.
+	links []float64
+	best  []ID
 }
 
 // FennelConfig extends Config with Fennel's parameters.
@@ -385,11 +476,14 @@ func NewFennel(cfg FennelConfig) (*Fennel, error) {
 		alpha = math.Sqrt(float64(cfg.K)) * float64(cfg.ExpectedEdges) / math.Pow(n, 1.5)
 	}
 	return &Fennel{
-		cfg:   cfg.Config,
-		alpha: alpha,
-		gamma: gamma,
-		a:     MustNewAssignment(cfg.K),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg.Config,
+		alpha:    alpha,
+		gamma:    gamma,
+		a:        MustNewAssignment(cfg.K),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		capacity: cfg.Capacity(),
+		links:    make([]float64, cfg.K),
+		best:     make([]ID, 0, cfg.K),
 	}, nil
 }
 
@@ -404,7 +498,10 @@ func (f *Fennel) SetPrior(prev *Assignment, selfWeight float64) {
 
 // Place implements Streaming.
 func (f *Fennel) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
-	links := make([]float64, f.cfg.K)
+	links := f.links
+	for i := range links {
+		links[i] = 0
+	}
 	for _, n := range neighbors {
 		p := f.a.Get(n)
 		if p == Unassigned && f.prior != nil {
@@ -419,9 +516,9 @@ func (f *Fennel) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
 			links[p] += f.selfWeight
 		}
 	}
-	cap := f.cfg.Capacity()
+	cap := f.capacity
 	bestScore := math.Inf(-1)
-	var best []ID
+	best := f.best[:0]
 	for p := 0; p < f.cfg.K; p++ {
 		size := float64(f.a.Size(ID(p)))
 		if size+1 > cap && f.cfg.Slack > 0 {
@@ -440,14 +537,22 @@ func (f *Fennel) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
 		}
 	}
 	if len(best) == 0 {
-		// All partitions saturated; fall back to least loaded.
-		best = append(best, 0)
-		for p := 1; p < f.cfg.K; p++ {
-			if f.a.Size(ID(p)) < f.a.Size(best[0]) {
-				best[0] = ID(p)
+		// All partitions saturated; fall back to the least-loaded ones,
+		// breaking ties uniformly at random (like Greedy) rather than
+		// deterministically favouring low partition indices.
+		minSize := math.MaxInt
+		for p := 0; p < f.cfg.K; p++ {
+			s := f.a.Size(ID(p))
+			if s < minSize {
+				minSize = s
+				best = best[:0]
+				best = append(best, ID(p))
+			} else if s == minSize {
+				best = append(best, ID(p))
 			}
 		}
 	}
+	f.best = best
 	p := best[f.rng.Intn(len(best))]
 	_ = f.a.Set(v, p)
 	return p
@@ -464,8 +569,12 @@ func (f *Fennel) Name() string { return "fennel" }
 // adjacency (the standard evaluation harness for streaming partitioners:
 // neighbours already placed influence scoring, later ones do not).
 func PartitionStream(g *graph.Graph, order []graph.VertexID, s Streaming) *Assignment {
+	// Place never retains the neighbour slice, so one scratch buffer serves
+	// the whole stream.
+	var scratch []graph.VertexID
 	for _, v := range order {
-		s.Place(v, g.Neighbors(v))
+		scratch = g.AppendNeighbors(scratch[:0], v)
+		s.Place(v, scratch)
 	}
 	return s.Assignment()
 }

@@ -20,6 +20,7 @@ package pattern
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"loom/internal/graph"
 	"loom/internal/iso"
@@ -76,13 +77,17 @@ func (m *Match) Size() int { return len(m.vertices) }
 
 // key canonically identifies the match's sub-graph for deduplication.
 func (m *Match) key() string {
-	var sb []byte
+	sb := make([]byte, 0, 8*(len(m.vertices)+2*len(m.edges)))
 	for _, v := range m.Vertices() {
-		sb = fmt.Appendf(sb, "%d,", v)
+		sb = strconv.AppendInt(sb, int64(v), 10)
+		sb = append(sb, ',')
 	}
 	sb = append(sb, '|')
 	for _, e := range m.Edges() {
-		sb = fmt.Appendf(sb, "%d-%d,", e.U, e.V)
+		sb = strconv.AppendInt(sb, int64(e.U), 10)
+		sb = append(sb, '-')
+		sb = strconv.AppendInt(sb, int64(e.V), 10)
+		sb = append(sb, ',')
 	}
 	return string(sb)
 }
@@ -152,6 +157,28 @@ func NewTracker(trie *motif.Trie, opts Options) *Tracker {
 
 // Stats returns a copy of the tracker's activity counters.
 func (t *Tracker) Stats() Stats { return t.stats }
+
+// factorsFor returns the signature factors of an edge's endpoints: the two
+// vertex factors and the edge factor. When the window graph shares the
+// factory's label interner (LOOM's configuration) the probes are LabelID
+// slice reads; otherwise they fall back to hashing the label strings.
+func (t *Tracker) factorsFor(w *graph.Graph, u, v graph.VertexID) (fu, fv, fe uint64) {
+	if w.LabelInterner() == t.factory.Labels() {
+		lu, uok := w.LabelIDOf(u)
+		lv, vok := w.LabelIDOf(v)
+		// A non-resident endpoint has no LabelID; feeding NoLabel to the
+		// ByID tables would grow them toward 2^32 entries, so fall through
+		// to the string path, which degrades to the empty label like the
+		// pre-interned code did. (ObserveEdge checks residency, so this is
+		// defensive.)
+		if uok && vok {
+			return t.factory.VertexFactorByID(lu), t.factory.VertexFactorByID(lv), t.factory.EdgeFactorByID(lu, lv)
+		}
+	}
+	la, _ := w.Label(u)
+	lb, _ := w.Label(v)
+	return t.factory.VertexFactor(la), t.factory.VertexFactor(lb), t.factory.EdgeFactor(la, lb)
+}
 
 // ActiveMatches returns the number of live matches.
 func (t *Tracker) ActiveMatches() int { return len(t.matches) }
@@ -226,15 +253,14 @@ func (t *Tracker) tryExtend(m *Match, e graph.Edge, w *graph.Graph) bool {
 		}
 	}
 	sig := m.Sig.Clone()
-	la, _ := w.Label(e.U)
-	lb, _ := w.Label(e.V)
+	fu, fv, fe := t.factorsFor(w, e.U, e.V)
 	if !uIn {
-		sig.MulPrime(t.factory.VertexFactor(la))
+		sig.MulPrime(fu)
 	}
 	if !vIn {
-		sig.MulPrime(t.factory.VertexFactor(lb))
+		sig.MulPrime(fv)
 	}
-	sig.MulPrime(t.factory.EdgeFactor(la, lb))
+	sig.MulPrime(fe)
 	child, ok := t.trie.ChildFor(m.Node, sig.Key())
 	if !ok || !t.frequent(child) {
 		return false
@@ -282,15 +308,14 @@ func (t *Tracker) reexpand(e graph.Edge, w *graph.Graph) {
 		extended := false
 		for _, fe := range t.frontierEdges(seed, w, rejected) {
 			sig := seed.Sig.Clone()
-			ua, _ := w.Label(fe.U)
-			ub, _ := w.Label(fe.V)
+			fa, fb, fab := t.factorsFor(w, fe.U, fe.V)
 			if !seed.Contains(fe.U) {
-				sig.MulPrime(t.factory.VertexFactor(ua))
+				sig.MulPrime(fa)
 			}
 			if !seed.Contains(fe.V) {
-				sig.MulPrime(t.factory.VertexFactor(ub))
+				sig.MulPrime(fb)
 			}
-			sig.MulPrime(t.factory.EdgeFactor(ua, ub))
+			sig.MulPrime(fab)
 			child, ok := t.trie.ChildFor(seed.Node, sig.Key())
 			if !ok || !t.frequent(child) {
 				rejected[fe] = struct{}{}

@@ -21,32 +21,42 @@
 package signature
 
 import (
-	"fmt"
 	"math/big"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 
 	"loom/internal/graph"
+	"loom/internal/ident"
 )
 
 // Factory assigns prime factors to labels and label pairs. Assignment is
 // first-come-first-served, so signatures are comparable only when produced
 // by the same Factory (or one seeded with the same alphabet in the same
-// order). Factory is safe for concurrent use.
+// order).
+//
+// Labels are interned to dense LabelIDs (package ident) and the factor
+// tables are LabelID-indexed slices, so hot paths that already hold
+// LabelIDs (the pattern tracker reading them off the window graph) probe a
+// slice instead of hashing a string. Factory methods are safe for
+// concurrent use; sharing its label interner with other components (via
+// Labels) is safe only within a single goroutine's pipeline.
 type Factory struct {
 	mu            sync.Mutex
 	nextCandidate uint64
-	vertexFactor  map[graph.Label]uint64
-	edgeFactor    map[[2]graph.Label]uint64
+	labels        *ident.Labels
+	// vertexFactor[id] is the prime of label id; 0 = not yet assigned.
+	vertexFactor []uint64
+	// edgeFactor[a][b] is the prime of the unordered pair {a,b}, mirrored
+	// across the diagonal; 0 = not yet assigned. Rows grow on demand.
+	edgeFactor [][]uint64
 }
 
 // NewFactory returns an empty Factory.
 func NewFactory() *Factory {
 	return &Factory{
 		nextCandidate: 2,
-		vertexFactor:  make(map[graph.Label]uint64),
-		edgeFactor:    make(map[[2]graph.Label]uint64),
+		labels:        ident.NewLabels(),
 	}
 }
 
@@ -92,33 +102,85 @@ func isPrime(n uint64) bool {
 	return true
 }
 
+// Labels exposes the factory's label interner so other components (the LOOM
+// stream window's graph) can intern labels to the same LabelIDs and probe
+// the factor tables ByID. Single-goroutine sharing only.
+func (f *Factory) Labels() *ident.Labels { return f.labels }
+
+// LabelID interns l and returns its dense id.
+func (f *Factory) LabelID(l graph.Label) ident.LabelID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.labels.Intern(string(l))
+}
+
+// vertexFactorLocked returns (assigning if needed) the prime of label id.
+func (f *Factory) vertexFactorLocked(id ident.LabelID) uint64 {
+	for int(id) >= len(f.vertexFactor) {
+		f.vertexFactor = append(f.vertexFactor, 0)
+	}
+	if p := f.vertexFactor[id]; p != 0 {
+		return p
+	}
+	p := f.nextPrime()
+	f.vertexFactor[id] = p
+	return p
+}
+
+// edgeFactorLocked returns (assigning if needed) the prime of the unordered
+// pair {a,b}, mirroring the assignment across the diagonal.
+func (f *Factory) edgeFactorLocked(a, b ident.LabelID) uint64 {
+	hi := a
+	if b > hi {
+		hi = b
+	}
+	for int(hi) >= len(f.edgeFactor) {
+		f.edgeFactor = append(f.edgeFactor, nil)
+	}
+	row := f.edgeFactor[a]
+	if int(b) < len(row) && row[b] != 0 {
+		return row[b]
+	}
+	p := f.nextPrime()
+	for int(b) >= len(f.edgeFactor[a]) {
+		f.edgeFactor[a] = append(f.edgeFactor[a], 0)
+	}
+	for int(a) >= len(f.edgeFactor[b]) {
+		f.edgeFactor[b] = append(f.edgeFactor[b], 0)
+	}
+	f.edgeFactor[a][b] = p
+	f.edgeFactor[b][a] = p
+	return p
+}
+
 // VertexFactor returns the prime assigned to label l, assigning one if new.
 func (f *Factory) VertexFactor(l graph.Label) uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if p, ok := f.vertexFactor[l]; ok {
-		return p
-	}
-	p := f.nextPrime()
-	f.vertexFactor[l] = p
-	return p
+	return f.vertexFactorLocked(f.labels.Intern(string(l)))
+}
+
+// VertexFactorByID is VertexFactor for an already-interned label, skipping
+// the string hash on the tracker's hot path.
+func (f *Factory) VertexFactorByID(id ident.LabelID) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.vertexFactorLocked(id)
 }
 
 // EdgeFactor returns the prime assigned to the unordered label pair
 // {la, lb}, assigning one if new.
 func (f *Factory) EdgeFactor(la, lb graph.Label) uint64 {
-	if lb < la {
-		la, lb = lb, la
-	}
-	key := [2]graph.Label{la, lb}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if p, ok := f.edgeFactor[key]; ok {
-		return p
-	}
-	p := f.nextPrime()
-	f.edgeFactor[key] = p
-	return p
+	return f.edgeFactorLocked(f.labels.Intern(string(la)), f.labels.Intern(string(lb)))
+}
+
+// EdgeFactorByID is EdgeFactor for already-interned labels.
+func (f *Factory) EdgeFactorByID(a, b ident.LabelID) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.edgeFactorLocked(a, b)
 }
 
 // SignatureOf computes the signature of g from scratch.
@@ -136,64 +198,104 @@ func (f *Factory) SignatureOf(g *graph.Graph) *Signature {
 	return s
 }
 
-// Signature is a multiset of prime factors: factor -> exponent. The zero
-// value is not usable; construct with New. Signature is not safe for
-// concurrent mutation.
+// factorEntry is one (prime, exponent) pair of a signature's multiset.
+type factorEntry struct {
+	p uint64
+	e uint32
+}
+
+// Signature is a multiset of prime factors: factor -> exponent, stored as a
+// slice sorted by prime. Factor counts are tiny (|V| + |E| of a small
+// motif), so sorted-slice probes beat hashing and keep the matcher's
+// clone-per-extension hot path down to a single allocation. The zero value
+// is not usable; construct with New. Signature is not safe for concurrent
+// mutation.
 type Signature struct {
-	factors map[uint64]uint32
+	fs []factorEntry // sorted by p ascending
 }
 
 // New returns the empty signature (the multiplicative identity, integer 1).
 func New() *Signature {
-	return &Signature{factors: make(map[uint64]uint32)}
+	return &Signature{}
 }
 
 // Clone returns an independent copy.
 func (s *Signature) Clone() *Signature {
-	c := &Signature{factors: make(map[uint64]uint32, len(s.factors))}
-	for p, e := range s.factors {
-		c.factors[p] = e
+	c := &Signature{}
+	if len(s.fs) > 0 {
+		// Leave headroom: clones are almost always multiplied right after.
+		c.fs = make([]factorEntry, len(s.fs), len(s.fs)+2)
+		copy(c.fs, s.fs)
 	}
 	return c
+}
+
+// find returns the index of prime p in s.fs, or the insertion point with
+// ok=false.
+func (s *Signature) find(p uint64) (int, bool) {
+	lo, hi := 0, len(s.fs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.fs[mid].p < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.fs) && s.fs[lo].p == p
 }
 
 // MulPrime multiplies the signature by prime p in place and returns s for
 // chaining.
 func (s *Signature) MulPrime(p uint64) *Signature {
-	s.factors[p]++
+	i, ok := s.find(p)
+	if ok {
+		s.fs[i].e++
+		return s
+	}
+	s.fs = append(s.fs, factorEntry{})
+	copy(s.fs[i+1:], s.fs[i:])
+	s.fs[i] = factorEntry{p: p, e: 1}
 	return s
 }
 
 // DivPrime divides by prime p in place; it reports false (leaving s
 // unchanged) if p is not a factor.
 func (s *Signature) DivPrime(p uint64) bool {
-	e, ok := s.factors[p]
+	i, ok := s.find(p)
 	if !ok {
 		return false
 	}
-	if e == 1 {
-		delete(s.factors, p)
-	} else {
-		s.factors[p] = e - 1
+	if s.fs[i].e > 1 {
+		s.fs[i].e--
+		return true
 	}
+	s.fs = append(s.fs[:i], s.fs[i+1:]...)
 	return true
 }
 
 // Mul multiplies s by t in place and returns s.
 func (s *Signature) Mul(t *Signature) *Signature {
-	for p, e := range t.factors {
-		s.factors[p] += e
+	for _, f := range t.fs {
+		i, ok := s.find(f.p)
+		if ok {
+			s.fs[i].e += f.e
+			continue
+		}
+		s.fs = append(s.fs, factorEntry{})
+		copy(s.fs[i+1:], s.fs[i:])
+		s.fs[i] = f
 	}
 	return s
 }
 
 // Equal reports exact signature equality.
 func (s *Signature) Equal(t *Signature) bool {
-	if len(s.factors) != len(t.factors) {
+	if len(s.fs) != len(t.fs) {
 		return false
 	}
-	for p, e := range s.factors {
-		if t.factors[p] != e {
+	for i, f := range s.fs {
+		if t.fs[i] != f {
 			return false
 		}
 	}
@@ -204,8 +306,12 @@ func (s *Signature) Equal(t *Signature) bool {
 // with at least the same multiplicity. sig(M).Divides(sig(S)) is the
 // necessary condition for M being a (label-preserving) subgraph of S.
 func (s *Signature) Divides(t *Signature) bool {
-	for p, e := range s.factors {
-		if t.factors[p] < e {
+	j := 0
+	for _, f := range s.fs {
+		for j < len(t.fs) && t.fs[j].p < f.p {
+			j++
+		}
+		if j >= len(t.fs) || t.fs[j].p != f.p || t.fs[j].e < f.e {
 			return false
 		}
 	}
@@ -213,38 +319,43 @@ func (s *Signature) Divides(t *Signature) bool {
 }
 
 // IsOne reports whether s is the empty product.
-func (s *Signature) IsOne() bool { return len(s.factors) == 0 }
+func (s *Signature) IsOne() bool { return len(s.fs) == 0 }
 
 // NumFactors returns the total factor count with multiplicity (= |V| + |E|
 // of the underlying graph when built by SignatureOf).
 func (s *Signature) NumFactors() int {
 	n := 0
-	for _, e := range s.factors {
-		n += int(e)
+	for _, f := range s.fs {
+		n += int(f.e)
 	}
 	return n
+}
+
+// AppendKey appends the canonical key to dst and returns it, letting
+// callers that only need transient key bytes skip the string allocation.
+func (s *Signature) AppendKey(dst []byte) []byte {
+	if len(s.fs) == 0 {
+		return append(dst, '1')
+	}
+	for i, f := range s.fs {
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+		dst = strconv.AppendUint(dst, f.p, 10)
+		dst = append(dst, '^')
+		dst = strconv.AppendUint(dst, uint64(f.e), 10)
+	}
+	return dst
 }
 
 // Key returns a canonical string key ("p^e.p^e..." with primes ascending),
 // suitable for indexing signatures in maps. Equal signatures have equal
 // keys and vice versa.
 func (s *Signature) Key() string {
-	if len(s.factors) == 0 {
+	if len(s.fs) == 0 {
 		return "1"
 	}
-	primes := make([]uint64, 0, len(s.factors))
-	for p := range s.factors {
-		primes = append(primes, p)
-	}
-	sort.Slice(primes, func(i, j int) bool { return primes[i] < primes[j] })
-	var sb strings.Builder
-	for i, p := range primes {
-		if i > 0 {
-			sb.WriteByte('.')
-		}
-		fmt.Fprintf(&sb, "%d^%d", p, s.factors[p])
-	}
-	return sb.String()
+	return string(s.AppendKey(make([]byte, 0, 12*len(s.fs))))
 }
 
 // BigInt renders the signature as the integer product Π p^e, the
@@ -252,9 +363,9 @@ func (s *Signature) Key() string {
 func (s *Signature) BigInt() *big.Int {
 	out := big.NewInt(1)
 	pb := new(big.Int)
-	for p, e := range s.factors {
-		pb.SetUint64(p)
-		for i := uint32(0); i < e; i++ {
+	for _, f := range s.fs {
+		pb.SetUint64(f.p)
+		for i := uint32(0); i < f.e; i++ {
 			out.Mul(out, pb)
 		}
 	}

@@ -1,0 +1,35 @@
+package stream
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// BenchmarkWindowEvict measures steady-state window churn: each iteration
+// adds one vertex and a chain edge to a full window, forcing one eviction.
+func BenchmarkWindowEvict(b *testing.B) {
+	w, err := NewWindow(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := []graph.Label{"a", "b", "c", "d"}
+	for i := 0; i < 256; i++ {
+		w.AddVertex(graph.VertexID(i), labels[i%4])
+		if i > 0 {
+			if _, err := w.AddEdge(graph.VertexID(i-1), graph.VertexID(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 256; i < 256+b.N; i++ {
+		if ev := w.AddVertex(graph.VertexID(i), labels[i%4]); ev == nil {
+			b.Fatal("expected eviction from full window")
+		}
+		if _, err := w.AddEdge(graph.VertexID(i-1), graph.VertexID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -32,6 +32,14 @@ type timedEntry struct {
 	at int64
 }
 
+// pendingEdge records an edge whose other endpoint already left the window;
+// it is surfaced to the caller at eviction time so the partitioner can
+// still count it toward placement scores. (The count-based Window tracks
+// the same information in a handle-indexed slice.)
+type pendingEdge struct {
+	other graph.VertexID
+}
+
 // NewTimedWindow returns a window spanning the given number of logical
 // time units (span >= 1).
 func NewTimedWindow(span int64) (*TimedWindow, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"loom/internal/graph"
+	"loom/internal/ident"
 )
 
 // Window is a count-based sliding window over a graph-stream (paper §4.1,
@@ -14,37 +15,50 @@ import (
 // endpoints are both resident. When capacity is exceeded the oldest vertex
 // is evicted; the caller receives the evicted vertex and its
 // window-resident incident edges so it can be assigned to a partition.
+//
+// Residency is tracked by the window subgraph itself (a vertex is resident
+// iff it is in the graph), deferred edges live in a handle-indexed slice,
+// and the arrival queue is a ring buffer. Steady-state churn allocates
+// nothing per vertex (handles and slot capacity are recycled); interning a
+// stream ID far beyond the window's population does fall back to the
+// interner's map path (see ident.Interner), costing one map insert per
+// arrival and one delete per eviction.
 type Window struct {
 	capacity int
-	g        *graph.Graph     // window-resident subgraph
-	arrival  []graph.VertexID // FIFO arrival order of resident vertices
-	resident map[graph.VertexID]struct{}
-	deferred map[graph.VertexID][]pendingEdge // edges waiting for an evicted endpoint
-}
-
-// pendingEdge records an edge whose other endpoint already left the window;
-// it is surfaced to the caller at insertion time so the partitioner can
-// still count it toward placement scores.
-type pendingEdge struct {
-	other graph.VertexID
+	g        *graph.Graph // window-resident subgraph
+	// arrival[head:] is the FIFO arrival order of resident vertices.
+	arrival []graph.VertexID
+	head    int
+	// deferred is indexed by the window graph's vertex handle: edges whose
+	// other endpoint already left the window, waiting to be surfaced in the
+	// resident endpoint's Eviction. Slots are cleared at eviction, so a
+	// recycled handle always starts empty.
+	deferred [][]graph.VertexID
 }
 
 // NewWindow returns a window holding at most capacity vertices
 // (capacity >= 1).
 func NewWindow(capacity int) (*Window, error) {
+	return NewWindowWithLabels(capacity, ident.NewLabels())
+}
+
+// NewWindowWithLabels is NewWindow with a caller-supplied label interner for
+// the window subgraph, so LabelIDs agree with other components (LOOM shares
+// the signature factory's interner, letting the tracker probe factor tables
+// by LabelID without hashing label strings).
+func NewWindowWithLabels(capacity int, lab *ident.Labels) (*Window, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("stream: window capacity %d < 1", capacity)
 	}
 	return &Window{
 		capacity: capacity,
-		g:        graph.New(),
-		resident: make(map[graph.VertexID]struct{}),
-		deferred: make(map[graph.VertexID][]pendingEdge),
+		g:        graph.NewWithLabels(lab),
+		arrival:  make([]graph.VertexID, 0, capacity+1),
 	}, nil
 }
 
 // Len returns the number of resident vertices.
-func (w *Window) Len() int { return len(w.arrival) }
+func (w *Window) Len() int { return len(w.arrival) - w.head }
 
 // Capacity returns the window's vertex capacity.
 func (w *Window) Capacity() int { return w.capacity }
@@ -55,17 +69,16 @@ func (w *Window) Graph() *graph.Graph { return w.g }
 
 // Resident reports whether v is currently inside the window.
 func (w *Window) Resident(v graph.VertexID) bool {
-	_, ok := w.resident[v]
-	return ok
+	return w.g.HasVertex(v)
 }
 
 // Oldest returns the vertex that would be evicted next and whether the
 // window is non-empty.
 func (w *Window) Oldest() (graph.VertexID, bool) {
-	if len(w.arrival) == 0 {
+	if w.Len() == 0 {
 		return 0, false
 	}
-	return w.arrival[0], true
+	return w.arrival[w.head], true
 }
 
 // Eviction describes a vertex leaving the window: the vertex, its label and
@@ -80,6 +93,26 @@ type Eviction struct {
 	AssignedNeighbors []graph.VertexID
 }
 
+// deferredSlot returns the deferred-edge slot of a resident vertex's handle,
+// growing the table to cover it.
+func (w *Window) deferredSlot(h ident.Handle) *[]graph.VertexID {
+	for int(h) >= len(w.deferred) {
+		w.deferred = append(w.deferred, nil)
+	}
+	return &w.deferred[h]
+}
+
+// pushArrival appends v to the FIFO, compacting the ring when the dead
+// prefix dominates.
+func (w *Window) pushArrival(v graph.VertexID) {
+	if w.head > 0 && len(w.arrival) == cap(w.arrival) {
+		n := copy(w.arrival, w.arrival[w.head:])
+		w.arrival = w.arrival[:n]
+		w.head = 0
+	}
+	w.arrival = append(w.arrival, v)
+}
+
 // AddVertex inserts a vertex into the window. If the window is full the
 // oldest vertex is evicted first and returned (evicted != nil). Inserting a
 // vertex that is already resident only relabels it.
@@ -89,12 +122,11 @@ func (w *Window) AddVertex(v graph.VertexID, l graph.Label) *Eviction {
 		return nil
 	}
 	var ev *Eviction
-	if len(w.arrival) >= w.capacity {
+	if w.Len() >= w.capacity {
 		ev = w.evictOldest()
 	}
 	w.g.AddVertex(v, l)
-	w.resident[v] = struct{}{}
-	w.arrival = append(w.arrival, v)
+	w.pushArrival(v)
 	return ev
 }
 
@@ -109,7 +141,8 @@ func (w *Window) AddEdge(u, v graph.VertexID) (bothResident bool, err error) {
 	if u == v {
 		return false, fmt.Errorf("stream: self-loop {%d,%d}", u, v)
 	}
-	ur, vr := w.Resident(u), w.Resident(v)
+	hu, ur := w.g.HandleOf(u)
+	hv, vr := w.g.HandleOf(v)
 	switch {
 	case ur && vr:
 		if w.g.HasEdge(u, v) {
@@ -120,10 +153,12 @@ func (w *Window) AddEdge(u, v graph.VertexID) (bothResident bool, err error) {
 		}
 		return true, nil
 	case ur:
-		w.deferred[u] = append(w.deferred[u], pendingEdge{other: v})
+		slot := w.deferredSlot(hu)
+		*slot = append(*slot, v)
 		return false, nil
 	case vr:
-		w.deferred[v] = append(w.deferred[v], pendingEdge{other: u})
+		slot := w.deferredSlot(hv)
+		*slot = append(*slot, u)
 		return false, nil
 	default:
 		return false, nil
@@ -133,7 +168,7 @@ func (w *Window) AddEdge(u, v graph.VertexID) (bothResident bool, err error) {
 // EvictOldest forces eviction of the oldest vertex; ok is false when the
 // window is empty.
 func (w *Window) EvictOldest() (Eviction, bool) {
-	if len(w.arrival) == 0 {
+	if w.Len() == 0 {
 		return Eviction{}, false
 	}
 	return *w.evictOldest(), true
@@ -145,8 +180,8 @@ func (w *Window) Evict(v graph.VertexID) (Eviction, bool) {
 	if !w.Resident(v) {
 		return Eviction{}, false
 	}
-	for i, x := range w.arrival {
-		if x == v {
+	for i := w.head; i < len(w.arrival); i++ {
+		if w.arrival[i] == v {
 			w.arrival = append(w.arrival[:i], w.arrival[i+1:]...)
 			break
 		}
@@ -157,34 +192,40 @@ func (w *Window) Evict(v graph.VertexID) (Eviction, bool) {
 // Flush evicts every resident vertex in arrival order and returns the
 // evictions; used at end-of-stream.
 func (w *Window) Flush() []Eviction {
-	out := make([]Eviction, 0, len(w.arrival))
-	for len(w.arrival) > 0 {
+	out := make([]Eviction, 0, w.Len())
+	for w.Len() > 0 {
 		out = append(out, *w.evictOldest())
 	}
 	return out
 }
 
 func (w *Window) evictOldest() *Eviction {
-	v := w.arrival[0]
-	w.arrival = w.arrival[1:]
+	v := w.arrival[w.head]
+	w.head++
+	if w.head == len(w.arrival) {
+		w.arrival = w.arrival[:0]
+		w.head = 0
+	}
 	return w.remove(v)
 }
 
 func (w *Window) remove(v graph.VertexID) *Eviction {
+	h, _ := w.g.HandleOf(v)
 	l, _ := w.g.Label(v)
 	ev := &Eviction{V: v, Label: l}
 	ev.WindowNeighbors = w.g.Neighbors(v)
-	for _, pe := range w.deferred[v] {
-		ev.AssignedNeighbors = append(ev.AssignedNeighbors, pe.other)
+	if int(h) < len(w.deferred) {
+		ev.AssignedNeighbors = append(ev.AssignedNeighbors, w.deferred[h]...)
+		w.deferred[h] = w.deferred[h][:0]
 	}
 	// Edges from v to still-resident neighbours must outlive v in the
 	// window: record them as deferred so each neighbour's own eviction
 	// still reports the (by then assigned) endpoint v.
 	for _, u := range ev.WindowNeighbors {
-		w.deferred[u] = append(w.deferred[u], pendingEdge{other: v})
+		uh, _ := w.g.HandleOf(u)
+		slot := w.deferredSlot(uh)
+		*slot = append(*slot, v)
 	}
-	delete(w.deferred, v)
-	delete(w.resident, v)
 	w.g.RemoveVertex(v)
 	return ev
 }
