@@ -1,0 +1,271 @@
+// Command loom-serve runs the online partition server (internal/serve)
+// behind an HTTP/JSON API: a long-running process that ingests a graph
+// stream, answers placement and routing lookups at memory speed, and
+// restreams in the background when the partitioning drifts.
+//
+// Usage:
+//
+//	loom-serve -addr :8080 -k 8 [-expected 65536] [-window 256]
+//	           [-threshold 0.05] [-workload 16 | -workload-file w.txt]
+//	           [-labels 4] [-slack 1.2] [-seed 1]
+//	           [-max-cut 0.6] [-max-imbalance 1.3] [-min-assigned 512]
+//	           [-restream-passes 1] [-restream-priority none]
+//	           [-restream-heuristic loom] [-mailbox 64]
+//
+// API:
+//
+//	POST /ingest      body: graph text codec ("v <id> <label>" / "e <u> <v>"
+//	                  lines); decoded incrementally, applied in order.
+//	GET  /place/{v}   placement of vertex v.
+//	GET  /route?v=1&v=2&v=3   shard decision for a query touching vertices.
+//	GET  /stats       server statistics (drift estimators included).
+//	POST /restream    force a restream now; ?wait=1 blocks until adopted.
+//	POST /drain       assign every window-resident vertex immediately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/serve"
+	"loom/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	k := flag.Int("k", 8, "number of partitions")
+	expected := flag.Int("expected", serve.DefaultExpectedVertices, "expected vertex count (capacity planning; soft)")
+	window := flag.Int("window", 256, "LOOM window size")
+	threshold := flag.Float64("threshold", 0.05, "LOOM motif frequency threshold T")
+	slack := flag.Float64("slack", 1.2, "capacity slack factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	labels := flag.Int("labels", 4, "label alphabet size for the synthetic workload")
+	workloadN := flag.Int("workload", 16, "synthetic workload size (0 = plain windowed LDG)")
+	workloadFile := flag.String("workload-file", "", "workload file (query text format); overrides -workload")
+	maxCut := flag.Float64("max-cut", 0, "restream when cut fraction exceeds this (0 = disabled)")
+	maxImb := flag.Float64("max-imbalance", 0, "restream when imbalance exceeds this (0 = disabled)")
+	minAssigned := flag.Int("min-assigned", serve.DefaultMinAssigned, "drift triggers wait for this many assigned vertices")
+	passes := flag.Int("restream-passes", 1, "passes per background restream")
+	priorityName := flag.String("restream-priority", "none", "between-pass reordering: none|degree|ambivalence|cutdegree")
+	heuristic := flag.String("restream-heuristic", "loom", "restream engine: loom|ldg|fennel")
+	mailbox := flag.Int("mailbox", serve.DefaultMailbox, "ingest mailbox capacity (batches)")
+	flag.Parse()
+
+	srv, err := buildServer(serverOptions{
+		k: *k, expected: *expected, window: *window, threshold: *threshold,
+		slack: *slack, seed: *seed, labels: *labels,
+		workloadN: *workloadN, workloadFile: *workloadFile,
+		maxCut: *maxCut, maxImbalance: *maxImb, minAssigned: *minAssigned,
+		passes: *passes, priority: *priorityName, heuristic: *heuristic,
+		mailbox: *mailbox,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loom-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: newMux(srv)}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Shutdown waits for in-flight handlers; the serve.Server must
+		// stay up until they finish (an ingest mid-stream would otherwise
+		// see ErrStopped).
+		_ = hs.Shutdown(ctx)
+	}()
+	fmt.Fprintf(os.Stderr, "loom-serve: listening on %s (k=%d)\n", *addr, *k)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "loom-serve: %v\n", err)
+		os.Exit(1)
+	}
+	<-drained
+	srv.Stop()
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "loom-serve: stopped; ingested=%d assigned=%d cut=%.3f restreams=%d\n",
+		st.Ingested, st.Assigned, st.CutFraction, st.Restreams)
+}
+
+type serverOptions struct {
+	k, expected, window  int
+	threshold, slack     float64
+	seed                 int64
+	labels, workloadN    int
+	workloadFile         string
+	maxCut, maxImbalance float64
+	minAssigned, passes  int
+	priority, heuristic  string
+	mailbox              int
+}
+
+// buildServer assembles a serve.Server from CLI options; shared by main
+// and the end-to-end test.
+func buildServer(o serverOptions) (*serve.Server, error) {
+	priority, err := partition.ParsePriority(o.priority)
+	if err != nil {
+		return nil, err
+	}
+	alphabet := gen.DefaultAlphabet(o.labels)
+	w, err := query.ResolveWorkload(o.workloadFile, o.workloadN, alphabet, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return serve.New(serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: o.k, ExpectedVertices: o.expected, Slack: o.slack, Seed: o.seed},
+			WindowSize: o.window,
+			Threshold:  o.threshold,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+		Mailbox:  o.mailbox,
+		Drift: serve.DriftConfig{
+			MaxCutFraction: o.maxCut,
+			MaxImbalance:   o.maxImbalance,
+			MinAssigned:    o.minAssigned,
+			Passes:         o.passes,
+			Priority:       priority,
+			Heuristic:      o.heuristic,
+		},
+	})
+}
+
+// ingestBatch bounds how many decoded elements are applied per IngestSync
+// round, so decode and partitioning pipeline against each other.
+const ingestBatch = 512
+
+type ingestResponse struct {
+	Accepted int      `json:"accepted"`
+	Rejected int      `json:"rejected"`
+	Errors   []string `json:"errors,omitempty"`
+	// Error is the decode error that terminated the body mid-stream, if
+	// any; Accepted/Rejected still report the batches applied before it
+	// (there is no rollback).
+	Error string `json:"error,omitempty"`
+}
+
+// newMux wires the HTTP surface over srv.
+func newMux(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		src := stream.FromReader(r.Body)
+		before := srv.Stats()
+		resp := ingestResponse{}
+		batch := make([]stream.Element, 0, ingestBatch)
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if err := srv.IngestSync(batch); err != nil && len(resp.Errors) < 16 {
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+			batch = batch[:0]
+		}
+		for {
+			el, ok := src.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, el)
+			if len(batch) == ingestBatch {
+				flush()
+			}
+		}
+		flush()
+		// Counted from the server's own ledger (approximate only under
+		// concurrent ingest requests).
+		after := srv.Stats()
+		resp.Accepted = int(after.Ingested - before.Ingested)
+		resp.Rejected = int(after.Rejected - before.Rejected)
+		if err := src.Err(); err != nil {
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusBadRequest, resp)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /place/{v}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("v"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad vertex id"})
+			return
+		}
+		p, ok := srv.Where(graph.VertexID(id))
+		writeJSON(w, http.StatusOK, map[string]any{
+			"vertex":    id,
+			"assigned":  ok,
+			"partition": int(p),
+		})
+	})
+
+	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+		var vs []graph.VertexID
+		for _, raw := range r.URL.Query()["v"] {
+			id, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad vertex id %q", raw)})
+				return
+			}
+			vs = append(vs, graph.VertexID(id))
+		}
+		if len(vs) == 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "need at least one v= parameter"})
+			return
+		}
+		writeJSON(w, http.StatusOK, srv.Route(vs...))
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+
+	mux.HandleFunc("POST /restream", func(w http.ResponseWriter, r *http.Request) {
+		wait := r.URL.Query().Get("wait") != ""
+		if !wait {
+			go func() { _ = srv.Restream() }()
+			writeJSON(w, http.StatusAccepted, map[string]string{"status": "restream requested"})
+			return
+		}
+		if err := srv.Restream(); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, srv.Stats().LastRestream)
+	})
+
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		if err := srv.Drain(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"assigned": srv.Stats().Assigned})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

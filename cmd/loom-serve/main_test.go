@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/serve"
+)
+
+func startTestServer(t *testing.T, o serverOptions) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := buildServer(o)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	hs := httptest.NewServer(newMux(srv))
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Stop()
+	})
+	return srv, hs
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postBody(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestServeEndToEnd is the HTTP smoke test: start the server, ingest the
+// paper's Figure 1 graph over the wire in stream layout, query every
+// placement, and assert a consistent k-way assignment.
+func TestServeEndToEnd(t *testing.T) {
+	const k = 2
+	_, hs := startTestServer(t, serverOptions{
+		k: k, expected: 16, window: 4, threshold: 0.3, slack: 1.2, seed: 1,
+		labels: 4, workloadN: 0, mailbox: 8,
+		passes: 1, priority: "none", heuristic: "ldg", minAssigned: 4,
+	})
+
+	g := graph.Fig1Graph()
+	var sb strings.Builder
+	if err := graph.WriteStreamed(&sb, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var ing ingestResponse
+	if code := postBody(t, hs.URL+"/ingest", sb.String(), &ing); code != http.StatusOK {
+		t.Fatalf("/ingest status %d", code)
+	}
+	wantElems := g.NumVertices() + g.NumEdges()
+	if ing.Accepted != wantElems || ing.Rejected != 0 {
+		t.Fatalf("/ingest accepted=%d rejected=%d, want %d/0 (%v)", ing.Accepted, ing.Rejected, wantElems, ing.Errors)
+	}
+
+	// Drain so the small graph's window residents get placements too.
+	var drain struct {
+		Assigned int `json:"assigned"`
+	}
+	if code := postBody(t, hs.URL+"/drain", "", &drain); code != http.StatusOK {
+		t.Fatalf("/drain status %d", code)
+	}
+	if drain.Assigned != g.NumVertices() {
+		t.Fatalf("/drain assigned=%d, want %d", drain.Assigned, g.NumVertices())
+	}
+
+	// Every vertex is placed in [0, k).
+	counts := make([]int, k)
+	for _, v := range g.Vertices() {
+		var place struct {
+			Vertex    int64 `json:"vertex"`
+			Assigned  bool  `json:"assigned"`
+			Partition int   `json:"partition"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", hs.URL, v), &place); code != http.StatusOK {
+			t.Fatalf("/place/%d status %d", v, code)
+		}
+		if !place.Assigned {
+			t.Fatalf("vertex %d unassigned after drain", v)
+		}
+		if place.Partition < 0 || place.Partition >= k {
+			t.Fatalf("vertex %d in partition %d, want [0,%d)", v, place.Partition, k)
+		}
+		counts[place.Partition]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("placed %d vertices, want %d", total, g.NumVertices())
+	}
+
+	// Stats agree with the per-vertex view.
+	var st serve.Stats
+	if code := getJSON(t, hs.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if st.K != k || st.Assigned != g.NumVertices() || st.Vertices != g.NumVertices() || st.Edges != g.NumEdges() {
+		t.Fatalf("stats mismatch: %+v", st)
+	}
+	for i, c := range counts {
+		if st.Sizes[i] != c {
+			t.Fatalf("sizes[%d]=%d, want %d", i, st.Sizes[i], c)
+		}
+	}
+
+	// Routing picks a real shard for known anchors.
+	var route serve.RouteDecision
+	if code := getJSON(t, hs.URL+"/route?v=1&v=2&v=3", &route); code != http.StatusOK {
+		t.Fatalf("/route status %d", code)
+	}
+	if route.Known != 3 || route.Target < 0 || int(route.Target) >= k {
+		t.Fatalf("route = %+v", route)
+	}
+
+	// A forced restream adopts and reports.
+	var rep serve.RestreamReport
+	if code := postBody(t, hs.URL+"/restream?wait=1", "", &rep); code != http.StatusOK {
+		t.Fatalf("/restream status %d", code)
+	}
+	if rep.Trigger != "manual" || rep.Err != "" {
+		t.Fatalf("restream report = %+v", rep)
+	}
+	if code := getJSON(t, hs.URL+"/stats", &st); code != http.StatusOK || st.Restreams != 1 {
+		t.Fatalf("restreams=%d after manual restream", st.Restreams)
+	}
+}
+
+func TestServeIngestErrors(t *testing.T) {
+	_, hs := startTestServer(t, serverOptions{
+		k: 2, expected: 16, window: 4, slack: 1.2, labels: 2, workloadN: 0,
+		mailbox: 4, passes: 1, priority: "none", heuristic: "loom", minAssigned: 4,
+	})
+
+	// Malformed codec input is a 400.
+	if code := postBody(t, hs.URL+"/ingest", "v 0 a\nnot-a-record\n", nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed ingest status %d, want 400", code)
+	}
+	// Element-level rejections (duplicate vertex) are reported, not fatal.
+	var ing ingestResponse
+	if code := postBody(t, hs.URL+"/ingest", "v 0 a\nv 1 b\ne 0 1\n", &ing); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if code := postBody(t, hs.URL+"/ingest", "v 1 b\nv 2 a\n", &ing); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if ing.Rejected != 1 || ing.Accepted != 1 || len(ing.Errors) == 0 {
+		t.Fatalf("ingest response = %+v, want 1 rejected / 1 accepted", ing)
+	}
+
+	if code := postBody(t, hs.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatalf("drain status %d", code)
+	}
+	resp, err := http.Get(hs.URL + "/place/xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/place/xyz status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(hs.URL + "/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/route with no anchors status %d, want 400", resp.StatusCode)
+	}
+}

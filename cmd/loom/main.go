@@ -37,6 +37,7 @@ import (
 	"loom/internal/partition"
 	"loom/internal/query"
 	"loom/internal/signature"
+	"loom/internal/store"
 	"loom/internal/stream"
 )
 
@@ -83,6 +84,7 @@ run 'loom <command> -h' for flags`)
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	kind := fs.String("kind", "ba", "generator: ba|er|ws|rmat|community|grid")
+	layout := fs.String("layout", "sorted", "file layout: sorted (all vertices, then all edges) or stream (each vertex followed by its edges to earlier vertices; required for 'loom partition -order file')")
 	n := fs.Int("n", 10000, "vertex count (scale for rmat)")
 	m := fs.Int("m", 2, "edges per vertex (ba), total edges (er), ring degree (ws), edge factor (rmat)")
 	k := fs.Int("k", 8, "communities (community)")
@@ -92,6 +94,9 @@ func cmdGenerate(args []string) error {
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *layout != "sorted" && *layout != "stream" {
+		return fmt.Errorf("unknown layout %q", *layout)
 	}
 	r := rand.New(rand.NewSource(*seed))
 	alphabet := gen.DefaultAlphabet(*labels)
@@ -135,6 +140,9 @@ func cmdGenerate(args []string) error {
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 	fmt.Fprintf(bw, "# %s graph |V|=%d |E|=%d seed=%d\n", *kind, g.NumVertices(), g.NumEdges(), *seed)
+	if *layout == "stream" {
+		return graph.WriteStreamed(bw, g)
+	}
 	return graph.Write(bw, g)
 }
 
@@ -151,6 +159,19 @@ func loadGraph(path string) (*graph.Graph, error) {
 // makeWorkload synthesises the default query mix over the graph's labels.
 func makeWorkload(g *graph.Graph, count int, seed int64) (*query.Workload, error) {
 	return query.GenerateWorkload(query.DefaultMix(count), g.Labels(), rand.New(rand.NewSource(seed)))
+}
+
+// loadWorkload resolves the shared -workload-file / -workload flag pair
+// (query.ResolveWorkload), describing an explicit file on stderr.
+func loadWorkload(workloadFile string, workloadN int, alphabet []graph.Label, seed int64) (*query.Workload, error) {
+	w, err := query.ResolveWorkload(workloadFile, workloadN, alphabet, seed)
+	if err != nil {
+		return nil, err
+	}
+	if workloadFile != "" {
+		fmt.Fprint(os.Stderr, query.Describe(w))
+	}
+	return w, nil
 }
 
 // buildTrie captures a workload into a TPSTry++ over the graph's alphabet.
@@ -185,7 +206,9 @@ func cmdPartition(args []string) error {
 	graphPath := fs.String("graph", "", "graph file (required)")
 	k := fs.Int("k", 8, "number of partitions")
 	part := fs.String("partitioner", "loom", "loom|ldg|fennel|hash|greedy|balanced|chunking|multilevel")
-	orderName := fs.String("order", "random", "stream order: random|bfs|dfs|adversarial|temporal")
+	orderName := fs.String("order", "random", "stream order: random|bfs|dfs|adversarial|temporal|file (decode the graph file incrementally in its own order; loom only)")
+	expected := fs.Int("expected", 0, "expected vertex count for capacity planning with -order file (0 = prescan the file)")
+	labelsN := fs.Int("labels", 4, "label alphabet size for the synthetic workload with -order file")
 	window := fs.Int("window", 256, "LOOM window size")
 	threshold := fs.Float64("threshold", 0.05, "LOOM motif frequency threshold T")
 	workloadN := fs.Int("workload", 16, "synthetic workload size for LOOM (0 = none)")
@@ -213,6 +236,20 @@ func cmdPartition(args []string) error {
 	if priority != partition.PriorityNone && *restreamPasses == 0 {
 		return fmt.Errorf("-restream-priority %s requires -restream-passes > 0", priority)
 	}
+	if *orderName == "file" {
+		if *part != "loom" {
+			return fmt.Errorf("-order file streams elements straight into LOOM; use -partitioner loom")
+		}
+		if *restreamPasses > 0 {
+			return fmt.Errorf("-restream-passes needs the full graph; not supported with -order file")
+		}
+		return partitionFromFile(*graphPath, *workloadFile, *workloadN, *labelsN, *expected,
+			core.Config{
+				Partition:  partition.Config{K: *k, Slack: *slack, Seed: *seed},
+				WindowSize: *window, Threshold: *threshold,
+				TraversalWeighting: *weighted, MaxGroupSize: *maxGroup,
+			}, *seed, *out)
+	}
 	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
@@ -228,23 +265,9 @@ func cmdPartition(args []string) error {
 	var a *partition.Assignment
 	switch *part {
 	case "loom":
-		var w *query.Workload
-		switch {
-		case *workloadFile != "":
-			f, err := os.Open(*workloadFile)
-			if err != nil {
-				return err
-			}
-			w, err = query.ParseWorkload(bufio.NewReader(f))
-			f.Close()
-			if err != nil {
-				return err
-			}
-			fmt.Fprint(os.Stderr, query.Describe(w))
-		case *workloadN > 0:
-			if w, err = makeWorkload(g, *workloadN, *seed); err != nil {
-				return err
-			}
+		w, err := loadWorkload(*workloadFile, *workloadN, g.Labels(), *seed)
+		if err != nil {
+			return err
 		}
 		trie, err := buildTrie(g, w)
 		if err != nil {
@@ -348,6 +371,106 @@ func cmdPartition(args []string) error {
 	return writeAssignment(w, a)
 }
 
+// partitionFromFile streams a graph file straight into LOOM element by
+// element (stream.FromReader), so partitioning starts before the file has
+// been fully read and no materialised graph gates the pipeline. The graph
+// is accumulated on the side only for the final quality report. The file
+// must be in stream layout (`loom generate -layout stream`) for vertices
+// to arrive with their adjacency; sorted-layout files still work but feed
+// every edge after all vertices, which starves the window.
+func partitionFromFile(graphPath, workloadFile string, workloadN, labelsN, expected int, ccfg core.Config, seed int64, outPath string) error {
+	if expected == 0 {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		src := stream.FromReader(bufio.NewReader(f))
+		for {
+			el, ok := src.Next()
+			if !ok {
+				break
+			}
+			if el.Kind == stream.VertexElement {
+				expected++
+			}
+		}
+		f.Close()
+		if err := src.Err(); err != nil {
+			return err
+		}
+		if expected == 0 {
+			return fmt.Errorf("graph file %s holds no vertices", graphPath)
+		}
+		fmt.Fprintf(os.Stderr, "loom: prescan found %d vertices\n", expected)
+	}
+	ccfg.Partition.ExpectedVertices = expected
+
+	alphabet := gen.DefaultAlphabet(labelsN)
+	w, err := loadWorkload(workloadFile, workloadN, alphabet, seed)
+	if err != nil {
+		return err
+	}
+	trie := motif.New(signature.NewFactoryForAlphabet(alphabet), motif.Options{MaxMotifVertices: 4})
+	if w != nil {
+		if err := w.BuildTrie(trie); err != nil {
+			return err
+		}
+	}
+	p, err := core.New(ccfg, trie)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src := stream.FromReader(bufio.NewReader(f))
+	g := graph.New() // metrics-only shadow; the partitioner consumes elements directly
+	for {
+		el, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch el.Kind {
+		case stream.VertexElement:
+			// AddVertex silently relabels duplicates; reject them like
+			// every other ingest path (graph.Read, serve) does.
+			if g.HasVertex(el.V) {
+				return fmt.Errorf("duplicate vertex %d in %s", el.V, graphPath)
+			}
+			g.AddVertex(el.V, el.Label)
+		case stream.EdgeElement:
+			if err := g.AddEdge(el.V, el.U); err != nil {
+				return err
+			}
+		}
+		if err := p.Consume(el); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	a := p.Finish()
+	st := p.Stats()
+	fmt.Fprintf(os.Stderr, "loom: %d motif groups, %d grouped vertices, largest group %d\n",
+		st.MotifGroups, st.GroupedVertices, st.LargestGroup)
+	fmt.Fprintln(os.Stderr, metrics.Evaluate("loom", g, a))
+
+	out := os.Stdout
+	if outPath != "" {
+		fo, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer fo.Close()
+		out = fo
+	}
+	return writeAssignment(out, a)
+}
+
 // printPassStats reports per-pass restreaming measures on stderr.
 func printPassStats(res *partition.RestreamResult) {
 	for _, st := range res.Passes {
@@ -443,6 +566,9 @@ func cmdEvaluate(args []string) error {
 	workloadN := fs.Int("workload", 16, "synthetic workload size (0 = structural metrics only)")
 	samples := fs.Int("samples", 0, "sampled executions (0 = exhaustive weighted run)")
 	seed := fs.Int64("seed", 1, "random seed")
+	useStore := fs.Bool("store", false, "deploy the sharded store and count cross-shard messages for the workload's path queries")
+	replicas := fs.Int("replicas", 0, "replication budget for the hotspot advisor (with -store)")
+	matchLimit := fs.Int("match-limit", 200, "per-query match cap for -store traversals (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -459,11 +585,17 @@ func cmdEvaluate(args []string) error {
 	}
 	fmt.Println(metrics.Evaluate("assignment", g, a))
 	if *workloadN == 0 {
+		if *useStore {
+			return evalStore(g, a, nil, *replicas, *matchLimit)
+		}
 		return nil
 	}
 	w, err := makeWorkload(g, *workloadN, *seed)
 	if err != nil {
 		return err
+	}
+	if *useStore {
+		return evalStore(g, a, w, *replicas, *matchLimit)
 	}
 	c, err := cluster.New(g, a, cluster.DefaultCostModel())
 	if err != nil {
@@ -480,6 +612,139 @@ func cmdEvaluate(args []string) error {
 	fmt.Printf("match-edge cut fraction: %.4f\n", res.MatchCutFraction())
 	fmt.Printf("visits: %d (cross: %d)\n", res.Aggregate.Visits, res.Aggregate.CrossVisits)
 	return nil
+}
+
+// evalStore deploys the sharded store (internal/store) under the
+// assignment, replays the workload's path queries through the traversal
+// engine, and reports cross-shard messages before and after the hotspot
+// replication advisor spends its budget — the deployment-level measure
+// the structural cut only approximates.
+func evalStore(g *graph.Graph, a *partition.Assignment, w *query.Workload, replicas, matchLimit int) error {
+	st, err := store.Build(g, a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store: shards=%d cut-edges=%d\n", st.NumShards(), st.CutEdges())
+	for i := 0; i < st.NumShards(); i++ {
+		sh := st.Shard(partition.ID(i))
+		fmt.Printf("store: shard %d vertices=%d\n", i, sh.NumVertices())
+	}
+	if w == nil {
+		return nil
+	}
+
+	type pathQuery struct {
+		id     string
+		labels []graph.Label
+	}
+	var paths []pathQuery
+	skipped := 0
+	for _, q := range w.Queries() {
+		if labels, ok := pathLabels(q.Pattern); ok {
+			paths = append(paths, pathQuery{id: q.ID, labels: labels})
+		} else {
+			skipped++
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Printf("store: no path-shaped queries in the workload (%d skipped); nothing to traverse\n", skipped)
+		return nil
+	}
+
+	run := func(eng *store.Engine) (int, store.Stats, error) {
+		matches := 0
+		for _, pq := range paths {
+			n, err := eng.MatchPath(pq.labels, matchLimit)
+			if err != nil {
+				return 0, store.Stats{}, fmt.Errorf("query %s: %w", pq.id, err)
+			}
+			matches += n
+		}
+		return matches, eng.Stats(), nil
+	}
+
+	advisor := store.NewAdvisor(st)
+	matches, before, err := run(store.NewInstrumentedEngine(st, advisor))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store: path queries=%d (skipped %d non-path) matches=%d\n", len(paths), skipped, matches)
+	fmt.Printf("store: messages=%d (local=%d remote=%d)\n", before.Messages, before.LocalReads, before.RemoteReads)
+	if replicas <= 0 {
+		return nil
+	}
+
+	placed := advisor.Apply(replicas)
+	fmt.Printf("store: replicas placed=%d (budget %d, hotspots observed %d)\n",
+		placed, replicas, len(advisor.Hotspots()))
+	_, after, err := run(store.NewEngine(st))
+	if err != nil {
+		return err
+	}
+	delta := 0.0
+	if before.Messages > 0 {
+		delta = 100 * float64(after.Messages-before.Messages) / float64(before.Messages)
+	}
+	fmt.Printf("store: messages after replication=%d (%+.1f%%, replica reads=%d)\n",
+		after.Messages, delta, after.ReplicaReads)
+	return nil
+}
+
+// pathLabels extracts the label sequence of a path-shaped pattern: n
+// vertices, n-1 edges, max degree 2 (with max degree ≤ 2 and two
+// endpoints that is necessarily a simple path). The walk starts from the
+// lower-ID endpoint for determinism.
+func pathLabels(p *graph.Graph) ([]graph.Label, bool) {
+	n := p.NumVertices()
+	if n == 0 || p.NumEdges() != n-1 {
+		return nil, false
+	}
+	if n == 1 {
+		v := p.Vertices()[0]
+		l, _ := p.Label(v)
+		return []graph.Label{l}, true
+	}
+	var ends []graph.VertexID
+	for _, v := range p.Vertices() {
+		switch d := p.Degree(v); {
+		case d > 2:
+			return nil, false
+		case d == 1:
+			ends = append(ends, v)
+		}
+	}
+	if len(ends) != 2 {
+		return nil, false
+	}
+	start := ends[0]
+	if ends[1] < start {
+		start = ends[1]
+	}
+	labels := make([]graph.Label, 0, n)
+	cur, prev := start, start
+	hasPrev := false
+	for {
+		l, _ := p.Label(cur)
+		labels = append(labels, l)
+		next := cur
+		found := false
+		p.EachNeighbor(cur, func(u graph.VertexID) bool {
+			if hasPrev && u == prev {
+				return true
+			}
+			next = u
+			found = true
+			return false
+		})
+		if !found {
+			break
+		}
+		prev, cur, hasPrev = cur, next, true
+	}
+	if len(labels) != n {
+		return nil, false
+	}
+	return labels, true
 }
 
 func cmdInspect(args []string) error {

@@ -201,6 +201,100 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCLIFileOrderStreaming exercises the incremental ingest path:
+// generate in stream layout, partition with -order file (no materialised
+// graph up front), both with and without the -expected prescan.
+func TestCLIFileOrderStreaming(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	apath := filepath.Join(dir, "a.txt")
+
+	if err := cmdGenerate([]string{"-kind", "ba", "-n", "250", "-m", "2", "-labels", "3", "-seed", "9", "-layout", "stream", "-out", gpath}); err != nil {
+		t.Fatalf("generate -layout stream: %v", err)
+	}
+	// Stream layout parses with the batch codec too.
+	g, err := loadGraph(gpath)
+	if err != nil {
+		t.Fatalf("loadGraph: %v", err)
+	}
+	if g.NumVertices() != 250 {
+		t.Fatalf("|V| = %d, want 250", g.NumVertices())
+	}
+
+	for _, extra := range [][]string{
+		nil,                  // prescan
+		{"-expected", "250"}, // explicit capacity
+		{"-workload", "0"},   // no workload: windowed LDG
+	} {
+		args := append([]string{
+			"-graph", gpath, "-k", "4", "-partitioner", "loom", "-order", "file",
+			"-window", "32", "-seed", "9", "-out", apath,
+		}, extra...)
+		if err := cmdPartition(args); err != nil {
+			t.Fatalf("partition -order file %v: %v", extra, err)
+		}
+		a, err := readAssignment(apath)
+		if err != nil {
+			t.Fatalf("readAssignment: %v", err)
+		}
+		if a.Len() != 250 || a.K() != 4 {
+			t.Fatalf("file-order run: len=%d k=%d", a.Len(), a.K())
+		}
+	}
+
+	if err := cmdPartition([]string{"-graph", gpath, "-partitioner", "ldg", "-order", "file"}); err == nil {
+		t.Error("-order file with a non-loom partitioner should error")
+	}
+	if err := cmdPartition([]string{"-graph", gpath, "-partitioner", "loom", "-order", "file", "-restream-passes", "1"}); err == nil {
+		t.Error("-order file with restreaming should error")
+	}
+	if err := cmdGenerate([]string{"-kind", "ba", "-n", "10", "-layout", "nope", "-out", filepath.Join(dir, "x.txt")}); err == nil {
+		t.Error("unknown layout should error")
+	}
+}
+
+// TestCLIEvaluateStore wires the sharded store into evaluate: deploy,
+// traverse, replicate, and verify messages do not increase.
+func TestCLIEvaluateStore(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	apath := filepath.Join(dir, "a.txt")
+	if err := cmdGenerate([]string{"-kind", "community", "-n", "800", "-k", "4", "-labels", "3", "-seed", "3", "-out", gpath}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := cmdPartition([]string{"-graph", gpath, "-k", "4", "-partitioner", "ldg", "-seed", "3", "-out", apath}); err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if err := cmdEvaluate([]string{
+		"-graph", gpath, "-assign", apath, "-workload", "8", "-seed", "3",
+		"-store", "-replicas", "16", "-match-limit", "50",
+	}); err != nil {
+		t.Fatalf("evaluate -store: %v", err)
+	}
+	// Structural-only store deployment (no workload).
+	if err := cmdEvaluate([]string{
+		"-graph", gpath, "-assign", apath, "-workload", "0", "-store",
+	}); err != nil {
+		t.Fatalf("evaluate -store -workload 0: %v", err)
+	}
+}
+
+func TestPathLabels(t *testing.T) {
+	if labels, ok := pathLabels(graph.Path("a", "b", "c")); !ok || len(labels) != 3 {
+		t.Fatalf("path: %v %v", labels, ok)
+	}
+	if _, ok := pathLabels(graph.Cycle("a", "b", "c")); ok {
+		t.Fatal("cycle misclassified as path")
+	}
+	if _, ok := pathLabels(graph.Star("a", "b", "c", "d")); ok {
+		t.Fatal("star misclassified as path")
+	}
+	if labels, ok := pathLabels(graph.Star("a", "b")); !ok || len(labels) != 2 {
+		// A two-vertex star is a path.
+		t.Fatalf("2-star: %v %v", labels, ok)
+	}
+}
+
 func TestCmdGenerateErrors(t *testing.T) {
 	if err := cmdGenerate([]string{"-kind", "nope"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown generator") {

@@ -36,6 +36,33 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// WriteStreamed serialises g in the same text format but in stream-layout:
+// vertices ascending, each immediately followed by its edges to lower-ID
+// vertices. Read accepts both layouts, but a windowed streaming
+// partitioner replaying the file (stream.FromReader, loom-serve ingest)
+// sees each vertex arrive together with its known adjacency — the
+// standard graph-stream input model — instead of every edge trailing the
+// whole vertex set.
+func WriteStreamed(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var scratch []VertexID
+	for _, v := range g.Vertices() {
+		l, _ := g.Label(v)
+		if _, err := fmt.Fprintf(bw, "v %d %s\n", v, l); err != nil {
+			return err
+		}
+		scratch = g.AppendNeighbors(scratch[:0], v)
+		for _, u := range scratch {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "e %d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
 // Read parses a graph from r in the text format. Malformed lines yield an
 // error naming the offending line number.
 func Read(r io.Reader) (*Graph, error) {

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzCodec exercises the graph text parser on arbitrary input (no
+// panics) and checks both writers round-trip: anything that parses must
+// survive Write -> Read and WriteStreamed -> Read structurally intact.
+func FuzzCodec(f *testing.F) {
+	f.Add([]byte("v 0 a\nv 1 b\ne 0 1\n"))
+	f.Add([]byte("# comment\nv -3 x\nv 7 y\ne -3 7\n"))
+	f.Add([]byte("v 1 a\nv 2 a\nv 3 b\ne 1 2\ne 2 3\ne 3 1\n"))
+	f.Add([]byte("v 9223372036854775807 big\n"))
+	f.Add([]byte("e 1 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		text, err := g.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal parsed graph: %v", err)
+		}
+		g2, err := Read(bytes.NewReader(text))
+		if err != nil {
+			t.Fatalf("re-parse sorted layout: %v\nserialised: %q", err, text)
+		}
+		if !g.Equal(g2) {
+			t.Fatalf("sorted round trip changed graph:\n%s\nvs\n%s", g, g2)
+		}
+		var sb strings.Builder
+		if err := WriteStreamed(&sb, g); err != nil {
+			t.Fatalf("write streamed layout: %v", err)
+		}
+		g3, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse streamed layout: %v\nserialised: %q", err, sb.String())
+		}
+		if !g.Equal(g3) {
+			t.Fatalf("streamed round trip changed graph:\n%s\nvs\n%s", g, g3)
+		}
+	})
+}

@@ -405,6 +405,36 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCodecStreamedRoundTrip(t *testing.T) {
+	g := Fig1Graph()
+	var sb strings.Builder
+	if err := WriteStreamed(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse streamed layout: %v", err)
+	}
+	if !g.Equal(h) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", g, h)
+	}
+	// Stream layout interleaves: the first edge line must appear before
+	// the last vertex line.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	firstEdge, lastVertex := -1, -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "e ") && firstEdge == -1 {
+			firstEdge = i
+		}
+		if strings.HasPrefix(l, "v ") {
+			lastVertex = i
+		}
+	}
+	if firstEdge == -1 || firstEdge > lastVertex {
+		t.Fatalf("layout not interleaved: first edge at %d, last vertex at %d", firstEdge, lastVertex)
+	}
+}
+
 func TestCodecCommentsAndBlank(t *testing.T) {
 	in := "# header\n\nv 1 a\nv 2 b\n\n# edge\ne 1 2\n"
 	g, err := Read(strings.NewReader(in))

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -161,6 +163,25 @@ func parseGraphForm(tokens []string) (*graph.Graph, error) {
 		}
 	}
 	return g, nil
+}
+
+// ResolveWorkload implements the CLI convention shared by loom and
+// loom-serve: a workload file (this package's text format) wins; otherwise
+// synthN queries of the default mix are synthesised over alphabet,
+// deterministic per seed; with neither, the workload is nil.
+func ResolveWorkload(path string, synthN int, alphabet []graph.Label, seed int64) (*Workload, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ParseWorkload(bufio.NewReader(f))
+	}
+	if synthN > 0 {
+		return GenerateWorkload(DefaultMix(synthN), alphabet, rand.New(rand.NewSource(seed)))
+	}
+	return nil, nil
 }
 
 // Describe renders a workload as a human-readable multi-line summary,

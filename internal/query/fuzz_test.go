@@ -1,0 +1,44 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseWorkload exercises the workload text parser on arbitrary input
+// (it must never panic) and checks the codec round-trips: anything that
+// parses must serialise and re-parse to an equivalent workload.
+func FuzzParseWorkload(f *testing.F) {
+	f.Add([]byte("query q1 1 path a b\n"))
+	f.Add([]byte("query q2 2.5 star a b c\nquery q3 1 cycle a b c\n"))
+	f.Add([]byte("query g 1 graph v0:a v1:b e0-1\n"))
+	f.Add([]byte("# comment\n\nquery solo 0.25 graph v-7:x\n"))
+	f.Add([]byte("query bad nan path a b\n"))
+	f.Add([]byte("query t 3 path a b c d e f\nquery t2 1e-3 star z y\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ParseWorkload(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkload(&buf, w); err != nil {
+			t.Fatalf("write parsed workload: %v", err)
+		}
+		w2, err := ParseWorkload(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse serialised workload: %v\nserialised: %q", err, buf.String())
+		}
+		if w2.Len() != w.Len() {
+			t.Fatalf("round trip changed query count: %d -> %d", w.Len(), w2.Len())
+		}
+		qs, qs2 := w.Queries(), w2.Queries()
+		for i := range qs {
+			if qs[i].ID != qs2[i].ID || qs[i].Weight != qs2[i].Weight {
+				t.Fatalf("query %d changed: %q/%g -> %q/%g", i, qs[i].ID, qs[i].Weight, qs2[i].ID, qs2[i].Weight)
+			}
+			if !qs[i].Pattern.Equal(qs2[i].Pattern) {
+				t.Fatalf("query %q pattern changed:\n%s\nvs\n%s", qs[i].ID, qs[i].Pattern, qs2[i].Pattern)
+			}
+		}
+	})
+}

@@ -1,0 +1,866 @@
+// Package serve is the online partition-serving runtime: the long-running
+// layer that connects the streaming partitioner (internal/core) to a live
+// query workload.
+//
+// A Server runs a single-writer ingest loop that drives a core.Partitioner
+// through a bounded, batched mailbox with backpressure, while publishing
+// copy-on-write assignment snapshots through an atomic pointer so any
+// number of reader goroutines answer Where/Route lookups lock-free. A
+// drift monitor maintains incremental cut-fraction and imbalance
+// estimators as edges stream in; when either crosses its configured
+// threshold the server kicks off a background restream (workload-aware
+// LOOM, ReLDG or ReFennel) over a detached graph snapshot, then atomically
+// swaps in the new assignment together with a migration plan.
+//
+// The design splits state three ways:
+//
+//   - Writer-owned: the canonical graph, the live core.Partitioner, the
+//     drift counters. Touched only by the ingest loop goroutine.
+//   - Published: Snapshot behind an atomic.Pointer. Readers load the
+//     pointer and answer from the write-once placement table.
+//   - Background: an in-flight restream works on fully detached clones
+//     (fresh interners, private trie) because the engine's identity layer
+//     is not concurrency-safe; results return over a channel and are
+//     adopted by the writer.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/graph"
+	"loom/internal/metrics"
+	"loom/internal/motif"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/signature"
+	"loom/internal/stream"
+)
+
+// Defaults applied by New for zero-valued Config fields.
+const (
+	// DefaultMailbox is the mailbox capacity in batches.
+	DefaultMailbox = 64
+	// DefaultExpectedVertices sizes the LDG capacity constraint when the
+	// caller does not know the eventual stream length. The constraint is
+	// soft: once exceeded, placement degrades gracefully to least-loaded.
+	DefaultExpectedVertices = 1 << 16
+	// DefaultMinAssigned gates drift triggers until the estimate has a
+	// meaningful sample.
+	DefaultMinAssigned = 512
+	// drainBurst bounds how many queued batches one loop cycle absorbs
+	// before republishing the snapshot.
+	drainBurst = 32
+	// maxReportedErrors caps the per-batch element errors joined into the
+	// IngestSync result; the rest are only counted.
+	maxReportedErrors = 8
+)
+
+// ErrStopped is returned by operations on a stopped Server.
+var ErrStopped = errors.New("serve: server stopped")
+
+// DriftConfig parameterises the drift monitor and the background restream
+// it triggers.
+type DriftConfig struct {
+	// MaxCutFraction triggers a restream when cut edges / observed
+	// assigned-assigned edges exceeds it. Zero disables the cut trigger.
+	// Pair it with MaxImbalance: an oversized capacity constraint can
+	// collapse a connected stream into one partition, where the cut is a
+	// legitimate zero and only the imbalance trigger fires.
+	MaxCutFraction float64
+	// MaxImbalance triggers a restream when max partition size over ideal
+	// exceeds it (1.0 = perfect balance). Zero disables the trigger.
+	MaxImbalance float64
+	// MinAssigned gates both triggers until this many vertices are
+	// assigned. Zero defaults to DefaultMinAssigned.
+	MinAssigned int
+	// CooldownAssigned is the number of newly assigned vertices required
+	// between restreams. Zero defaults to MinAssigned.
+	CooldownAssigned int
+	// Passes is the number of restream passes per trigger (default 1).
+	Passes int
+	// Priority reorders the stream between passes (prioritized
+	// restreaming).
+	Priority partition.Priority
+	// SelfWeight is the prior self-affinity bonus (zero defaults to 1).
+	SelfWeight float64
+	// Heuristic picks the restream engine: "loom" (workload-aware, the
+	// default), "ldg" (ReLDG) or "fennel" (ReFennel).
+	Heuristic string
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// Core carries the LOOM parameters (partition config, window,
+	// threshold...). Core.Partition.ExpectedVertices zero defaults to
+	// DefaultExpectedVertices.
+	Core core.Config
+	// Workload summarises the query workload LOOM keeps intact; nil serves
+	// with plain windowed LDG. The workload must not be mutated after New:
+	// background restreams rebuild private tries from it.
+	Workload *query.Workload
+	// Alphabet pre-assigns signature factors so motif signatures are
+	// deterministic and agree between the live trie and restream tries.
+	Alphabet []graph.Label
+	// MaxMotifVertices caps enumerated motif size (0 = package default).
+	MaxMotifVertices int
+	// Mailbox is the ingest queue capacity in batches; Ingest blocks
+	// (backpressure) when it is full. Zero defaults to DefaultMailbox.
+	Mailbox int
+	// Drift configures degradation-triggered restreaming.
+	Drift DriftConfig
+}
+
+// ctrlKind discriminates control envelopes from data batches.
+type ctrlKind uint8
+
+const (
+	ctrlNone ctrlKind = iota
+	ctrlDrain
+	ctrlRestream
+	ctrlExport
+)
+
+type envelope struct {
+	elems  []stream.Element
+	kind   ctrlKind
+	reply  chan error                 // buffered(1) when non-nil
+	replyA chan *partition.Assignment // ctrlExport only, buffered(1)
+}
+
+// restreamOutcome carries a finished background restream back to the
+// writer.
+type restreamOutcome struct {
+	res     *partition.RestreamResult
+	err     error
+	trigger string
+	started time.Time
+}
+
+// Server is an online partition server. Ingest/IngestSync feed the graph
+// stream; Where/Route/Stats answer from lock-free snapshots on any number
+// of goroutines; Stop shuts the pipeline down gracefully.
+type Server struct {
+	cfg  Config
+	trie *motif.Trie
+	k    int
+
+	mail chan envelope
+	cur  atomic.Pointer[Snapshot]
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+	// inflight counts senders between their quit-check and their enqueue,
+	// so shutdown can quiesce the mailbox without stranding a reply.
+	inflight atomic.Int64
+
+	// Writer-owned state below: touched only by the loop goroutine.
+	g        *graph.Graph
+	p        *core.Partitioner
+	tab      *table
+	pending  []graph.VertexID // ingested, not yet mirrored into tab
+	cut      int              // cut edges among assigned-assigned pairs
+	observed int              // assigned-assigned edges seen
+	epoch    uint64
+	ingested int64
+	rejected int64
+
+	restreaming   bool
+	everRestream  bool // a restream has been launched at least once
+	sinceRestream int  // vertices assigned since the last restream event
+	restreams     int
+	lastRestream  *RestreamReport
+	manualWait    chan error
+	restreamCh    chan *restreamOutcome
+}
+
+// buildTrie captures w (possibly nil) into a fresh TPSTry++ with its own
+// signature factory and label interner.
+func buildTrie(w *query.Workload, alphabet []graph.Label, maxMotif int) (*motif.Trie, error) {
+	var f *signature.Factory
+	if len(alphabet) > 0 {
+		f = signature.NewFactoryForAlphabet(alphabet)
+	} else {
+		f = signature.NewFactory()
+	}
+	t := motif.New(f, motif.Options{MaxMotifVertices: maxMotif})
+	if w != nil {
+		if err := w.BuildTrie(t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// New starts a Server and its ingest loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Core.Partition.ExpectedVertices == 0 {
+		cfg.Core.Partition.ExpectedVertices = DefaultExpectedVertices
+	}
+	if cfg.Mailbox == 0 {
+		cfg.Mailbox = DefaultMailbox
+	}
+	if cfg.Mailbox < 1 {
+		return nil, fmt.Errorf("serve: mailbox capacity %d < 1", cfg.Mailbox)
+	}
+	if cfg.Drift.MinAssigned == 0 {
+		cfg.Drift.MinAssigned = DefaultMinAssigned
+	}
+	if cfg.Drift.CooldownAssigned == 0 {
+		cfg.Drift.CooldownAssigned = cfg.Drift.MinAssigned
+	}
+	if cfg.Drift.Passes == 0 {
+		cfg.Drift.Passes = 1
+	}
+	switch cfg.Drift.Heuristic {
+	case "", "loom", "ldg", "fennel":
+	default:
+		return nil, fmt.Errorf("serve: unknown restream heuristic %q", cfg.Drift.Heuristic)
+	}
+	trie, err := buildTrie(cfg.Workload, cfg.Alphabet, cfg.MaxMotifVertices)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.New(cfg.Core, trie)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		trie:       trie,
+		k:          cfg.Core.Partition.K,
+		mail:       make(chan envelope, cfg.Mailbox),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		g:          graph.New(),
+		p:          p,
+		tab:        newTable(0),
+		restreamCh: make(chan *restreamOutcome, 1),
+	}
+	s.publish()
+	go s.loop()
+	return s, nil
+}
+
+// Ingest enqueues a batch of stream elements and returns once the batch is
+// accepted into the mailbox (blocking for backpressure when it is full).
+// Element errors are counted in Stats().Rejected; use IngestSync to
+// receive them.
+func (s *Server) Ingest(elems []stream.Element) error {
+	return s.send(envelope{elems: elems})
+}
+
+// IngestSync enqueues a batch and waits until the writer has processed it
+// and published the resulting snapshot, returning the per-element errors
+// (joined, capped) if any were rejected.
+func (s *Server) IngestSync(elems []stream.Element) error {
+	env := envelope{elems: elems, reply: make(chan error, 1)}
+	if err := s.send(env); err != nil {
+		return err
+	}
+	return <-env.reply
+}
+
+// Flush waits until everything enqueued before it has been processed and
+// published.
+func (s *Server) Flush() error { return s.IngestSync(nil) }
+
+// Drain forces the assignment of every window-resident vertex, as if the
+// stream had ended. Placement quality for those vertices may suffer (they
+// are assigned before their remaining adjacency arrives); intended for
+// end-of-stream, checkpointing, or tests. Ingest may continue afterwards.
+func (s *Server) Drain() error {
+	env := envelope{kind: ctrlDrain, reply: make(chan error, 1)}
+	if err := s.send(env); err != nil {
+		return err
+	}
+	return <-env.reply
+}
+
+// Restream requests a restream now, regardless of drift thresholds, and
+// waits for the new assignment to be adopted. It fails if a restream is
+// already in flight.
+func (s *Server) Restream() error {
+	env := envelope{kind: ctrlRestream, reply: make(chan error, 1)}
+	if err := s.send(env); err != nil {
+		return err
+	}
+	return <-env.reply
+}
+
+// Export returns an independent copy of the current assignment (assigned
+// vertices only).
+func (s *Server) Export() (*partition.Assignment, error) {
+	env := envelope{kind: ctrlExport, replyA: make(chan *partition.Assignment, 1)}
+	if err := s.send(env); err != nil {
+		return nil, err
+	}
+	return <-env.replyA, nil
+}
+
+func (s *Server) send(env envelope) error {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	select {
+	case <-s.quit:
+		return ErrStopped
+	default:
+	}
+	select {
+	case s.mail <- env:
+		return nil
+	case <-s.quit:
+		return ErrStopped
+	}
+}
+
+// Stop shuts the server down: no new batches are accepted, already-queued
+// batches are processed, the window is drained so every ingested vertex
+// has a placement, and a final snapshot is published. Where/Route/Stats
+// keep answering from that snapshot. Stop blocks until the loop has
+// exited and is safe to call more than once.
+func (s *Server) Stop() {
+	s.once.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// Where returns the partition serving vertex v, lock-free. ok is false
+// while v is unknown or still awaiting assignment in the window.
+func (s *Server) Where(v graph.VertexID) (partition.ID, bool) {
+	return s.cur.Load().tab.get(v)
+}
+
+// RouteDecision is the outcome of routing a query's anchor vertices.
+type RouteDecision struct {
+	// Target is the partition owning the plurality of the known anchors,
+	// or partition.Unassigned when none are known.
+	Target partition.ID `json:"target"`
+	// Known/Unknown count anchors with and without a placement.
+	Known   int `json:"known"`
+	Unknown int `json:"unknown"`
+	// PerPartition counts known anchors per partition.
+	PerPartition []int `json:"per_partition"`
+}
+
+// Route picks the shard a query touching the given vertices should be sent
+// to: the partition owning the most of them (lowest ID on ties). Lock-free.
+func (s *Server) Route(vs ...graph.VertexID) RouteDecision {
+	tab := s.cur.Load().tab
+	d := RouteDecision{Target: partition.Unassigned, PerPartition: make([]int, s.k)}
+	for _, v := range vs {
+		p, ok := tab.get(v)
+		if !ok {
+			d.Unknown++
+			continue
+		}
+		d.Known++
+		d.PerPartition[p]++
+	}
+	best := 0
+	for i, c := range d.PerPartition {
+		if c > best {
+			best = c
+			d.Target = partition.ID(i)
+		}
+	}
+	return d
+}
+
+// Stats returns the statistics frozen at the last published epoch, plus
+// the live mailbox depth. Safe for any goroutine.
+func (s *Server) Stats() Stats {
+	st := s.cur.Load().stats
+	st.MailboxDepth = len(s.mail)
+	return st
+}
+
+// loop is the single writer: it owns the graph, the partitioner and the
+// drift counters.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case env := <-s.mail:
+			s.handle(env)
+		case out := <-s.restreamCh:
+			s.adopt(out)
+		case <-s.quit:
+			s.shutdown()
+			return
+		}
+	}
+}
+
+// handle processes env plus an opportunistic burst of already-queued
+// batches, sweeps fresh assignments into the table, publishes one snapshot
+// and answers the drift monitor.
+func (s *Server) handle(env envelope) {
+	type pendingReply struct {
+		ch  chan error
+		err error
+	}
+	var replies []pendingReply
+	add := func(e envelope) {
+		err := s.process(e)
+		if e.reply != nil && e.kind != ctrlRestream {
+			replies = append(replies, pendingReply{ch: e.reply, err: err})
+		}
+	}
+	add(env)
+	for burst := 0; burst < drainBurst; burst++ {
+		select {
+		case next := <-s.mail:
+			add(next)
+		default:
+			burst = drainBurst
+		}
+	}
+	s.sweep()
+	s.publish()
+	for _, r := range replies {
+		r.ch <- r.err
+	}
+	s.maybeDriftRestream()
+}
+
+// process applies one envelope. The returned error joins the first few
+// element rejections (nil when everything was accepted).
+func (s *Server) process(env envelope) error {
+	switch env.kind {
+	case ctrlDrain:
+		s.p.Finish()
+		return nil
+	case ctrlExport:
+		env.replyA <- s.p.Assignment().Clone()
+		return nil
+	case ctrlRestream:
+		switch {
+		case s.restreaming:
+			env.reply <- errors.New("serve: restream already in flight")
+		case s.g.NumVertices() == 0:
+			env.reply <- errors.New("serve: nothing to restream")
+		default:
+			s.manualWait = env.reply
+			s.launchRestream("manual")
+		}
+		return nil
+	}
+	var errs []error
+	dropped := 0
+	for i := range env.elems {
+		if err := s.applyElement(env.elems[i]); err != nil {
+			s.rejected++
+			if len(errs) < maxReportedErrors {
+				errs = append(errs, err)
+			} else {
+				dropped++
+			}
+		} else {
+			s.ingested++
+		}
+	}
+	if dropped > 0 {
+		errs = append(errs, fmt.Errorf("serve: %d further element errors", dropped))
+	}
+	return errors.Join(errs...)
+}
+
+// applyElement validates one element against the canonical graph, then
+// feeds graph and partitioner in lockstep. Validation up front keeps the
+// two views consistent: anything the graph would reject never reaches the
+// engine.
+func (s *Server) applyElement(el stream.Element) error {
+	switch el.Kind {
+	case stream.VertexElement:
+		if s.g.HasVertex(el.V) {
+			return fmt.Errorf("serve: duplicate vertex %d", el.V)
+		}
+		s.g.AddVertex(el.V, el.Label)
+		if err := s.p.AddVertex(el.V, el.Label); err != nil {
+			s.g.RemoveVertex(el.V)
+			return err
+		}
+		s.pending = append(s.pending, el.V)
+		return nil
+	case stream.EdgeElement:
+		// graph.AddEdge validates self-loops, unknown endpoints and
+		// duplicates before mutating, so it is the single gatekeeper here.
+		if err := s.g.AddEdge(el.V, el.U); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if err := s.p.AddEdge(el.V, el.U); err != nil {
+			s.g.RemoveEdge(el.V, el.U)
+			return err
+		}
+		// A late edge between two already-assigned vertices is accounted
+		// here; edges with a pending endpoint are accounted by sweep when
+		// that endpoint lands in the table.
+		if pv, ok := s.tab.get(el.V); ok {
+			if pu, ok2 := s.tab.get(el.U); ok2 {
+				s.observed++
+				if pv != pu {
+					s.cut++
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("serve: unknown element kind %d", el.Kind)
+}
+
+// sweep mirrors freshly assigned vertices into the placement table and
+// folds their edges into the drift estimate. Each assigned-assigned edge
+// is counted exactly once: when its second endpoint enters the table.
+func (s *Server) sweep() {
+	cur := s.p.Assignment()
+	for i := 0; i < len(s.pending); {
+		v := s.pending[i]
+		p := cur.Get(v)
+		if p == partition.Unassigned {
+			i++
+			continue
+		}
+		s.g.EachNeighbor(v, func(u graph.VertexID) bool {
+			if pu, ok := s.tab.get(u); ok {
+				s.observed++
+				if pu != p {
+					s.cut++
+				}
+			}
+			return true
+		})
+		s.tabSet(v, p)
+		s.sinceRestream++
+		s.pending[i] = s.pending[len(s.pending)-1]
+		s.pending = s.pending[:len(s.pending)-1]
+	}
+}
+
+// tabSet stores one placement, growing the dense region (as a fresh table
+// generation, copy-on-write) when v outgrows it.
+func (s *Server) tabSet(v graph.VertexID, p partition.ID) {
+	t := s.tab
+	if v >= 0 && int64(v) < int64(len(t.dense)) {
+		atomic.StoreInt32(&t.dense[v], int32(p))
+		return
+	}
+	if denseEligible(v, s.g.NumVertices()) {
+		nd := newDense(grownDense(len(t.dense), v))
+		// Plain reads of our own previously published values: the writer
+		// is the only goroutine that ever stores, and readers only read.
+		copy(nd, t.dense)
+		nd[v] = int32(p)
+		s.tab = &table{dense: nd, sparse: t.sparse, hasSparse: t.hasSparse}
+		return
+	}
+	t.hasSparse.Store(true)
+	t.sparse.Store(v, p)
+}
+
+// publish freezes the current statistics into a new Snapshot epoch.
+func (s *Server) publish() {
+	s.epoch++
+	cur := s.p.Assignment()
+	st := Stats{
+		Epoch:         s.epoch,
+		K:             s.k,
+		Ingested:      s.ingested,
+		Rejected:      s.rejected,
+		Vertices:      s.g.NumVertices(),
+		Edges:         s.g.NumEdges(),
+		Assigned:      cur.Len(),
+		PendingWindow: s.g.NumVertices() - cur.Len(),
+		ObservedEdges: s.observed,
+		CutEdges:      s.cut,
+		Imbalance:     metrics.VertexImbalance(cur),
+		Sizes:         cur.Sizes(),
+		Restreams:     s.restreams,
+		RestreamLive:  s.restreaming,
+		LastRestream:  s.lastRestream,
+	}
+	if s.observed > 0 {
+		st.CutFraction = float64(s.cut) / float64(s.observed)
+	}
+	s.cur.Store(&Snapshot{tab: s.tab, stats: st})
+}
+
+// maybeDriftRestream fires a background restream when the incremental
+// estimators cross their thresholds.
+func (s *Server) maybeDriftRestream() {
+	if s.restreaming {
+		return
+	}
+	d := s.cfg.Drift
+	if d.MaxCutFraction <= 0 && d.MaxImbalance <= 0 {
+		return
+	}
+	cur := s.p.Assignment()
+	if cur.Len() < d.MinAssigned {
+		return
+	}
+	// The cooldown spaces restreams out; it does not gate the first one.
+	if s.everRestream && s.sinceRestream < d.CooldownAssigned {
+		return
+	}
+	trigger := ""
+	switch {
+	case d.MaxCutFraction > 0 && s.observed > 0 &&
+		float64(s.cut)/float64(s.observed) > d.MaxCutFraction:
+		trigger = "cut"
+	case d.MaxImbalance > 0 && metrics.VertexImbalance(cur) > d.MaxImbalance:
+		trigger = "imbalance"
+	}
+	if trigger != "" {
+		s.launchRestream(trigger)
+	}
+}
+
+// launchRestream snapshots the graph and assignment into fully detached
+// copies (fresh interners — the identity layer is not concurrency-safe)
+// and restreams them on a background goroutine.
+func (s *Server) launchRestream(trigger string) {
+	s.restreaming = true
+	s.everRestream = true
+	s.sinceRestream = 0
+	gc := detachedClone(s.g)
+	prior := s.p.Assignment().Clone()
+	cfg := s.cfg
+	ch := s.restreamCh
+	started := time.Now()
+	go func() {
+		res, err := runRestream(cfg, gc, prior)
+		ch <- &restreamOutcome{res: res, err: err, trigger: trigger, started: started}
+	}()
+}
+
+// runRestream executes the configured restream heuristic over the
+// detached clone. It runs on a background goroutine and must not touch
+// any writer-owned state.
+func runRestream(cfg Config, gc *graph.Graph, prior *partition.Assignment) (*partition.RestreamResult, error) {
+	d := cfg.Drift
+	rcfg := partition.RestreamConfig{Passes: d.Passes, Priority: d.Priority, SelfWeight: d.SelfWeight}
+	base := gc.Vertices()
+	pcfg := cfg.Core.Partition
+	pcfg.ExpectedVertices = gc.NumVertices()
+	switch d.Heuristic {
+	case "", "loom":
+		trie, err := buildTrie(cfg.Workload, cfg.Alphabet, cfg.MaxMotifVertices)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := cfg.Core
+		ccfg.Partition = pcfg
+		return core.Restream(gc, trie, ccfg, rcfg, base, prior)
+	case "ldg", "fennel":
+		rs := &partition.Restreamer{
+			Config: rcfg,
+			NewPass: func(int) (partition.Streaming, error) {
+				if d.Heuristic == "fennel" {
+					return partition.NewFennel(partition.FennelConfig{Config: pcfg, ExpectedEdges: gc.NumEdges()})
+				}
+				return partition.NewLDG(pcfg)
+			},
+		}
+		return rs.Run(gc, base, prior)
+	}
+	return nil, fmt.Errorf("serve: unknown restream heuristic %q", d.Heuristic)
+}
+
+// adopt swaps a finished restream into the serving path: it drains the
+// live window (a swap barrier — every ingested vertex gets a current
+// placement), merges post-snapshot arrivals into the restreamed
+// assignment, rebuilds the engine seeded with the merged placement, and
+// republishes table and drift counters under a new epoch. The snapshot is
+// published before any waiting Restream caller is released, so a waiter's
+// next Where/Stats observes the swapped state.
+func (s *Server) adopt(out *restreamOutcome) {
+	s.restreaming = false
+	s.sinceRestream = 0
+	reply := s.manualWait
+	s.manualWait = nil
+	if out.err != nil {
+		s.lastRestream = &RestreamReport{
+			Trigger:    out.trigger,
+			Err:        out.err.Error(),
+			DurationMS: time.Since(out.started).Milliseconds(),
+		}
+		s.publish()
+		if reply != nil {
+			reply <- out.err
+		}
+		return
+	}
+
+	prev := s.p.Assignment().Clone()
+	s.p.Finish()
+	cur := s.p.Assignment()
+	merged := out.res.Final
+	restreamed := merged.Len()
+	// Vertices ingested after the snapshot keep their live placement.
+	var mergeErr error
+	cur.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if merged.Get(v) == partition.Unassigned {
+			if err := merged.Set(v, p); err != nil && mergeErr == nil {
+				mergeErr = err
+			}
+		}
+	})
+
+	report := &RestreamReport{
+		Trigger:    out.trigger,
+		Passes:     out.res.Passes,
+		Vertices:   restreamed,
+		DurationMS: time.Since(out.started).Milliseconds(),
+	}
+	prev.EachVertex(func(v graph.VertexID, from partition.ID) {
+		if to := merged.Get(v); to != partition.Unassigned && to != from {
+			report.Moves = append(report.Moves, Move{V: v, From: from, To: to})
+		}
+	})
+	sort.Slice(report.Moves, func(i, j int) bool { return report.Moves[i].V < report.Moves[j].V })
+	// Only previously visible placements that changed cost data movement;
+	// window residents assigned at the barrier were never published.
+	report.Migrated = len(report.Moves)
+	if n := merged.Len(); n > 0 {
+		report.MigrationFraction = float64(report.Migrated) / float64(n)
+	}
+
+	// Rebuild the engine around the merged assignment. ExpectedVertices
+	// grows with the observed stream so the capacity constraint keeps
+	// headroom for future arrivals.
+	ccfg := s.cfg.Core
+	if ccfg.Partition.ExpectedVertices < 2*s.g.NumVertices() {
+		ccfg.Partition.ExpectedVertices = 2 * s.g.NumVertices()
+	}
+	np, err := core.New(ccfg, s.trie)
+	if err != nil || mergeErr != nil {
+		// Unreachable with a validated config; keep serving the old state.
+		if mergeErr != nil {
+			err = mergeErr
+		}
+		report.Err = err.Error()
+		s.lastRestream = report
+		s.publish()
+		if reply != nil {
+			reply <- err
+		}
+		return
+	}
+	na := np.Assignment()
+	maxID := graph.VertexID(-1)
+	merged.EachVertex(func(v graph.VertexID, p partition.ID) {
+		_ = na.Set(v, p)
+		if v > maxID && denseEligible(v, merged.Len()) {
+			maxID = v
+		}
+	})
+	s.p = np
+	s.pending = s.pending[:0]
+
+	// Fresh table generation: plain writes are safe (no reader sees it
+	// until publish) and the epoch flip makes the swap atomic for readers.
+	nt := newTable(grownDense(0, maxID))
+	na.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if v >= 0 && int64(v) < int64(len(nt.dense)) {
+			nt.dense[v] = int32(p)
+			return
+		}
+		nt.hasSparse.Store(true)
+		nt.sparse.Store(v, p)
+	})
+	s.tab = nt
+	s.cut, s.observed = 0, 0
+	s.g.EachEdge(func(u, v graph.VertexID) bool {
+		pu, pv := na.Get(u), na.Get(v)
+		if pu != partition.Unassigned && pv != partition.Unassigned {
+			s.observed++
+			if pu != pv {
+				s.cut++
+			}
+		}
+		return true
+	})
+	s.restreams++
+	s.lastRestream = report
+	s.publish()
+	if reply != nil {
+		reply <- nil
+	}
+}
+
+// shutdown quiesces senders, drains the mailbox, assigns everything still
+// in the window and publishes the final snapshot. Every batch that made it
+// into the mailbox is processed and replied to; senders still deciding see
+// the closed quit channel and return ErrStopped themselves.
+func (s *Server) shutdown() {
+	drainOne := func() bool {
+		select {
+		case env := <-s.mail:
+			// A queued restream request would only launch work that is
+			// guaranteed to be abandoned; refuse it instead.
+			if env.kind == ctrlRestream {
+				env.reply <- ErrStopped
+				return true
+			}
+			err := s.process(env)
+			if env.reply != nil {
+				env.reply <- err
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for {
+		if drainOne() {
+			continue
+		}
+		if s.inflight.Load() == 0 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	for drainOne() {
+	}
+	// Adopt a restream that finished while we were draining; one still in
+	// flight is abandoned (its outcome lands in the buffered channel and
+	// is dropped with the server).
+	select {
+	case out := <-s.restreamCh:
+		s.adopt(out)
+	default:
+		s.restreaming = false
+	}
+	s.p.Finish()
+	s.sweep()
+	s.publish()
+	if s.manualWait != nil {
+		s.manualWait <- ErrStopped
+		s.manualWait = nil
+	}
+}
+
+// detachedClone deep-copies g with fresh interners, so a background
+// goroutine can read it while the writer keeps mutating the original
+// (graph.Clone shares the label interner, which is not concurrency-safe).
+func detachedClone(g *graph.Graph) *graph.Graph {
+	c := graph.NewWithCapacity(g.NumVertices())
+	g.EachVertex(func(v graph.VertexID) bool {
+		l, _ := g.Label(v)
+		c.AddVertex(v, l)
+		return true
+	})
+	g.EachEdge(func(u, v graph.VertexID) bool {
+		// Endpoints were just added; AddEdge cannot fail.
+		if err := c.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+		return true
+	})
+	return c
+}

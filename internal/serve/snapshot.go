@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// table is the placement lookup readers answer Where from. It is a
+// write-once publication structure: the single writer stores each vertex's
+// placement exactly once (atomically), and any number of readers load
+// slots lock-free. Placements only ever transition Unassigned -> p; a
+// restream swap replaces the whole table rather than mutating slots, so a
+// reader holding an old table sees a consistent (if slightly stale)
+// assignment.
+//
+// Dense non-negative vertex IDs live in a flat []int32 indexed by ID (the
+// common case: generators and streams emit 0..n-1). IDs outside the dense
+// region — negative, or far beyond the live vertex count — fall back to a
+// sync.Map shared by every growth generation of the table.
+type table struct {
+	// dense[v] is the placement of vertex v, or denseUnassigned. Slots are
+	// written with atomic.StoreInt32 and read with atomic.LoadInt32.
+	dense []int32
+	// sparse maps out-of-range VertexIDs to partition.ID.
+	sparse *sync.Map
+	// hasSparse is set once the first sparse placement exists, so the hot
+	// dense-miss path can skip the map probe entirely. Shared across growth
+	// generations (same pointer).
+	hasSparse *atomic.Bool
+}
+
+const denseUnassigned = int32(-1)
+
+func newTable(capHint int) *table {
+	t := &table{sparse: &sync.Map{}, hasSparse: &atomic.Bool{}}
+	if capHint > 0 {
+		t.dense = newDense(capHint)
+	}
+	return t
+}
+
+func newDense(n int) []int32 {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = denseUnassigned
+	}
+	return d
+}
+
+// get returns v's placement. Safe for any goroutine.
+func (t *table) get(v graph.VertexID) (partition.ID, bool) {
+	if v >= 0 && int64(v) < int64(len(t.dense)) {
+		if p := atomic.LoadInt32(&t.dense[v]); p != denseUnassigned {
+			return partition.ID(p), true
+		}
+	}
+	if t.hasSparse.Load() {
+		if p, ok := t.sparse.Load(v); ok {
+			return p.(partition.ID), true
+		}
+	}
+	return partition.Unassigned, false
+}
+
+// denseEligible reports whether v should live in the dense region given the
+// current vertex population: the region is allowed to overshoot the
+// population by a constant factor so mostly-dense streams never touch the
+// map, while a stray huge ID cannot balloon memory.
+func denseEligible(v graph.VertexID, population int) bool {
+	return v >= 0 && int64(v) < 8*(int64(population)+1024)
+}
+
+// grownDense returns the new dense length needed to cover index v.
+func grownDense(cur int, v graph.VertexID) int {
+	need := int(v) + 1
+	n := cur
+	if n < 1024 {
+		n = 1024
+	}
+	for n < need {
+		n *= 2
+	}
+	return n
+}
+
+// Snapshot is one published epoch of the serving state: the placement
+// table plus the statistics frozen at publication time. Snapshots are
+// immutable except for the table's write-once slots (placements made after
+// publication become visible to readers of this snapshot, monotonically).
+type Snapshot struct {
+	tab   *table
+	stats Stats
+}
+
+// Stats is the reader-visible state of a Server, frozen per published
+// epoch. CutEdges/ObservedEdges count only edges whose endpoints are both
+// assigned — the incremental drift estimate the restream trigger watches.
+type Stats struct {
+	Epoch    uint64 `json:"epoch"`
+	K        int    `json:"k"`
+	Ingested int64  `json:"ingested"` // elements accepted
+	Rejected int64  `json:"rejected"` // elements rejected with an error
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Assigned int    `json:"assigned"`
+	// PendingWindow counts ingested vertices not yet assigned (resident in
+	// the LOOM window or awaiting the next sweep).
+	PendingWindow int     `json:"pending_window"`
+	ObservedEdges int     `json:"observed_edges"`
+	CutEdges      int     `json:"cut_edges"`
+	CutFraction   float64 `json:"cut_fraction"`
+	Imbalance     float64 `json:"imbalance"`
+	Sizes         []int   `json:"sizes"`
+	Restreams     int     `json:"restreams"`
+	RestreamLive  bool    `json:"restream_live"`
+	// LastRestream reports the most recent completed (or failed) restream;
+	// nil before the first one. The pointed-to report is immutable.
+	LastRestream *RestreamReport `json:"last_restream,omitempty"`
+	// MailboxDepth is the number of batches queued behind the writer at the
+	// moment Stats was called (live, not frozen at publication).
+	MailboxDepth int `json:"mailbox_depth"`
+}
+
+// Move records one vertex whose shard changed when a restreamed assignment
+// was swapped in.
+type Move struct {
+	V    graph.VertexID `json:"v"`
+	From partition.ID   `json:"from"`
+	To   partition.ID   `json:"to"`
+}
+
+// RestreamReport describes one background restream: what triggered it, the
+// per-pass statistics, and the migration plan the swap implies.
+type RestreamReport struct {
+	// Trigger is "cut", "imbalance" or "manual".
+	Trigger string `json:"trigger"`
+	// Err is non-empty when the restream failed (the old assignment stays).
+	Err string `json:"err,omitempty"`
+	// Passes holds the per-pass cut/balance/migration statistics.
+	Passes []partition.PassStats `json:"passes,omitempty"`
+	// Vertices is the size of the graph snapshot that was restreamed.
+	Vertices int `json:"vertices"`
+	// Migrated counts vertices whose published placement changed at the
+	// swap (len(Moves) — vertices first assigned at the swap barrier cost
+	// no data movement and are excluded); MigrationFraction is Migrated
+	// over the post-swap assigned count.
+	Migrated          int     `json:"migrated"`
+	MigrationFraction float64 `json:"migration_fraction"`
+	// Moves is the vertex -> old/new shard diff, ascending by vertex. Only
+	// vertices that were assigned before the swap appear.
+	Moves []Move `json:"-"`
+	// DurationMS is the wall-clock time of the background pass (clone to
+	// adoption).
+	DurationMS int64 `json:"duration_ms"`
+}

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"loom/internal/graph"
+)
+
+// ReaderSource decodes the graph text codec ("v <id> <label>" /
+// "e <u> <v>" lines, # comments) incrementally from an io.Reader, yielding
+// one stream element per record without materialising the graph. It is the
+// ingestion path of loom-serve and of `loom partition -order file`: memory
+// stays O(1) in the input size, and the consumer starts partitioning
+// before the producer has finished writing.
+//
+// The source stops at the first malformed line; Err reports what went
+// wrong (nil at clean EOF). Note that edges referencing vertices the
+// consumer has not seen are the consumer's concern — the codec only
+// guarantees lexical shape.
+type ReaderSource struct {
+	sc   *bufio.Scanner
+	seq  int
+	line int
+	err  error
+	done bool
+}
+
+// FromReader returns a ReaderSource over r.
+func FromReader(r io.Reader) *ReaderSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &ReaderSource{sc: sc}
+}
+
+// Next implements Source. After ok=false, check Err.
+func (s *ReaderSource) Next() (Element, bool) {
+	if s.done {
+		return Element{}, false
+	}
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		el, err := s.parseLine(line)
+		if err != nil {
+			s.fail(err)
+			return Element{}, false
+		}
+		el.Seq = s.seq
+		s.seq++
+		return el, true
+	}
+	s.fail(s.sc.Err())
+	return Element{}, false
+}
+
+func (s *ReaderSource) fail(err error) {
+	s.done = true
+	s.err = err
+}
+
+// Err returns the decode error that terminated the stream, or nil after a
+// clean EOF.
+func (s *ReaderSource) Err() error { return s.err }
+
+// Elements returns how many elements have been yielded so far.
+func (s *ReaderSource) Elements() int { return s.seq }
+
+func (s *ReaderSource) parseLine(line string) (Element, error) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "v":
+		if len(fields) != 3 {
+			return Element{}, fmt.Errorf("stream: line %d: want 'v <id> <label>', got %q", s.line, line)
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Element{}, fmt.Errorf("stream: line %d: bad vertex id %q: %v", s.line, fields[1], err)
+		}
+		return Element{Kind: VertexElement, V: graph.VertexID(id), Label: graph.Label(fields[2])}, nil
+	case "e":
+		if len(fields) != 3 {
+			return Element{}, fmt.Errorf("stream: line %d: want 'e <u> <v>', got %q", s.line, line)
+		}
+		u, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Element{}, fmt.Errorf("stream: line %d: bad endpoint %q: %v", s.line, fields[1], err)
+		}
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return Element{}, fmt.Errorf("stream: line %d: bad endpoint %q: %v", s.line, fields[2], err)
+		}
+		return Element{Kind: EdgeElement, V: graph.VertexID(u), U: graph.VertexID(v)}, nil
+	}
+	return Element{}, fmt.Errorf("stream: line %d: unknown record %q", s.line, fields[0])
+}

@@ -36,6 +36,7 @@ package loom
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"loom/internal/cluster"
@@ -46,6 +47,7 @@ import (
 	"loom/internal/motif"
 	"loom/internal/partition"
 	"loom/internal/query"
+	"loom/internal/serve"
 	"loom/internal/signature"
 	"loom/internal/store"
 	"loom/internal/stream"
@@ -157,6 +159,8 @@ type (
 	StreamOrder = stream.Order
 	// Source yields stream elements.
 	Source = stream.Source
+	// ReaderSource decodes the graph text codec incrementally (FromReader).
+	ReaderSource = stream.ReaderSource
 )
 
 // Stream orderings.
@@ -425,6 +429,52 @@ func runStreaming(g *Graph, o StreamOrder, r *rand.Rand, s partition.Streaming) 
 	}
 	return partition.PartitionStream(g, vs, s), nil
 }
+
+// Online serving (internal/serve): the long-running runtime that ingests
+// a graph stream through a bounded mailbox, answers placement lookups
+// lock-free from published snapshots, and restreams in the background when
+// the partitioning drifts.
+type (
+	// Server is an online partition server.
+	Server = serve.Server
+	// ServerConfig parameterises NewServer.
+	ServerConfig = serve.Config
+	// ServerDriftConfig configures drift-triggered restreaming.
+	ServerDriftConfig = serve.DriftConfig
+	// ServerStats is the reader-visible server state.
+	ServerStats = serve.Stats
+	// ServerRestreamReport describes one background restream and its
+	// migration plan.
+	ServerRestreamReport = serve.RestreamReport
+	// ServerMove is one entry of a migration plan.
+	ServerMove = serve.Move
+	// RouteDecision is the outcome of Server.Route.
+	RouteDecision = serve.RouteDecision
+)
+
+// ErrServerStopped is returned by operations on a stopped Server.
+var ErrServerStopped = serve.ErrStopped
+
+// NewServer starts an online partition server and its ingest loop. Feed it
+// with Server.Ingest/IngestSync, query it with Server.Where/Route/Stats,
+// and shut it down with Server.Stop.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// FromReader decodes the graph text codec incrementally from r, yielding
+// stream elements without materialising the graph (the ingestion path of
+// loom-serve and `loom partition -order file`).
+func FromReader(r io.Reader) *stream.ReaderSource { return stream.FromReader(r) }
+
+// WriteGraph serialises g in the text codec, all vertices before all edges.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// WriteGraphStreamed serialises g in stream layout: each vertex followed
+// by its edges to earlier vertices, the input model streaming partitioners
+// expect when the file is replayed element by element.
+func WriteGraphStreamed(w io.Writer, g *Graph) error { return graph.WriteStreamed(w, g) }
+
+// ReadGraph parses the text codec (either layout).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
 // NewCluster returns a simulated cluster over g partitioned by a.
 func NewCluster(g *Graph, a *Assignment, costs CostModel) (*Cluster, error) {

@@ -1,0 +1,87 @@
+package loom_test
+
+import (
+	"strings"
+	"testing"
+
+	"loom"
+)
+
+// TestServerFacade drives the online serving surface end to end through
+// the public API: build a server over the Figure 1 workload, ingest the
+// Figure 1 graph via the incremental codec reader, and serve lookups.
+func TestServerFacade(t *testing.T) {
+	s, err := loom.NewServer(loom.ServerConfig{
+		Core: loom.Config{
+			Partition: loom.PartitionConfig{K: 2, ExpectedVertices: 8, Slack: 1.2},
+			Threshold: 0.3,
+		},
+		Workload: loom.Fig1Workload(),
+		Alphabet: loom.DefaultAlphabet(4),
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Stop()
+
+	g := loom.Fig1Graph()
+	var sb strings.Builder
+	if err := loom.WriteGraphStreamed(&sb, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	src := loom.FromReader(strings.NewReader(sb.String()))
+	var batch []loom.StreamElement
+	for {
+		el, ok := src.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, el)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := s.IngestSync(batch); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st := s.Stats()
+	if st.Assigned != g.NumVertices() || st.K != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, v := range g.Vertices() {
+		p, ok := s.Where(v)
+		if !ok || p < 0 || int(p) >= 2 {
+			t.Fatalf("Where(%d) = %v,%v", v, p, ok)
+		}
+	}
+	d := s.Route(g.Vertices()...)
+	if d.Known != g.NumVertices() || d.Target < 0 {
+		t.Fatalf("route = %+v", d)
+	}
+	if err := s.Restream(); err != nil {
+		t.Fatalf("restream: %v", err)
+	}
+	if rep := s.Stats().LastRestream; rep == nil || rep.Trigger != "manual" {
+		t.Fatalf("restream report = %+v", rep)
+	}
+
+	a, err := s.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if a.Len() != g.NumVertices() {
+		t.Fatalf("export len = %d", a.Len())
+	}
+	if frac := loom.CutFraction(g, a); frac < 0 || frac > 1 {
+		t.Fatalf("cut fraction %v", frac)
+	}
+
+	s.Stop()
+	if err := s.IngestSync(nil); err != loom.ErrServerStopped {
+		t.Fatalf("post-stop ingest = %v, want ErrServerStopped", err)
+	}
+}
