@@ -11,6 +11,14 @@
 //	           [-max-cut 0.6] [-max-imbalance 1.3] [-min-assigned 512]
 //	           [-restream-passes 1] [-restream-priority none]
 //	           [-restream-heuristic loom] [-mailbox 64]
+//	           [-data-dir /var/lib/loom] [-fsync always|none]
+//
+// With -data-dir the server is durable: accepted batches are written to a
+// write-ahead log (fsynced per -fsync), snapshots are taken at restream
+// swaps, on POST /checkpoint and at graceful shutdown, and a restart from
+// the same directory recovers the snapshot plus the WAL tail — answering
+// /place and /stats exactly as before the stop, without replaying the
+// whole stream.
 //
 // API:
 //
@@ -18,9 +26,10 @@
 //	                  lines); decoded incrementally, applied in order.
 //	GET  /place/{v}   placement of vertex v.
 //	GET  /route?v=1&v=2&v=3   shard decision for a query touching vertices.
-//	GET  /stats       server statistics (drift estimators included).
+//	GET  /stats       server statistics (drift estimators, persistence).
 //	POST /restream    force a restream now; ?wait=1 blocks until adopted.
 //	POST /drain       assign every window-resident vertex immediately.
+//	POST /checkpoint  drain + durable snapshot now (requires -data-dir).
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"loom/internal/checkpoint"
 	"loom/internal/core"
 	"loom/internal/gen"
 	"loom/internal/graph"
@@ -63,6 +73,8 @@ func main() {
 	priorityName := flag.String("restream-priority", "none", "between-pass reordering: none|degree|ambivalence|cutdegree")
 	heuristic := flag.String("restream-heuristic", "loom", "restream engine: loom|ldg|fennel")
 	mailbox := flag.Int("mailbox", serve.DefaultMailbox, "ingest mailbox capacity (batches)")
+	dataDir := flag.String("data-dir", "", "checkpoint directory; enables WAL + snapshot durability")
+	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always|none")
 	flag.Parse()
 
 	srv, err := buildServer(serverOptions{
@@ -71,11 +83,29 @@ func main() {
 		workloadN: *workloadN, workloadFile: *workloadFile,
 		maxCut: *maxCut, maxImbalance: *maxImb, minAssigned: *minAssigned,
 		passes: *passes, priority: *priorityName, heuristic: *heuristic,
-		mailbox: *mailbox,
+		mailbox: *mailbox, dataDir: *dataDir, fsync: *fsync,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loom-serve: %v\n", err)
 		os.Exit(1)
+	}
+	if st := srv.Stats(); st.Persist != nil {
+		r := st.Persist.Recover
+		fmt.Fprintf(os.Stderr,
+			"loom-serve: durable in %s (fsync=%s): snapshot=%v replayed %d records (%d elements) in %dms\n",
+			*dataDir, st.Persist.Fsync, r.SnapshotLoaded, r.ReplayedRecords, r.ReplayedElements, r.RecoverMS)
+		if r.SkippedSnapshots > 0 {
+			// A skipped (damaged) snapshot means recovery fell back to an
+			// older generation; any restream swap or drain after that
+			// generation is not WAL-representable, so placements may
+			// differ from what the previous process last served.
+			fmt.Fprintf(os.Stderr,
+				"loom-serve: WARNING: %d damaged snapshot(s) skipped; recovered from an older generation — placements may differ from the previous run\n",
+				r.SkippedSnapshots)
+		}
+		if r.TornTail {
+			fmt.Fprintf(os.Stderr, "loom-serve: note: torn WAL tail truncated (normal after a crash mid-write)\n")
+		}
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: newMux(srv)}
@@ -114,6 +144,7 @@ type serverOptions struct {
 	minAssigned, passes  int
 	priority, heuristic  string
 	mailbox              int
+	dataDir, fsync       string
 }
 
 // buildServer assembles a serve.Server from CLI options; shared by main
@@ -128,7 +159,7 @@ func buildServer(o serverOptions) (*serve.Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return serve.New(serve.Config{
+	cfg := serve.Config{
 		Core: core.Config{
 			Partition:  partition.Config{K: o.k, ExpectedVertices: o.expected, Slack: o.slack, Seed: o.seed},
 			WindowSize: o.window,
@@ -145,7 +176,17 @@ func buildServer(o serverOptions) (*serve.Server, error) {
 			Priority:       priority,
 			Heuristic:      o.heuristic,
 		},
-	})
+	}
+	// Validate the fsync policy even without -data-dir, so a typo does not
+	// lie dormant until durability is turned on.
+	policy, err := checkpoint.ParseSyncPolicy(o.fsync)
+	if err != nil {
+		return nil, err
+	}
+	if o.dataDir == "" {
+		return serve.New(cfg)
+	}
+	return serve.Open(cfg, serve.PersistOptions{Dir: o.dataDir, Fsync: policy})
 }
 
 // ingestBatch bounds how many decoded elements are applied per IngestSync
@@ -259,6 +300,18 @@ func newMux(srv *serve.Server) *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"assigned": srv.Stats().Assigned})
+	})
+
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := srv.Checkpoint(); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, serve.ErrNoPersistence) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, srv.Stats().Persist)
 	})
 
 	return mux

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"loom/internal/gen"
 	"loom/internal/graph"
 	"loom/internal/serve"
 )
@@ -153,6 +155,184 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if code := getJSON(t, hs.URL+"/stats", &st); code != http.StatusOK || st.Restreams != 1 {
 		t.Fatalf("restreams=%d after manual restream", st.Restreams)
+	}
+}
+
+// TestServeCrashRecoveryE2E is the crash drill over the wire: a durable
+// loom-serve ingests half a stream over HTTP, is hard-stopped mid-stream
+// with no graceful checkpoint, restarted from its -data-dir, fed the
+// rest, and must answer every /place and every /stats counter exactly
+// like a control server that never went down. Recovery replays only the
+// WAL tail — asserted against the persistence stats.
+func TestServeCrashRecoveryE2E(t *testing.T) {
+	const k = 4
+	rng := rand.New(rand.NewSource(21))
+	alphabet := gen.DefaultAlphabet(4)
+	g, err := gen.PlantedPartitionDegrees(600, k, 8, 2, &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	var sb strings.Builder
+	if err := graph.WriteStreamed(&sb, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Split the stream body at a line boundary: any prefix of the
+	// streamed layout is itself a valid stream.
+	body := sb.String()
+	mid := strings.LastIndex(body[:len(body)/2], "\n") + 1
+	first, second := body[:mid], body[mid:]
+
+	opts := serverOptions{
+		k: k, expected: g.NumVertices(), window: 32, threshold: 0.05,
+		slack: 1.2, seed: 1, labels: 4, workloadN: 8, mailbox: 8,
+		passes: 1, priority: "none", heuristic: "loom", minAssigned: 1 << 30,
+	}
+	_, controlHS := startTestServer(t, opts)
+	dopts := opts
+	dopts.dataDir = t.TempDir()
+	dopts.fsync = "always"
+	durable, durableHS := startTestServer(t, dopts)
+
+	var ingCtl, ingDur ingestResponse
+	if code := postBody(t, controlHS.URL+"/ingest", first, &ingCtl); code != http.StatusOK {
+		t.Fatalf("control ingest status %d", code)
+	}
+	if code := postBody(t, durableHS.URL+"/ingest", first, &ingDur); code != http.StatusOK {
+		t.Fatalf("durable ingest status %d", code)
+	}
+	if ingCtl.Accepted != ingDur.Accepted || ingDur.Rejected != 0 {
+		t.Fatalf("accept mismatch before crash: control %+v durable %+v", ingCtl, ingDur)
+	}
+
+	// Crash: hard stop, no checkpoint. The httptest server is closed by
+	// t.Cleanup later; the data directory now holds only WAL records.
+	durable.Abort()
+	durableHS.Close()
+
+	restarted, restartedHS := startTestServer(t, dopts)
+	rst := restarted.Stats()
+	if rst.Persist == nil {
+		t.Fatal("restarted server has no persistence stats")
+	}
+	if rst.Persist.Recover.SnapshotLoaded {
+		t.Fatalf("no snapshot existed, yet recovery loaded one: %+v", rst.Persist.Recover)
+	}
+	if rst.Persist.Recover.ReplayedElements != ingDur.Accepted {
+		t.Fatalf("replayed %d elements, want the %d accepted before the crash",
+			rst.Persist.Recover.ReplayedElements, ingDur.Accepted)
+	}
+
+	// Feed the rest to both, drain both, then compare everything.
+	if code := postBody(t, controlHS.URL+"/ingest", second, &ingCtl); code != http.StatusOK {
+		t.Fatalf("control ingest status %d", code)
+	}
+	if code := postBody(t, restartedHS.URL+"/ingest", second, &ingDur); code != http.StatusOK {
+		t.Fatalf("restarted ingest status %d", code)
+	}
+	if code := postBody(t, controlHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatalf("control drain status %d", code)
+	}
+	if code := postBody(t, restartedHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatalf("restarted drain status %d", code)
+	}
+
+	var stCtl, stDur serve.Stats
+	if code := getJSON(t, controlHS.URL+"/stats", &stCtl); code != http.StatusOK {
+		t.Fatal("control /stats failed")
+	}
+	if code := getJSON(t, restartedHS.URL+"/stats", &stDur); code != http.StatusOK {
+		t.Fatal("restarted /stats failed")
+	}
+	stCtl.MailboxDepth, stDur.MailboxDepth = 0, 0
+	stCtl.Persist, stDur.Persist = nil, nil
+	ctlJSON, _ := json.Marshal(stCtl)
+	durJSON, _ := json.Marshal(stDur)
+	if string(ctlJSON) != string(durJSON) {
+		t.Fatalf("stats diverge after crash recovery:\ncontrol   %s\nrestarted %s", ctlJSON, durJSON)
+	}
+	if stDur.Assigned != g.NumVertices() || stDur.CutEdges == 0 {
+		t.Fatalf("implausible recovered stats: %+v", stDur)
+	}
+
+	for _, v := range g.Vertices() {
+		var pc, pd struct {
+			Assigned  bool `json:"assigned"`
+			Partition int  `json:"partition"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", controlHS.URL, v), &pc); code != http.StatusOK {
+			t.Fatalf("control /place/%d status %d", v, code)
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", restartedHS.URL, v), &pd); code != http.StatusOK {
+			t.Fatalf("restarted /place/%d status %d", v, code)
+		}
+		if pc != pd {
+			t.Fatalf("placement of %d diverges: control %+v restarted %+v", v, pc, pd)
+		}
+	}
+}
+
+// TestServeCheckpointEndpoint covers POST /checkpoint: conflict without
+// -data-dir, a durable snapshot with it, and a warm restart that replays
+// nothing.
+func TestServeCheckpointEndpoint(t *testing.T) {
+	_, plainHS := startTestServer(t, serverOptions{
+		k: 2, expected: 16, window: 4, slack: 1.2, labels: 2, workloadN: 0,
+		mailbox: 4, passes: 1, priority: "none", heuristic: "ldg", minAssigned: 4,
+	})
+	if code := postBody(t, plainHS.URL+"/checkpoint", "", nil); code != http.StatusConflict {
+		t.Fatalf("/checkpoint without -data-dir status %d, want 409", code)
+	}
+
+	dopts := serverOptions{
+		k: 2, expected: 16, window: 4, slack: 1.2, seed: 1, labels: 4, workloadN: 0,
+		mailbox: 4, passes: 1, priority: "none", heuristic: "ldg", minAssigned: 4,
+		dataDir: t.TempDir(), fsync: "always",
+	}
+	durable, durableHS := startTestServer(t, dopts)
+	g := graph.Fig1Graph()
+	var sb strings.Builder
+	if err := graph.WriteStreamed(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if code := postBody(t, durableHS.URL+"/ingest", sb.String(), nil); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	var ps serve.PersistStats
+	if code := postBody(t, durableHS.URL+"/checkpoint", "", &ps); code != http.StatusOK {
+		t.Fatalf("/checkpoint status %d", code)
+	}
+	if !ps.Enabled || ps.Snapshots != 1 {
+		t.Fatalf("persist stats after checkpoint: %+v", ps)
+	}
+	// A checkpoint is a drain barrier: everything is assigned.
+	want := make(map[graph.VertexID]int)
+	for _, v := range g.Vertices() {
+		var place struct {
+			Assigned  bool `json:"assigned"`
+			Partition int  `json:"partition"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", durableHS.URL, v), &place); code != http.StatusOK || !place.Assigned {
+			t.Fatalf("vertex %d unassigned after checkpoint", v)
+		}
+		want[v] = place.Partition
+	}
+	durable.Abort()
+	durableHS.Close()
+
+	restarted, restartedHS := startTestServer(t, dopts)
+	ri := restarted.Stats().Persist.Recover
+	if !ri.SnapshotLoaded || ri.ReplayedRecords != 0 {
+		t.Fatalf("restart after checkpoint: %+v, want snapshot + empty tail", ri)
+	}
+	for v, p := range want {
+		var place struct {
+			Assigned  bool `json:"assigned"`
+			Partition int  `json:"partition"`
+		}
+		getJSON(t, fmt.Sprintf("%s/place/%d", restartedHS.URL, v), &place)
+		if !place.Assigned || place.Partition != p {
+			t.Fatalf("vertex %d recovered as %+v, want partition %d", v, place, p)
+		}
 	}
 }
 

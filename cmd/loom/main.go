@@ -24,9 +24,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"loom/internal/cluster"
 	"loom/internal/core"
@@ -480,83 +477,20 @@ func printPassStats(res *partition.RestreamResult) {
 	}
 }
 
-// writeAssignment serialises "p <vertex> <partition>" lines, sorted.
+// writeAssignment serialises the assignment text codec
+// (partition.WriteAssignment).
 func writeAssignment(w io.Writer, a *partition.Assignment) error {
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
-	type pair struct {
-		v graph.VertexID
-		p partition.ID
-	}
-	var pairs []pair
-	a.EachVertex(func(v graph.VertexID, p partition.ID) {
-		pairs = append(pairs, pair{v, p})
-	})
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
-	fmt.Fprintf(bw, "# k=%d\n", a.K())
-	for _, pr := range pairs {
-		if _, err := fmt.Fprintf(bw, "p %d %d\n", pr.v, pr.p); err != nil {
-			return err
-		}
-	}
-	return nil
+	return partition.WriteAssignment(w, a)
 }
 
-// readAssignment parses the writeAssignment format.
+// readAssignment parses the assignment text codec from a file.
 func readAssignment(path string) (*partition.Assignment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	k := 0
-	type rec struct {
-		v graph.VertexID
-		p partition.ID
-	}
-	var recs []rec
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# k=") {
-			if k, err = strconv.Atoi(strings.TrimPrefix(line, "# k=")); err != nil {
-				return nil, fmt.Errorf("bad k header: %v", err)
-			}
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		var v, p int64
-		if _, err := fmt.Sscanf(line, "p %d %d", &v, &p); err != nil {
-			return nil, fmt.Errorf("bad assignment line %q: %v", line, err)
-		}
-		recs = append(recs, rec{graph.VertexID(v), partition.ID(p)})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if k == 0 {
-		for _, r := range recs {
-			if int(r.p)+1 > k {
-				k = int(r.p) + 1
-			}
-		}
-	}
-	a, err := partition.NewAssignment(k)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range recs {
-		if err := a.Set(r.v, r.p); err != nil {
-			return nil, err
-		}
-	}
-	return a, nil
+	return partition.ReadAssignment(bufio.NewReader(f))
 }
 
 func cmdEvaluate(args []string) error {

@@ -1,0 +1,349 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+	"unicode"
+
+	"loom/internal/graph"
+	"loom/internal/stream"
+)
+
+// The write-ahead log is a sequence of framed records appended to segment
+// files. Each frame is
+//
+//	u32 LE payload length | u32 LE CRC32(payload) | payload
+//
+// and each payload is
+//
+//	u64 LE sequence number | u8 record kind | body
+//
+// where the body of a batch record is the graph-stream text codec
+// ("v <id> <label>" / "e <u> <v>" lines) — the same shape loom-serve
+// ingests over HTTP, so replay reuses stream.FromReader unchanged. A
+// segment file starts with an 8-byte magic plus the u64 LE sequence
+// number of its first record.
+//
+// Recovery tolerates a torn tail: a frame whose length, checksum, body or
+// sequence number does not check out ends the scan, and everything before
+// it replays normally. The writer truncates the file back to the last
+// intact frame before appending again.
+
+const (
+	walMagic = "loomwal1"
+	// walHeaderSize is magic + start sequence number.
+	walHeaderSize = len(walMagic) + 8
+	// frameHeaderSize is length + CRC.
+	frameHeaderSize = 8
+	// payloadHeaderSize is sequence number + kind.
+	payloadHeaderSize = 9
+	// maxPayload bounds a single record so a corrupt length field cannot
+	// drive a giant allocation.
+	maxPayload = 1 << 30
+)
+
+// RecordKind discriminates WAL records.
+type RecordKind uint8
+
+const (
+	// RecordBatch carries the accepted elements of one ingest batch.
+	RecordBatch RecordKind = 1
+	// RecordDrain marks a window drain (Server.Drain): replay must force
+	// the same assignment barrier at the same stream position.
+	RecordDrain RecordKind = 2
+	// RecordBarrier marks a checkpoint barrier (drain + engine reseed).
+	// It is written before the snapshot; when the snapshot write then
+	// succeeds and rotates the WAL the record is covered and filtered,
+	// but when it fails, replay must reproduce the reseed too — a drain
+	// alone would leave the engine (and its tie-break RNG) in a
+	// different state than the live server had.
+	RecordBarrier RecordKind = 3
+)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Seq   uint64
+	Kind  RecordKind
+	Elems []stream.Element // batch records only
+}
+
+// CodecSafeLabel reports whether l survives the line-oriented text codecs
+// (graph files, WAL bodies, snapshots): non-empty and free of anything
+// the decoders treat as whitespace. The bar is unicode.IsSpace because
+// that is exactly what strings.Fields splits on and strings.TrimSpace
+// trims — an ASCII-only check would let labels like "a\vb" (splits into
+// extra fields) or "b\v" (silently decodes as "b") through, acknowledging
+// batches the codecs cannot replay faithfully. The serve layer rejects
+// unsafe labels at ingest with this same predicate, so the accepted
+// stream is always encodable.
+func CodecSafeLabel(l graph.Label) bool {
+	return l != "" && !strings.ContainsFunc(string(l), unicode.IsSpace)
+}
+
+// encodeElements renders elems in the graph-stream text codec. Labels
+// must be codec-safe; the serve layer enforces this at ingest validation,
+// so an error here indicates a caller bug.
+func encodeElements(buf *bytes.Buffer, elems []stream.Element) error {
+	for i := range elems {
+		el := &elems[i]
+		switch el.Kind {
+		case stream.VertexElement:
+			if !CodecSafeLabel(el.Label) {
+				return fmt.Errorf("checkpoint: vertex %d label %q is not codec-safe", el.V, el.Label)
+			}
+			fmt.Fprintf(buf, "v %d %s\n", el.V, el.Label)
+		case stream.EdgeElement:
+			fmt.Fprintf(buf, "e %d %d\n", el.V, el.U)
+		default:
+			return fmt.Errorf("checkpoint: unknown element kind %d", el.Kind)
+		}
+	}
+	return nil
+}
+
+// decodeElements parses a batch body back into elements.
+func decodeElements(body []byte) ([]stream.Element, error) {
+	src := stream.FromReader(bytes.NewReader(body))
+	var out []stream.Element
+	for {
+		el, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, el)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// encodeRecord frames one record.
+func encodeRecord(seq uint64, kind RecordKind, elems []stream.Element) ([]byte, error) {
+	var body bytes.Buffer
+	if kind == RecordBatch {
+		if err := encodeElements(&body, elems); err != nil {
+			return nil, err
+		}
+	}
+	frame := make([]byte, frameHeaderSize+payloadHeaderSize+body.Len())
+	payload := frame[frameHeaderSize:]
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
+	payload[8] = byte(kind)
+	copy(payload[payloadHeaderSize:], body.Bytes())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return frame, nil
+}
+
+// decodePayload parses one CRC-validated payload.
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) < payloadHeaderSize {
+		return Record{}, fmt.Errorf("checkpoint: payload %d bytes, want >= %d", len(payload), payloadHeaderSize)
+	}
+	rec := Record{
+		Seq:  binary.LittleEndian.Uint64(payload[0:8]),
+		Kind: RecordKind(payload[8]),
+	}
+	body := payload[payloadHeaderSize:]
+	switch rec.Kind {
+	case RecordBatch:
+		elems, err := decodeElements(body)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Elems = elems
+	case RecordDrain, RecordBarrier:
+		if len(body) != 0 {
+			return Record{}, fmt.Errorf("checkpoint: record kind %d carries %d body bytes", rec.Kind, len(body))
+		}
+	default:
+		return Record{}, fmt.Errorf("checkpoint: unknown record kind %d", rec.Kind)
+	}
+	return rec, nil
+}
+
+// segmentScan is the result of reading one WAL segment.
+type segmentScan struct {
+	start uint64   // first sequence number, from the header
+	recs  []Record // intact records, consecutive from start
+	valid int64    // file offset just past the last intact record
+	torn  bool     // trailing bytes were discarded
+}
+
+var errBadSegmentHeader = fmt.Errorf("checkpoint: bad WAL segment header")
+
+// scanSegment decodes a whole segment from data. A missing or corrupt
+// header yields errBadSegmentHeader. Framing-level damage — short or
+// checksum-failing trailing bytes, the only shapes a torn write can
+// leave — ends the scan as a torn tail, never an error and never a
+// panic. A frame whose checksum passes but whose payload does not decode
+// (or carries the wrong sequence number) cannot come from a torn write:
+// that is corruption or an encoder/decoder mismatch, and it is returned
+// as an error so recovery refuses to start instead of silently
+// truncating every acknowledged record behind it.
+func scanSegment(data []byte) (segmentScan, error) {
+	if len(data) < walHeaderSize || string(data[:len(walMagic)]) != walMagic {
+		return segmentScan{}, errBadSegmentHeader
+	}
+	s := segmentScan{
+		start: binary.LittleEndian.Uint64(data[len(walMagic):walHeaderSize]),
+		valid: int64(walHeaderSize),
+	}
+	next := s.start
+	pos := walHeaderSize
+	for {
+		if pos == len(data) {
+			return s, nil // clean end
+		}
+		if len(data)-pos < frameHeaderSize {
+			s.torn = true
+			return s, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if n < payloadHeaderSize || n > maxPayload || len(data)-pos-frameHeaderSize < n {
+			s.torn = true
+			return s, nil
+		}
+		payload := data[pos+frameHeaderSize : pos+frameHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			s.torn = true
+			return s, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return s, fmt.Errorf("checkpoint: offset %d: CRC-valid record does not decode: %w", pos, err)
+		}
+		if rec.Seq != next {
+			return s, fmt.Errorf("checkpoint: offset %d: record seq %d, want %d", pos, rec.Seq, next)
+		}
+		s.recs = append(s.recs, rec)
+		next++
+		pos += frameHeaderSize + n
+		s.valid = int64(pos)
+	}
+}
+
+// readSegmentFile scans the segment at path.
+func readSegmentFile(path string) (segmentScan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segmentScan{}, err
+	}
+	return scanSegment(data)
+}
+
+// walWriter appends framed records to one open segment file.
+type walWriter struct {
+	f     *os.File
+	path  string
+	start uint64
+	next  uint64
+	sync  bool
+	// off is the offset just past the last intact frame. A failed or
+	// short frame write is rolled back by truncating to off; if even that
+	// fails the writer flips broken and refuses further appends — leaving
+	// a torn frame mid-file would make every later (fsynced!) record
+	// unreachable to the recovery scan.
+	off    int64
+	broken bool
+}
+
+// createSegment writes a fresh segment with the given start sequence. The
+// header is written and (under SyncAlways) synced before the writer is
+// returned, so a crash right after rotation leaves a parseable segment.
+func createSegment(path string, start uint64, syncOn bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic):], start)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if syncOn {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walWriter{f: f, path: path, start: start, next: start, sync: syncOn, off: int64(walHeaderSize)}, nil
+}
+
+// openSegmentForAppend reopens an existing segment, truncating any torn
+// tail back to validSize, and positions the writer at the end.
+func openSegmentForAppend(path string, sc segmentScan, syncOn bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(sc.valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(sc.valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	next := sc.start + uint64(len(sc.recs))
+	return &walWriter{f: f, path: path, start: sc.start, next: next, sync: syncOn, off: sc.valid}, nil
+}
+
+// append frames and writes one record, returning its size on disk. A
+// failed write is rolled back to the previous frame boundary; a failed
+// rollback breaks the writer for good (fail-fast beats acknowledging
+// records the recovery scan can never reach behind a torn frame).
+func (w *walWriter) append(kind RecordKind, elems []stream.Element) (int, error) {
+	if w.broken {
+		return 0, fmt.Errorf("checkpoint: WAL writer broken by an earlier failed write")
+	}
+	frame, err := encodeRecord(w.next, kind, elems)
+	if err != nil {
+		return 0, err
+	}
+	rollback := func() {
+		if terr := w.f.Truncate(w.off); terr != nil {
+			w.broken = true
+		} else if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+			w.broken = true
+		}
+	}
+	n, err := w.f.Write(frame)
+	if err != nil || n != len(frame) {
+		rollback()
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return 0, err
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			// Rolling the unsynced frame back keeps one invariant for
+			// callers: a failed append leaves no record. (Recovery copes
+			// either way — a frame boundary is always a valid file end.)
+			rollback()
+			return 0, err
+		}
+	}
+	w.off += int64(len(frame))
+	w.next++
+	return len(frame), nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

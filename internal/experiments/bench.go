@@ -5,15 +5,18 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
+	"loom/internal/checkpoint"
 	"loom/internal/core"
 	"loom/internal/gen"
 	"loom/internal/graph"
 	"loom/internal/metrics"
 	"loom/internal/partition"
 	"loom/internal/query"
+	"loom/internal/serve"
 	"loom/internal/stream"
 )
 
@@ -38,6 +41,9 @@ type BenchRecord struct {
 	Vertices    int     `json:"vertices"`
 	Edges       int     `json:"edges"`
 	K           int     `json:"k"`
+	// RecoverMS (serve-recover scenario only) is the wall-clock restart
+	// latency of a durable server: snapshot load plus WAL tail replay.
+	RecoverMS int64 `json:"recover_ms,omitempty"`
 }
 
 // measure runs fn, returning its wall time and the number of heap
@@ -169,7 +175,107 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 			record(gname+"/loom", g, a, elapsed, mallocs)
 		}
 	}
+
+	// Durable serving restart latency: a server that checkpointed at two
+	// thirds of the stream and then crashed recovers from snapshot + WAL
+	// tail; recover_ms is what a rolling restart of loom-serve costs.
+	if err := benchRecover(&out, graphs[fmt.Sprintf("community-%d", n)], alphabet, seed, k,
+		fmt.Sprintf("community-%d/serve-recover", n)); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// benchRecover measures serve.Open over a data directory holding a
+// mid-stream checkpoint and a WAL tail, appending one BenchRecord.
+func benchRecover(out *[]BenchRecord, g *graph.Graph, alphabet []graph.Label, seed int64, k int, scenario string) error {
+	w, err := query.GenerateWorkload(query.DefaultMix(10), alphabet, rand.New(rand.NewSource(seed+7)))
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "loom-bench-recover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: seed},
+			WindowSize: 256,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+	}
+	popts := serve.PersistOptions{Dir: dir, Fsync: checkpoint.SyncAlways}
+	s, err := serve.Open(cfg, popts)
+	if err != nil {
+		return err
+	}
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		s.Stop()
+		return err
+	}
+	barrier := 2 * len(elems) / 3
+	feed := func(part []stream.Element) error {
+		for i := 0; i < len(part); i += 512 {
+			end := i + 512
+			if end > len(part) {
+				end = len(part)
+			}
+			if err := s.IngestSync(part[i:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := feed(elems[:barrier]); err != nil {
+		s.Stop()
+		return err
+	}
+	if err := s.Checkpoint(); err != nil {
+		s.Stop()
+		return err
+	}
+	if err := feed(elems[barrier:]); err != nil {
+		s.Stop()
+		return err
+	}
+	s.Abort()
+
+	var recovered *serve.Server
+	elapsed, mallocs, err := measure(func() error {
+		var oerr error
+		recovered, oerr = serve.Open(cfg, popts)
+		return oerr
+	})
+	if err != nil {
+		return err
+	}
+	if err := recovered.Drain(); err != nil {
+		recovered.Stop()
+		return err
+	}
+	a, err := recovered.Export()
+	recovered.Stop()
+	if err != nil {
+		return err
+	}
+	perVertex := elapsed.Nanoseconds() / int64(g.NumVertices())
+	*out = append(*out, BenchRecord{
+		Scenario:        scenario,
+		NsPerOp:         perVertex,
+		NsPerVertex:     perVertex,
+		AllocsPerVertex: float64(mallocs) / float64(g.NumVertices()),
+		CutFraction:     metrics.CutFraction(g, a),
+		Imbalance:       metrics.VertexImbalance(a),
+		Vertices:        g.NumVertices(),
+		Edges:           g.NumEdges(),
+		K:               k,
+		RecoverMS:       elapsed.Milliseconds(),
+	})
+	return nil
 }
 
 // buildBenchTrie synthesises the default workload trie for the bench.

@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestAssignmentCodecRoundTrip(t *testing.T) {
+	a := MustNewAssignment(4)
+	for i, p := range []ID{0, 3, 1, 1, 2, 0} {
+		if err := a.Set(graph.VertexID(i*7-3), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteAssignment(&sb, a); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadAssignment(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.K() != a.K() || got.Len() != a.Len() {
+		t.Fatalf("k=%d len=%d, want k=%d len=%d", got.K(), got.Len(), a.K(), a.Len())
+	}
+	a.EachVertex(func(v graph.VertexID, p ID) {
+		if got.Get(v) != p {
+			t.Fatalf("Get(%d) = %d, want %d", v, got.Get(v), p)
+		}
+	})
+
+	// A second encode must be byte-identical (sorted, deterministic).
+	var sb2 strings.Builder
+	if err := WriteAssignment(&sb2, got); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatalf("codec not deterministic:\n%q\n%q", sb.String(), sb2.String())
+	}
+}
+
+func TestReadAssignmentInfersK(t *testing.T) {
+	a, err := ReadAssignment(strings.NewReader("p 1 0\np 2 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K() != 6 {
+		t.Fatalf("inferred k = %d, want 6", a.K())
+	}
+}
+
+func TestReadAssignmentEmpty(t *testing.T) {
+	a, err := ReadAssignment(strings.NewReader("# just a comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 0 || a.K() != 1 {
+		t.Fatalf("empty read: len=%d k=%d", a.Len(), a.K())
+	}
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p 1\n",          // missing partition
+		"q 1 2\n",        // unknown record
+		"p x 2\n",        // bad vertex
+		"p 1 y\n",        // bad partition
+		"p 1 -2\n",       // negative partition
+		"# k=zz\np 0 0p", // bad header
+		"# k=2\np 0 7\n", // partition beyond header k
+	} {
+		if _, err := ReadAssignment(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadAssignment(%q) succeeded, want error", bad)
+		}
+	}
+}

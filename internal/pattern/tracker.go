@@ -19,6 +19,7 @@ package pattern
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -138,6 +139,10 @@ type Tracker struct {
 	byVertex map[graph.VertexID]map[int64]struct{}
 	byKey    map[string]int64
 	stats    Stats
+	// capVerts is enforceCaps's reusable sorted-visit scratch; together
+	// with slices.Sort it keeps the per-match determinism sort off the
+	// allocator on the ingest path.
+	capVerts []graph.VertexID
 }
 
 // NewTracker returns a Tracker over the given TPSTry++.
@@ -446,9 +451,17 @@ func (t *Tracker) verify(m *Match, w *graph.Graph) bool {
 
 // enforceCaps drops the least valuable matches of any vertex of m whose
 // fan-out exceeds the per-vertex cap. Value order: larger motifs first,
-// then higher p-value, then newer.
+// then higher p-value, then newer. Vertices are visited in sorted order:
+// dropping a match shrinks other vertices' sets too, so the visit order
+// is observable — map order here made whole partitioning runs
+// irreproducible (caught by the serve crash-recovery equivalence tests).
 func (t *Tracker) enforceCaps(m *Match) {
+	t.capVerts = t.capVerts[:0]
 	for v := range m.vertices {
+		t.capVerts = append(t.capVerts, v)
+	}
+	slices.Sort(t.capVerts)
+	for _, v := range t.capVerts {
 		set := t.byVertex[v]
 		if len(set) <= t.opts.MaxMatchesPerVertex {
 			continue

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"loom/internal/checkpoint"
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// PersistOptions configures the durability layer of Open.
+type PersistOptions struct {
+	// Dir is the checkpoint directory (created if missing): snapshots
+	// plus WAL segments, managed by internal/checkpoint.
+	Dir string
+	// Fsync is the WAL sync policy. The zero value is
+	// checkpoint.SyncAlways: an acknowledged batch survives power loss.
+	Fsync checkpoint.SyncPolicy
+}
+
+// RecoverInfo describes what Open reconstructed. Immutable after Open.
+type RecoverInfo struct {
+	// SnapshotLoaded is false when the directory held no (intact)
+	// snapshot and the whole history was replayed from the WAL.
+	SnapshotLoaded bool   `json:"snapshot_loaded"`
+	SnapshotEpoch  uint64 `json:"snapshot_epoch,omitempty"`
+	// ReplayedRecords/ReplayedElements count the WAL tail fed back
+	// through the ingest path — only the tail, never the full stream.
+	ReplayedRecords  int `json:"replayed_records"`
+	ReplayedElements int `json:"replayed_elements"`
+	// SkippedSnapshots counts corrupt snapshot files passed over;
+	// TornTail reports a truncated final WAL record (dropped, not fatal).
+	SkippedSnapshots int  `json:"skipped_snapshots,omitempty"`
+	TornTail         bool `json:"torn_tail,omitempty"`
+	// RecoverMS is the wall-clock cost of Open: directory scan, snapshot
+	// load and WAL tail replay.
+	RecoverMS int64 `json:"recover_ms"`
+}
+
+// PersistStats is the durability section of Stats.
+type PersistStats struct {
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir"`
+	Fsync   string `json:"fsync"`
+	// WALRecords/WALBytes/Snapshots count what this process wrote.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	Snapshots  int64 `json:"snapshots"`
+	// LastErr is the most recent persistence failure, sticky until the
+	// next one overwrites it.
+	LastErr string `json:"last_err,omitempty"`
+	// Wedged reports that a WAL append failed and ingest is refused until
+	// a successful Checkpoint (or restream swap) re-anchors the log.
+	Wedged  bool        `json:"wedged,omitempty"`
+	Recover RecoverInfo `json:"recover"`
+}
+
+// Open starts a durable Server over the checkpoint directory in opts: it
+// loads the newest intact snapshot (if any), replays the WAL tail behind
+// it through the same single-writer path live ingest uses, and then runs
+// like New with every accepted batch appended to the WAL, a snapshot
+// written at each restream swap, explicit Checkpoint, and graceful Stop.
+// A server killed without ceremony (crash, Abort) and reopened this way
+// answers Where/Route/Stats exactly like one that never went down,
+// modulo batches that were never acknowledged durable under
+// checkpoint.SyncNone. Two cosmetic exceptions: Stats.Epoch counts
+// snapshot publications, and replay publishes once per WAL record while
+// a loaded live server may coalesce several queued batches into one
+// publication — under concurrent ingest the epoch can therefore differ
+// from an uninterrupted control; and Stats.Rejected only survives up to
+// the last snapshot (the WAL records accepted elements, so rejections
+// after it are not replayable). Every placement and every other counter
+// matches exactly.
+//
+// Deterministic recovery has the same preconditions as background
+// restreams: set Config.Alphabet so motif signatures agree across engine
+// rebuilds, and keep the Config between runs identical (K in particular
+// is enforced against the snapshot).
+func Open(cfg Config, opts PersistOptions) (*Server, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("serve: PersistOptions.Dir is required")
+	}
+	start := time.Now()
+	st, rec, err := checkpoint.Open(opts.Dir, opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	info := RecoverInfo{SkippedSnapshots: rec.SkippedSnapshots, TornTail: rec.TornTail}
+	if rec.HasSnapshot {
+		if err := s.restoreSnapshot(rec); err != nil {
+			st.Close()
+			return nil, err
+		}
+		info.SnapshotLoaded = true
+		info.SnapshotEpoch = rec.Meta.Epoch
+	}
+	s.publish()
+
+	// Replay the WAL tail through the writer's own code path. The loop is
+	// not running yet, so this goroutine is the writer; drift triggers
+	// stay quiet (maybeDriftRestream only runs from handle) and nothing
+	// is re-appended (the store is attached after the replay).
+	for _, r := range rec.Tail {
+		info.ReplayedRecords++
+		switch r.Kind {
+		case checkpoint.RecordBatch:
+			info.ReplayedElements += len(r.Elems)
+			if err := s.process(envelope{elems: r.Elems}); err != nil {
+				// The log holds only once-accepted elements; a rejection
+				// means log and snapshot disagree.
+				st.Close()
+				return nil, fmt.Errorf("serve: WAL replay (record %d): %w", r.Seq, err)
+			}
+		case checkpoint.RecordDrain:
+			s.p.Finish()
+		case checkpoint.RecordBarrier:
+			// A checkpoint barrier whose snapshot never landed: reproduce
+			// the drain and the engine reseed the live server performed.
+			s.p.Finish()
+			if err := s.rebuildEngine(); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("serve: WAL replay (barrier %d): %w", r.Seq, err)
+			}
+		default:
+			st.Close()
+			return nil, fmt.Errorf("serve: WAL replay: unknown record kind %d", r.Kind)
+		}
+		s.sweep()
+		s.publish()
+	}
+	info.RecoverMS = time.Since(start).Milliseconds()
+
+	s.persist.store = st
+	s.persist.enabled = true
+	s.persist.dir = opts.Dir
+	s.persist.fsync = opts.Fsync
+	s.persist.recover = info
+	go s.loop()
+	return s, nil
+}
+
+// restoreSnapshot installs a recovered snapshot as the writer state, as
+// if the server had just performed the barrier the snapshot was taken at.
+func (s *Server) restoreSnapshot(rec *checkpoint.Recovered) error {
+	m := rec.Meta
+	if m.K != s.k {
+		return fmt.Errorf("serve: snapshot has k=%d, server is configured with k=%d", m.K, s.k)
+	}
+	if rec.Assignment.Len() != rec.Graph.NumVertices() {
+		return fmt.Errorf("serve: snapshot places %d of %d vertices (not a barrier snapshot)",
+			rec.Assignment.Len(), rec.Graph.NumVertices())
+	}
+	var missing error
+	rec.Assignment.EachVertex(func(v graph.VertexID, _ partition.ID) {
+		if missing == nil && !rec.Graph.HasVertex(v) {
+			missing = fmt.Errorf("serve: snapshot places vertex %d that is not in the graph", v)
+		}
+	})
+	if missing != nil {
+		return missing
+	}
+	if m.ExpectedVertices > 0 {
+		s.ccfg.Partition.ExpectedVertices = m.ExpectedVertices
+	}
+	np, err := s.seedEngine(rec.Assignment)
+	if err != nil {
+		return err
+	}
+	s.g = rec.Graph
+	s.p = np
+	s.tab = buildTable(np.Assignment())
+	s.pending = s.pending[:0]
+	s.cut, s.observed = m.Cut, m.Observed
+	s.ingested, s.rejected = m.Ingested, m.Rejected
+	s.restreams = m.Restreams
+	s.sinceRestream = m.SinceRestream
+	s.everRestream = m.EverRestream
+	// publish() pre-increments, so the first publish after restore lands
+	// on the snapshot's epoch — the same number an uninterrupted server
+	// showed at the barrier.
+	if m.Epoch > 0 {
+		s.epoch = m.Epoch - 1
+	}
+	return nil
+}

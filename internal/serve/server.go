@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loom/internal/checkpoint"
 	"loom/internal/core"
 	"loom/internal/graph"
 	"loom/internal/metrics"
@@ -63,6 +64,10 @@ const (
 
 // ErrStopped is returned by operations on a stopped Server.
 var ErrStopped = errors.New("serve: server stopped")
+
+// ErrNoPersistence is returned by Checkpoint on a server built without a
+// data directory (New instead of Open).
+var ErrNoPersistence = errors.New("serve: server has no persistence configured")
 
 // DriftConfig parameterises the drift monitor and the background restream
 // it triggers.
@@ -124,6 +129,7 @@ const (
 	ctrlDrain
 	ctrlRestream
 	ctrlExport
+	ctrlCheckpoint
 )
 
 type envelope struct {
@@ -155,13 +161,42 @@ type Server struct {
 	quit chan struct{}
 	done chan struct{}
 	once sync.Once
+	// aborted flips the quit path from graceful shutdown to a hard stop.
+	aborted atomic.Bool
 	// inflight counts senders between their quit-check and their enqueue,
 	// so shutdown can quiesce the mailbox without stranding a reply.
 	inflight atomic.Int64
 
+	// persist is the durability layer; persist.store is nil on a server
+	// built without a data directory. The store itself is writer-owned;
+	// the counters are atomics so Stats can read them from any goroutine.
+	persist struct {
+		store      *checkpoint.Store
+		enabled    bool
+		dir        string
+		fsync      checkpoint.SyncPolicy
+		walRecords atomic.Int64
+		walBytes   atomic.Int64
+		snapshots  atomic.Int64
+		lastErr    atomic.Pointer[string]
+		// wedged flips when a WAL append fails: the in-memory state then
+		// holds elements the log does not, so further ingest is refused
+		// (acknowledging it would poison recovery). A successful snapshot
+		// (Checkpoint, restream swap) captures the full state, rotates
+		// the WAL past the gap and clears the wedge.
+		wedged  atomic.Bool
+		recover RecoverInfo
+	}
+
 	// Writer-owned state below: touched only by the loop goroutine.
-	g        *graph.Graph
-	p        *core.Partitioner
+	g *graph.Graph
+	p *core.Partitioner
+	// ccfg is the effective core configuration: cfg.Core with defaults
+	// applied and ExpectedVertices grown at restream swaps. Engine
+	// rebuilds (restream adoption, checkpoints, recovery) all construct
+	// from it, and snapshots record it so a recovered engine scores with
+	// the same capacity constraint.
+	ccfg     core.Config
 	tab      *table
 	pending  []graph.VertexID // ingested, not yet mirrored into tab
 	cut      int              // cut edges among assigned-assigned pairs
@@ -169,6 +204,13 @@ type Server struct {
 	epoch    uint64
 	ingested int64
 	rejected int64
+	// walScratch accumulates a batch's accepted elements for the WAL.
+	walScratch []stream.Element
+	// wantSnapshot asks handle to write a snapshot after the next
+	// publish; every snapWaits entry (Checkpoint callers) receives the
+	// write error.
+	wantSnapshot bool
+	snapWaits    []chan error
 
 	restreaming   bool
 	everRestream  bool // a restream has been launched at least once
@@ -199,6 +241,19 @@ func buildTrie(w *query.Workload, alphabet []graph.Label, maxMotif int) (*motif.
 
 // New starts a Server and its ingest loop.
 func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.publish()
+	go s.loop()
+	return s, nil
+}
+
+// newServer validates cfg and builds a Server without publishing a
+// snapshot or starting the loop, so Open can restore persisted state
+// first.
+func newServer(cfg Config) (*Server, error) {
 	if cfg.Core.Partition.ExpectedVertices == 0 {
 		cfg.Core.Partition.ExpectedVertices = DefaultExpectedVertices
 	}
@@ -239,11 +294,10 @@ func New(cfg Config) (*Server, error) {
 		done:       make(chan struct{}),
 		g:          graph.New(),
 		p:          p,
+		ccfg:       cfg.Core,
 		tab:        newTable(0),
 		restreamCh: make(chan *restreamOutcome, 1),
 	}
-	s.publish()
-	go s.loop()
 	return s, nil
 }
 
@@ -300,7 +354,29 @@ func (s *Server) Export() (*partition.Assignment, error) {
 	if err := s.send(env); err != nil {
 		return nil, err
 	}
-	return <-env.replyA, nil
+	a := <-env.replyA
+	if a == nil {
+		// An abort raced the request: the envelope was refused.
+		return nil, ErrStopped
+	}
+	return a, nil
+}
+
+// Checkpoint forces a durable snapshot now. Like Drain, it assigns every
+// window-resident vertex first (placement quality for those may suffer);
+// the engine is then reseeded at the barrier — exactly the reseed a
+// restream swap performs — and the snapshot plus WAL rotation are on disk
+// before Checkpoint returns. Fails with ErrNoPersistence on a server
+// built without a data directory.
+func (s *Server) Checkpoint() error {
+	if s.persist.store == nil {
+		return ErrNoPersistence
+	}
+	env := envelope{kind: ctrlCheckpoint, reply: make(chan error, 1)}
+	if err := s.send(env); err != nil {
+		return err
+	}
+	return <-env.reply
 }
 
 func (s *Server) send(env envelope) error {
@@ -320,11 +396,28 @@ func (s *Server) send(env envelope) error {
 }
 
 // Stop shuts the server down: no new batches are accepted, already-queued
-// batches are processed, the window is drained so every ingested vertex
-// has a placement, and a final snapshot is published. Where/Route/Stats
-// keep answering from that snapshot. Stop blocks until the loop has
-// exited and is safe to call more than once.
+// batches are processed, an in-flight background restream is waited for
+// and adopted (deterministic checkpoint-after-quiesce — its result is
+// never discarded), the window is drained so every ingested vertex has a
+// placement, and a final snapshot is published — durably, when the server
+// was opened with persistence. Where/Route/Stats keep answering from that
+// snapshot. Stop blocks until the loop has exited and is safe to call
+// more than once.
 func (s *Server) Stop() {
+	s.once.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// Abort hard-stops the server: no draining, no window assignment, no
+// final checkpoint — the closest a process can get to crashing on
+// purpose. Queued batches and in-flight callers are refused with
+// ErrStopped; Where/Route/Stats keep answering from the last published
+// snapshot. With persistence enabled the data directory is left exactly
+// as the WAL last recorded it, which is the state a crash recovery must
+// cope with — the crash-recovery tests are built on this. Safe to call
+// more than once; an Abort that races Stop yields whichever came first.
+func (s *Server) Abort() {
+	s.aborted.Store(true)
 	s.once.Do(func() { close(s.quit) })
 	<-s.done
 }
@@ -376,6 +469,22 @@ func (s *Server) Route(vs ...graph.VertexID) RouteDecision {
 func (s *Server) Stats() Stats {
 	st := s.cur.Load().stats
 	st.MailboxDepth = len(s.mail)
+	if s.persist.enabled {
+		ps := &PersistStats{
+			Enabled:    true,
+			Dir:        s.persist.dir,
+			Fsync:      s.persist.fsync.String(),
+			WALRecords: s.persist.walRecords.Load(),
+			WALBytes:   s.persist.walBytes.Load(),
+			Snapshots:  s.persist.snapshots.Load(),
+			Wedged:     s.persist.wedged.Load(),
+			Recover:    s.persist.recover,
+		}
+		if e := s.persist.lastErr.Load(); e != nil {
+			ps.LastErr = *e
+		}
+		st.Persist = ps
+	}
 	return st
 }
 
@@ -390,7 +499,11 @@ func (s *Server) loop() {
 		case out := <-s.restreamCh:
 			s.adopt(out)
 		case <-s.quit:
-			s.shutdown()
+			if s.aborted.Load() {
+				s.abortShutdown()
+			} else {
+				s.shutdown()
+			}
 			return
 		}
 	}
@@ -407,15 +520,23 @@ func (s *Server) handle(env envelope) {
 	var replies []pendingReply
 	add := func(e envelope) {
 		err := s.process(e)
-		if e.reply != nil && e.kind != ctrlRestream {
+		// Restream replies wait for adoption; checkpoint replies wait for
+		// the snapshot write below.
+		if e.reply != nil && e.kind != ctrlRestream && e.kind != ctrlCheckpoint {
 			replies = append(replies, pendingReply{ch: e.reply, err: err})
 		}
 	}
 	add(env)
-	for burst := 0; burst < drainBurst; burst++ {
+	// A checkpoint ends the burst: the snapshot below needs the cycle to
+	// close at its window-empty barrier — coalescing further batches
+	// behind it would re-populate the window before the write.
+	for burst := 0; burst < drainBurst && env.kind != ctrlCheckpoint; burst++ {
 		select {
 		case next := <-s.mail:
 			add(next)
+			if next.kind == ctrlCheckpoint {
+				burst = drainBurst
+			}
 		default:
 			burst = drainBurst
 		}
@@ -425,6 +546,14 @@ func (s *Server) handle(env envelope) {
 	for _, r := range replies {
 		r.ch <- r.err
 	}
+	if s.wantSnapshot {
+		s.wantSnapshot = false
+		err := s.writeSnapshot()
+		for _, ch := range s.snapWaits {
+			ch <- err
+		}
+		s.snapWaits = s.snapWaits[:0]
+	}
 	s.maybeDriftRestream()
 }
 
@@ -433,7 +562,29 @@ func (s *Server) handle(env envelope) {
 func (s *Server) process(env envelope) error {
 	switch env.kind {
 	case ctrlDrain:
+		// The drain is part of the replayable history: it changes window
+		// state and therefore every subsequent placement. Refuse it
+		// outright while wedged — draining unlogged would diverge.
+		if s.persist.store != nil && s.persist.wedged.Load() {
+			return fmt.Errorf("serve: persistence wedged (WAL append failed); checkpoint to repair")
+		}
 		s.p.Finish()
+		return s.logRecord(checkpoint.RecordDrain)
+	case ctrlCheckpoint:
+		s.p.Finish()
+		// The barrier record makes the drain+reseed replayable when the
+		// snapshot below fails. While wedged (or if this append itself
+		// fails) the WAL cannot carry it, but the snapshot still can
+		// repair everything, so keep going either way.
+		if !s.persist.wedged.Load() {
+			_ = s.logRecord(checkpoint.RecordBarrier)
+		}
+		if err := s.rebuildEngine(); err != nil {
+			env.reply <- err
+			return nil
+		}
+		s.wantSnapshot = true
+		s.snapWaits = append(s.snapWaits, env.reply)
 		return nil
 	case ctrlExport:
 		env.replyA <- s.p.Assignment().Clone()
@@ -450,8 +601,17 @@ func (s *Server) process(env envelope) error {
 		}
 		return nil
 	}
+	logWAL := s.persist.store != nil
+	// Once wedged, the log is missing applied elements; accepting more
+	// would acknowledge durability the directory cannot deliver, and
+	// recovery would reject replayed records referencing the gap.
+	if logWAL && s.persist.wedged.Load() && len(env.elems) > 0 {
+		s.rejected += int64(len(env.elems))
+		return fmt.Errorf("serve: persistence wedged (WAL append failed): refused %d elements; checkpoint to repair", len(env.elems))
+	}
 	var errs []error
 	dropped := 0
+	s.walScratch = s.walScratch[:0]
 	for i := range env.elems {
 		if err := s.applyElement(env.elems[i]); err != nil {
 			s.rejected++
@@ -462,12 +622,45 @@ func (s *Server) process(env envelope) error {
 			}
 		} else {
 			s.ingested++
+			if logWAL {
+				s.walScratch = append(s.walScratch, env.elems[i])
+			}
 		}
 	}
 	if dropped > 0 {
 		errs = append(errs, fmt.Errorf("serve: %d further element errors", dropped))
 	}
+	// Durability before acknowledgement: the accepted slice of the batch
+	// is in the WAL (fsynced per policy) before handle releases the reply.
+	if logWAL && len(s.walScratch) > 0 {
+		if err := s.appendWAL(checkpoint.RecordBatch, s.walScratch); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	return errors.Join(errs...)
+}
+
+// appendWAL writes one record and maintains the persistence counters. On
+// failure the server wedges: the in-memory state now leads the log, so
+// further appends are pointless until a snapshot re-anchors the history.
+func (s *Server) appendWAL(kind checkpoint.RecordKind, elems []stream.Element) error {
+	n, err := s.persist.store.Append(kind, elems)
+	if err != nil {
+		s.notePersistErr(err)
+		s.persist.wedged.Store(true)
+		return fmt.Errorf("serve: wal append: %w", err)
+	}
+	s.persist.walRecords.Add(1)
+	s.persist.walBytes.Add(int64(n))
+	return nil
+}
+
+// logRecord appends an element-less marker record (drain, barrier).
+func (s *Server) logRecord(kind checkpoint.RecordKind) error {
+	if s.persist.store == nil {
+		return nil
+	}
+	return s.appendWAL(kind, nil)
 }
 
 // applyElement validates one element against the canonical graph, then
@@ -479,6 +672,12 @@ func (s *Server) applyElement(el stream.Element) error {
 	case stream.VertexElement:
 		if s.g.HasVertex(el.V) {
 			return fmt.Errorf("serve: duplicate vertex %d", el.V)
+		}
+		// Labels must survive the text codecs (WAL records, snapshots,
+		// Export files); reject the ones that cannot up front, so the
+		// accepted stream is always durable and replayable.
+		if !checkpoint.CodecSafeLabel(el.Label) {
+			return fmt.Errorf("serve: vertex %d label %q is not codec-safe", el.V, el.Label)
 		}
 		s.g.AddVertex(el.V, el.Label)
 		if err := s.p.AddVertex(el.V, el.Label); err != nil {
@@ -587,6 +786,109 @@ func (s *Server) publish() {
 		st.CutFraction = float64(s.cut) / float64(s.observed)
 	}
 	s.cur.Store(&Snapshot{tab: s.tab, stats: st})
+}
+
+// seedEngine builds a fresh core.Partitioner from the effective config
+// and seeds its assignment with a. This is the engine reseed performed at
+// every barrier — restream adoption, explicit checkpoint, snapshot
+// recovery — so all three leave the engine in the same state (empty
+// window, fresh seeded RNG, restored placements): a recovered server
+// continues exactly like one that rebuilt in place.
+func (s *Server) seedEngine(a *partition.Assignment) (*core.Partitioner, error) {
+	np, err := core.New(s.ccfg, s.trie)
+	if err != nil {
+		return nil, err
+	}
+	na := np.Assignment()
+	var serr error
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if err := na.Set(v, p); err != nil && serr == nil {
+			serr = err
+		}
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	return np, nil
+}
+
+// rebuildEngine reseeds the live engine in place with its own current
+// assignment (a checkpoint barrier). The pending list is left alone: the
+// next sweep mirrors those vertices from the reseeded assignment.
+func (s *Server) rebuildEngine() error {
+	np, err := s.seedEngine(s.p.Assignment())
+	if err != nil {
+		return err
+	}
+	s.p = np
+	return nil
+}
+
+// buildTable makes a fresh table generation holding exactly a's
+// placements. Plain writes are safe: no reader sees the table until it is
+// published.
+func buildTable(a *partition.Assignment) *table {
+	maxID := graph.VertexID(-1)
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if v > maxID && denseEligible(v, a.Len()) {
+			maxID = v
+		}
+	})
+	nt := newTable(grownDense(0, maxID))
+	a.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if v >= 0 && int64(v) < int64(len(nt.dense)) {
+			nt.dense[v] = int32(p)
+			return
+		}
+		nt.hasSparse.Store(true)
+		nt.sparse.Store(v, p)
+	})
+	return nt
+}
+
+// writeSnapshot persists the current state. Callers must be at a
+// window-empty barrier (everything assigned); the snapshot codec has no
+// representation for window residents.
+func (s *Server) writeSnapshot() error {
+	if s.persist.store == nil {
+		return nil
+	}
+	cur := s.p.Assignment()
+	if cur.Len() != s.g.NumVertices() {
+		err := fmt.Errorf("serve: checkpoint with %d window-resident vertices", s.g.NumVertices()-cur.Len())
+		s.notePersistErr(err)
+		return err
+	}
+	m := checkpoint.Meta{
+		Epoch:            s.epoch,
+		K:                s.k,
+		ExpectedVertices: s.ccfg.Partition.ExpectedVertices,
+		WindowSize:       s.ccfg.WindowSize,
+		Threshold:        s.ccfg.Threshold,
+		Slack:            s.ccfg.Partition.Slack,
+		Seed:             s.ccfg.Partition.Seed,
+		Ingested:         s.ingested,
+		Rejected:         s.rejected,
+		Cut:              s.cut,
+		Observed:         s.observed,
+		Restreams:        s.restreams,
+		SinceRestream:    s.sinceRestream,
+		EverRestream:     s.everRestream,
+	}
+	if err := s.persist.store.WriteSnapshot(m, s.g, cur); err != nil {
+		s.notePersistErr(err)
+		return err
+	}
+	s.persist.snapshots.Add(1)
+	// The snapshot captures everything the WAL may have missed and
+	// rotates to a fresh segment: a wedged log is whole again.
+	s.persist.wedged.Store(false)
+	return nil
+}
+
+func (s *Server) notePersistErr(err error) {
+	msg := err.Error()
+	s.persist.lastErr.Store(&msg)
 }
 
 // maybeDriftRestream fires a background restream when the incremental
@@ -710,6 +1012,20 @@ func (s *Server) adopt(out *restreamOutcome) {
 			}
 		}
 	})
+	if mergeErr != nil {
+		// Unreachable with a validated config; keep serving the old state.
+		report := &RestreamReport{
+			Trigger:    out.trigger,
+			Err:        mergeErr.Error(),
+			DurationMS: time.Since(out.started).Milliseconds(),
+		}
+		s.lastRestream = report
+		s.publish()
+		if reply != nil {
+			reply <- mergeErr
+		}
+		return
+	}
 
 	report := &RestreamReport{
 		Trigger:    out.trigger,
@@ -732,17 +1048,14 @@ func (s *Server) adopt(out *restreamOutcome) {
 
 	// Rebuild the engine around the merged assignment. ExpectedVertices
 	// grows with the observed stream so the capacity constraint keeps
-	// headroom for future arrivals.
-	ccfg := s.cfg.Core
-	if ccfg.Partition.ExpectedVertices < 2*s.g.NumVertices() {
-		ccfg.Partition.ExpectedVertices = 2 * s.g.NumVertices()
+	// headroom for future arrivals; the growth sticks in s.ccfg so later
+	// barriers (checkpoints, recovery) rebuild with the same capacity.
+	if s.ccfg.Partition.ExpectedVertices < 2*s.g.NumVertices() {
+		s.ccfg.Partition.ExpectedVertices = 2 * s.g.NumVertices()
 	}
-	np, err := core.New(ccfg, s.trie)
-	if err != nil || mergeErr != nil {
+	np, err := s.seedEngine(merged)
+	if err != nil {
 		// Unreachable with a validated config; keep serving the old state.
-		if mergeErr != nil {
-			err = mergeErr
-		}
 		report.Err = err.Error()
 		s.lastRestream = report
 		s.publish()
@@ -752,28 +1065,12 @@ func (s *Server) adopt(out *restreamOutcome) {
 		return
 	}
 	na := np.Assignment()
-	maxID := graph.VertexID(-1)
-	merged.EachVertex(func(v graph.VertexID, p partition.ID) {
-		_ = na.Set(v, p)
-		if v > maxID && denseEligible(v, merged.Len()) {
-			maxID = v
-		}
-	})
 	s.p = np
 	s.pending = s.pending[:0]
 
-	// Fresh table generation: plain writes are safe (no reader sees it
-	// until publish) and the epoch flip makes the swap atomic for readers.
-	nt := newTable(grownDense(0, maxID))
-	na.EachVertex(func(v graph.VertexID, p partition.ID) {
-		if v >= 0 && int64(v) < int64(len(nt.dense)) {
-			nt.dense[v] = int32(p)
-			return
-		}
-		nt.hasSparse.Store(true)
-		nt.sparse.Store(v, p)
-	})
-	s.tab = nt
+	// Fresh table generation; the epoch flip makes the swap atomic for
+	// readers.
+	s.tab = buildTable(na)
 	s.cut, s.observed = 0, 0
 	s.g.EachEdge(func(u, v graph.VertexID) bool {
 		pu, pv := na.Get(u), na.Get(v)
@@ -788,6 +1085,15 @@ func (s *Server) adopt(out *restreamOutcome) {
 	s.restreams++
 	s.lastRestream = report
 	s.publish()
+	// The swap is a window-empty barrier right after an engine reseed:
+	// exactly what a snapshot needs. Unlike a checkpoint, a swap is NOT
+	// representable in the WAL (the merged assignment came from a
+	// background pass), so if the write fails the log's timeline is now
+	// behind the served state for good — wedge ingest until a snapshot
+	// succeeds, exactly like a failed WAL append. Serving reads goes on.
+	if err := s.writeSnapshot(); err != nil && s.persist.store != nil {
+		s.persist.wedged.Store(true)
+	}
 	if reply != nil {
 		reply <- nil
 	}
@@ -808,7 +1114,10 @@ func (s *Server) shutdown() {
 				return true
 			}
 			err := s.process(env)
-			if env.reply != nil {
+			// A checkpoint's reply waits for the final snapshot write
+			// below (process put it on snapWaits); answering here would
+			// report success before anything hit disk.
+			if env.reply != nil && env.kind != ctrlCheckpoint {
 				env.reply <- err
 			}
 			return true
@@ -827,21 +1136,85 @@ func (s *Server) shutdown() {
 	}
 	for drainOne() {
 	}
-	// Adopt a restream that finished while we were draining; one still in
-	// flight is abandoned (its outcome lands in the buffered channel and
-	// is dropped with the server).
-	select {
-	case out := <-s.restreamCh:
-		s.adopt(out)
-	default:
-		s.restreaming = false
+	// A restream in flight is waited for and adopted, never abandoned:
+	// the worker always sends exactly one outcome, so this cannot hang,
+	// and Stop's final state is deterministic — the drift-estimator
+	// counters and the restreamed assignment survive instead of depending
+	// on whether the swap won the race against shutdown. A waiting
+	// Restream caller is released by adopt with the real outcome.
+	if s.restreaming {
+		s.adopt(<-s.restreamCh)
+	} else {
+		select {
+		case out := <-s.restreamCh:
+			s.adopt(out)
+		default:
+		}
 	}
 	s.p.Finish()
 	s.sweep()
 	s.publish()
+	// Graceful shutdown checkpoint: a restart from the data directory
+	// comes up warm with an empty WAL tail. The write error (if any)
+	// reaches pending Checkpoint callers, and is recorded either way.
+	err := s.writeSnapshot()
+	s.wantSnapshot = false
+	for _, ch := range s.snapWaits {
+		ch <- err
+	}
+	s.snapWaits = s.snapWaits[:0]
+	if s.persist.store != nil {
+		if cerr := s.persist.store.Close(); cerr != nil {
+			s.notePersistErr(cerr)
+		}
+	}
 	if s.manualWait != nil {
 		s.manualWait <- ErrStopped
 		s.manualWait = nil
+	}
+}
+
+// abortShutdown is the hard-stop path: refuse everything queued, quiesce
+// senders, close the WAL without draining the window and without a final
+// snapshot. See Abort.
+func (s *Server) abortShutdown() {
+	refuseOne := func() bool {
+		select {
+		case env := <-s.mail:
+			if env.reply != nil {
+				env.reply <- ErrStopped
+			}
+			if env.replyA != nil {
+				env.replyA <- nil
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for {
+		if refuseOne() {
+			continue
+		}
+		if s.inflight.Load() == 0 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	for refuseOne() {
+	}
+	if s.manualWait != nil {
+		s.manualWait <- ErrStopped
+		s.manualWait = nil
+	}
+	for _, ch := range s.snapWaits {
+		ch <- ErrStopped
+	}
+	s.snapWaits = s.snapWaits[:0]
+	if s.persist.store != nil {
+		if cerr := s.persist.store.Close(); cerr != nil {
+			s.notePersistErr(cerr)
+		}
 	}
 }
 

@@ -122,6 +122,10 @@ type Stats struct {
 	// MailboxDepth is the number of batches queued behind the writer at the
 	// moment Stats was called (live, not frozen at publication).
 	MailboxDepth int `json:"mailbox_depth"`
+	// Persist reports the durability layer; nil on a server built without
+	// a data directory. Counters are live (read at the Stats call), not
+	// frozen at publication.
+	Persist *PersistStats `json:"persist,omitempty"`
 }
 
 // Move records one vertex whose shard changed when a restreamed assignment

@@ -39,6 +39,7 @@ import (
 	"io"
 	"math/rand"
 
+	"loom/internal/checkpoint"
 	"loom/internal/cluster"
 	"loom/internal/core"
 	"loom/internal/gen"
@@ -455,10 +456,51 @@ type (
 // ErrServerStopped is returned by operations on a stopped Server.
 var ErrServerStopped = serve.ErrStopped
 
+// ErrServerNoPersistence is returned by Server.Checkpoint on a server
+// started without a data directory (NewServer instead of OpenServer).
+var ErrServerNoPersistence = serve.ErrNoPersistence
+
 // NewServer starts an online partition server and its ingest loop. Feed it
 // with Server.Ingest/IngestSync, query it with Server.Where/Route/Stats,
 // and shut it down with Server.Stop.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// Durable serving (internal/checkpoint): snapshots of graph + assignment
+// + serve metadata, plus a write-ahead log of accepted batches, so a
+// restarted server comes up warm and answers exactly as before the stop.
+type (
+	// ServerPersistOptions selects the checkpoint directory and WAL fsync
+	// policy for OpenServer.
+	ServerPersistOptions = serve.PersistOptions
+	// ServerPersistStats is the durability section of ServerStats.
+	ServerPersistStats = serve.PersistStats
+	// ServerRecoverInfo describes what OpenServer reconstructed.
+	ServerRecoverInfo = serve.RecoverInfo
+	// WALSyncPolicy says when the write-ahead log is fsynced.
+	WALSyncPolicy = checkpoint.SyncPolicy
+)
+
+// WAL fsync policies for ServerPersistOptions.
+const (
+	// WALSyncAlways fsyncs after every appended batch (the default): an
+	// acknowledged batch survives power loss.
+	WALSyncAlways = checkpoint.SyncAlways
+	// WALSyncNone leaves flushing to the OS page cache.
+	WALSyncNone = checkpoint.SyncNone
+)
+
+// ParseWALSyncPolicy maps "always"/"none" to a WALSyncPolicy.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return checkpoint.ParseSyncPolicy(s) }
+
+// OpenServer starts a durable partition server over a checkpoint
+// directory: it recovers the newest snapshot plus the WAL tail (if the
+// directory holds state from a previous run), then serves like NewServer
+// with every accepted batch logged, snapshots at restream swaps, on
+// Server.Checkpoint, and at graceful Server.Stop. See Server.Abort for
+// the crash-shaped shutdown the recovery path is tested against.
+func OpenServer(cfg ServerConfig, opts ServerPersistOptions) (*Server, error) {
+	return serve.Open(cfg, opts)
+}
 
 // FromReader decodes the graph text codec incrementally from r, yielding
 // stream elements without materialising the graph (the ingestion path of

@@ -1,0 +1,199 @@
+package loom_test
+
+// Golden equivalence for durable serving (the serve-state extension of
+// the PR 3 pattern in equivalence_test.go): a durable server that
+// checkpoints mid-stream, crashes, recovers from snapshot + WAL tail and
+// finishes the stream must produce placements bit-identical to an
+// uninterrupted control with the same logical history — and both must
+// keep reproducing the committed fixture across PRs for fixed seeds.
+//
+// Regenerate (only when an intentional behaviour change occurs) with:
+//
+//	go test -run TestServePersistenceGolden -update-golden .
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loom"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/query"
+	"loom/internal/stream"
+)
+
+// serveGoldenRecord pins the outcome of one durable-serving scenario.
+type serveGoldenRecord struct {
+	Scenario      string `json:"scenario"`
+	Vertices      int    `json:"vertices"`
+	Edges         int    `json:"edges"`
+	K             int    `json:"k"`
+	CutEdges      int    `json:"cut_edges"`
+	Sizes         []int  `json:"sizes"`
+	PlacementHash uint64 `json:"placement_hash"`
+}
+
+// runDurableScenario streams g into a durable server with a checkpoint
+// after the first third and a drain barrier at the end. When crash is
+// set, the server is hard-stopped right after the second third and
+// recovered from its data directory before the stream finishes.
+func runDurableScenario(t *testing.T, g *graph.Graph, w *query.Workload, alphabet []graph.Label, k int, crash bool) *loom.Server {
+	t.Helper()
+	cfg := loom.ServerConfig{
+		Core: loom.Config{
+			Partition:  loom.PartitionConfig{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: 1},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+	}
+	opts := loom.ServerPersistOptions{Dir: t.TempDir(), Fsync: loom.WALSyncAlways}
+	s, err := loom.OpenServer(cfg, opts)
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	feed := func(part []loom.StreamElement) {
+		for i := 0; i < len(part); i += 97 {
+			end := i + 97
+			if end > len(part) {
+				end = len(part)
+			}
+			if err := s.IngestSync(part[i:end]); err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+		}
+	}
+	third := len(elems) / 3
+	feed(elems[:third])
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	feed(elems[third : 2*third])
+	if crash {
+		s.Abort()
+		s, err = loom.OpenServer(cfg, opts)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		ri := s.Stats().Persist.Recover
+		if !ri.SnapshotLoaded || ri.ReplayedRecords == 0 {
+			t.Fatalf("recovery should load the checkpoint and replay a tail: %+v", ri)
+		}
+	}
+	feed(elems[2*third:])
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return s
+}
+
+func TestServePersistenceGolden(t *testing.T) {
+	alphabet := gen.DefaultAlphabet(4)
+	mkWorkload := func(seed int64, nq int) *query.Workload {
+		w, err := query.GenerateWorkload(query.DefaultMix(nq), alphabet, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	scenarios := []struct {
+		name string
+		n, k int
+		seed int64
+	}{
+		{"community-600", 600, 4, 31},
+		{"ba-500", 500, 5, 41},
+	}
+
+	var got []serveGoldenRecord
+	for _, sc := range scenarios {
+		rng := rand.New(rand.NewSource(sc.seed))
+		lab := &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}
+		var g *graph.Graph
+		var err error
+		if sc.name[:2] == "ba" {
+			g, err = gen.BarabasiAlbert(sc.n, 2, lab, rng)
+		} else {
+			g, err = gen.PlantedPartitionDegrees(sc.n, sc.k, 10, 2, lab, rng)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := mkWorkload(sc.seed, 8)
+
+		crashed := runDurableScenario(t, g, w, alphabet, sc.k, true)
+		control := runDurableScenario(t, g, w, alphabet, sc.k, false)
+		ca, err := crashed.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := control.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed.Stop()
+		control.Stop()
+
+		ch, oh := placementHash(g, ca), placementHash(g, ctl)
+		if ch != oh {
+			t.Fatalf("%s: crash-recovered placements (hash %#x) diverge from uninterrupted control (%#x)", sc.name, ch, oh)
+		}
+		got = append(got, serveGoldenRecord{
+			Scenario:      sc.name,
+			Vertices:      g.NumVertices(),
+			Edges:         g.NumEdges(),
+			K:             sc.k,
+			CutEdges:      ca.CutEdges(g),
+			Sizes:         ca.Sizes(),
+			PlacementHash: ch,
+		})
+	}
+
+	path := filepath.Join("testdata", "serve_persistence_golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d serve golden records to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update-golden to create): %v", err)
+	}
+	var want []serveGoldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		wr, gr := want[i], got[i]
+		if gr.Scenario != wr.Scenario {
+			t.Fatalf("record %d is %s, golden has %s", i, gr.Scenario, wr.Scenario)
+		}
+		if gr.CutEdges != wr.CutEdges {
+			t.Errorf("%s: cut edges %d, golden %d", wr.Scenario, gr.CutEdges, wr.CutEdges)
+		}
+		if fmt.Sprint(gr.Sizes) != fmt.Sprint(wr.Sizes) {
+			t.Errorf("%s: sizes %v, golden %v", wr.Scenario, gr.Sizes, wr.Sizes)
+		}
+		if gr.PlacementHash != wr.PlacementHash {
+			t.Errorf("%s: placement hash %#x, golden %#x (serve state drifted)", wr.Scenario, gr.PlacementHash, wr.PlacementHash)
+		}
+	}
+}
