@@ -1,0 +1,124 @@
+// Command loom-lint runs the repository's custom determinism and
+// allocation analyzers (internal/lint) over the module:
+//
+//	go run ./cmd/loom-lint ./...          # whole module (CI invocation)
+//	go run ./cmd/loom-lint internal/core  # one package directory
+//	go run ./cmd/loom-lint -list          # describe the analyzers
+//
+// Diagnostics print as file:line:col: analyzer: message. The exit
+// status is 1 when any diagnostic fired, 2 on a load/type-check
+// failure, 0 on a clean run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"loom/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("loom-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(stderr, "loom-lint: unknown analyzer %q\n", n)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "loom-lint:", err)
+		return 2
+	}
+	root, modPath, err := lint.FindModule(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "loom-lint:", err)
+		return 2
+	}
+	loader := lint.NewLoader(root, modPath)
+
+	paths, err := targetPackages(loader, fs.Args(), wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "loom-lint:", err)
+		return 2
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "loom-lint: %v\n", err)
+			exit = 2
+			continue
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			fmt.Fprintln(stdout, d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// targetPackages resolves command-line arguments to module import
+// paths. "./..." (or no argument) means every package in the module;
+// anything else is a directory relative to the working directory.
+func targetPackages(loader *lint.Loader, args []string, wd string) ([]string, error) {
+	if len(args) == 0 {
+		return loader.ModulePackages()
+	}
+	var out []string
+	for _, a := range args {
+		if a == "./..." || a == "all" {
+			return loader.ModulePackages()
+		}
+		dir := a
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(wd, dir)
+		}
+		rel, err := filepath.Rel(loader.ModRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %q is outside module root %s", a, loader.ModRoot)
+		}
+		if rel == "." {
+			out = append(out, loader.ModPath)
+		} else {
+			out = append(out, loader.ModPath+"/"+filepath.ToSlash(rel))
+		}
+	}
+	return out, nil
+}

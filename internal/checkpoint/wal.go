@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -178,6 +179,10 @@ type segmentScan struct {
 
 var errBadSegmentHeader = fmt.Errorf("checkpoint: bad WAL segment header")
 
+// errWriterBroken is returned by every append after a failed rollback;
+// hoisted to a package variable so the hot append path allocates nothing.
+var errWriterBroken = errors.New("checkpoint: WAL writer broken by an earlier failed write")
+
 // scanSegment decodes a whole segment from data. A missing or corrupt
 // header yields errBadSegmentHeader. Framing-level damage — short or
 // checksum-failing trailing bytes, the only shapes a torn write can
@@ -258,6 +263,8 @@ type walWriter struct {
 // createSegment writes a fresh segment with the given start sequence. The
 // header is written and (under SyncAlways) synced before the writer is
 // returned, so a crash right after rotation leaves a parseable segment.
+//
+//loom:framedwriter emits the fixed-size segment header the frame scan starts from
 func createSegment(path string, start uint64, syncOn bool) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -302,24 +309,20 @@ func openSegmentForAppend(path string, sc segmentScan, syncOn bool) (*walWriter,
 // failed write is rolled back to the previous frame boundary; a failed
 // rollback breaks the writer for good (fail-fast beats acknowledging
 // records the recovery scan can never reach behind a torn frame).
+//
+//loom:framedwriter this is the CRC-framing helper itself; every byte it writes is a framed record
+//loom:hotpath
 func (w *walWriter) append(kind RecordKind, elems []stream.Element) (int, error) {
 	if w.broken {
-		return 0, fmt.Errorf("checkpoint: WAL writer broken by an earlier failed write")
+		return 0, errWriterBroken
 	}
 	frame, err := encodeRecord(w.next, kind, elems)
 	if err != nil {
 		return 0, err
 	}
-	rollback := func() {
-		if terr := w.f.Truncate(w.off); terr != nil {
-			w.broken = true
-		} else if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
-			w.broken = true
-		}
-	}
 	n, err := w.f.Write(frame)
 	if err != nil || n != len(frame) {
-		rollback()
+		w.rollback()
 		if err == nil {
 			err = io.ErrShortWrite
 		}
@@ -330,13 +333,23 @@ func (w *walWriter) append(kind RecordKind, elems []stream.Element) (int, error)
 			// Rolling the unsynced frame back keeps one invariant for
 			// callers: a failed append leaves no record. (Recovery copes
 			// either way — a frame boundary is always a valid file end.)
-			rollback()
+			w.rollback()
 			return 0, err
 		}
 	}
 	w.off += int64(len(frame))
 	w.next++
 	return len(frame), nil
+}
+
+// rollback truncates a torn frame back to the previous frame boundary;
+// failure to do so breaks the writer permanently.
+func (w *walWriter) rollback() {
+	if terr := w.f.Truncate(w.off); terr != nil {
+		w.broken = true
+	} else if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+		w.broken = true
+	}
 }
 
 func (w *walWriter) close() error {

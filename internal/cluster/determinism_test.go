@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// The cluster executor sits downstream of the subgraph matcher (iso), whose
+// candidate enumeration was audited for map-order sensitivity in the lint
+// sweep: cluster itself ranges over no maps, and iso's adjacency-consistency
+// predicate is a pure conjunction, so order cannot leak into verdicts. This
+// replay pins that down end to end: executing the same patterns against the
+// same placement must reproduce identical match and traversal counts.
+func TestExecuteReplayIdentical(t *testing.T) {
+	patterns := []*graph.Graph{
+		graph.Cycle("a", "b", "a", "b"),
+		graph.Path("a", "b", "a"),
+		graph.Path("b", "a", "b", "a"),
+	}
+	type outcome struct {
+		res        Result
+		cut, total int
+	}
+	var first []outcome
+	for run := 0; run < 5; run++ {
+		g, a := fig1Split(t)
+		c, err := New(g, a, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]outcome, 0, len(patterns))
+		for _, p := range patterns {
+			o := outcome{res: c.Execute(p)}
+			o.cut, o.total = c.MatchCut(p)
+			out = append(out, o)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		for i := range out {
+			if out[i] != first[i] {
+				t.Fatalf("run %d pattern %d: %+v, first run %+v", run, i, out[i], first[i])
+			}
+		}
+	}
+}

@@ -399,6 +399,7 @@ func (g *Graph) Labels() []Label {
 		return true
 	})
 	out := make([]Label, 0, len(seen))
+	//loom:orderinvariant collects the label set through the pure interner lookup Name, then sorts
 	for lid := range seen {
 		out = append(out, Label(g.lab.Name(lid)))
 	}

@@ -285,6 +285,7 @@ func (m *matcher) search(cur Mapping, used map[graph.VertexID]struct{}) bool {
 // consistent checks adjacency constraints between the tentative pair
 // (pv -> tv) and every already-mapped pattern vertex.
 func (m *matcher) consistent(cur Mapping, pv, tv graph.VertexID) bool {
+	//loom:orderinvariant pure adjacency predicate conjoined over all mapped pairs; the verdict is pair-order-free
 	for qv, qt := range cur {
 		pAdj := m.pattern.HasEdge(pv, qv)
 		tAdj := m.target.HasEdge(tv, qt)

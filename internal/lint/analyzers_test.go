@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"loom/internal/lint"
+	"loom/internal/lint/linttest"
+)
+
+// Each fixture package is loaded under an import path chosen to trip the
+// analyzer's package gate, and both directions are asserted: every // want
+// line must produce a diagnostic, and every diagnostic must be wanted.
+
+func TestMapOrderAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/maporder", "loom/internal/core", lint.MapOrder)
+}
+
+func TestWallClockAnalyzerStrict(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock", "loom/internal/stream", lint.WallClock)
+}
+
+func TestWallClockAnalyzerAllowlist(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclockserve", "loom/internal/serve", lint.WallClock)
+}
+
+func TestHotAllocAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc", "loom/internal/core", lint.HotAlloc)
+}
+
+func TestFramedWriteAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/framedwrite", "loom/internal/checkpoint", lint.FramedWrite)
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc gives the benchmark suite's 0 allocs/op claims a static
+// counterpart: inside functions annotated //loom:hotpath it flags the
+// constructs that make the compiler allocate, pointing at the offending
+// line instead of a regressed benchmark number. Flagged constructs:
+//
+//   - make() of maps, slices and channels, new(), and map/slice
+//     composite literals (including &T{...});
+//   - append to a plain local slice — scratch reuse appends to a
+//     receiver/struct field, to a resliced buffer (s[:0]), through a
+//     pointer-to-slice, or to a local that was bound to one of those
+//     shapes earlier in the function (best := g.best[:0]), all of
+//     which the analyzer accepts;
+//   - any call into package fmt, and string concatenation (+ / += on
+//     strings builds a fresh string every time);
+//   - function literals (closures capture their environment on the
+//     heap);
+//   - string<->[]byte/[]rune conversions;
+//   - interface boxing at call sites: passing a concrete value to an
+//     interface parameter materialises an interface value.
+//
+// Error paths are exempt: anything inside an if whose condition
+// involves a nil comparison (the `if err != nil` shape) may allocate —
+// the steady-state benchmark never takes it. Anything else that
+// intentionally allocates needs //loom:allocok <reason> on its line.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation-inducing constructs in //loom:hotpath functions; " +
+		"suppress a line with //loom:allocok <reason>",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	pass.eachFuncWithFile(func(f *ast.File, fn *ast.FuncDecl) {
+		if _, ok := pass.FuncDirective(f, fn, "hotpath"); !ok {
+			return
+		}
+		h := &hotChecker{pass: pass, file: f, fn: fn}
+		h.walk(fn.Body)
+	})
+}
+
+type hotChecker struct {
+	pass *Pass
+	file *ast.File
+	fn   *ast.FuncDecl
+}
+
+func (h *hotChecker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if isErrGuard(n.Cond) {
+				// Walk the condition itself (it may call fmt etc.) but
+				// skip both branches: error paths may allocate.
+				if n.Init != nil {
+					h.walk(n.Init)
+				}
+				h.walk(n.Cond)
+				return false
+			}
+		case *ast.FuncLit:
+			if !h.suppressed(n, "closure") {
+				h.pass.Reportf(n.Pos(), "closure in hot path allocates its environment; hoist it to a method or package function")
+			}
+			return false // do not double-report inside the (cold) literal
+		case *ast.CompositeLit:
+			h.checkComposite(n)
+		case *ast.CallExpr:
+			h.checkCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(h.typeOr(n)) && !h.suppressed(n, "string concatenation") {
+				h.pass.Reportf(n.Pos(), "string concatenation in hot path allocates; reuse a scratch buffer")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(h.typeOr(n.Lhs[0])) && !h.suppressed(n, "string concatenation") {
+				h.pass.Reportf(n.Pos(), "string concatenation in hot path allocates; reuse a scratch buffer")
+			}
+		}
+		return true
+	})
+}
+
+func (h *hotChecker) typeOr(e ast.Expr) types.Type {
+	if t := h.pass.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+// suppressed honours //loom:allocok on the node's (or previous) line.
+func (h *hotChecker) suppressed(n ast.Node, what string) bool {
+	d, ok := h.pass.DirectiveAt(h.file, n, "allocok")
+	if !ok {
+		return false
+	}
+	if d.Reason == "" {
+		h.pass.Reportf(n.Pos(), "//loom:allocok suppression requires a written reason")
+	}
+	return true
+}
+
+func (h *hotChecker) checkComposite(lit *ast.CompositeLit) {
+	t := h.typeOr(lit)
+	switch t.Underlying().(type) {
+	case *types.Map:
+		if !h.suppressed(lit, "map literal") {
+			h.pass.Reportf(lit.Pos(), "map literal in hot path allocates; hoist it to a struct field or package variable")
+		}
+	case *types.Slice:
+		if !h.suppressed(lit, "slice literal") {
+			h.pass.Reportf(lit.Pos(), "slice literal in hot path allocates; reuse a scratch slice")
+		}
+	}
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) {
+	// Builtins: make of map/slice/chan, new.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch obj := h.pass.ObjectOf(id); obj {
+		case types.Universe.Lookup("make"):
+			if len(call.Args) > 0 && !h.suppressed(call, "make") {
+				h.pass.Reportf(call.Pos(), "make(%s) in hot path allocates; preallocate it outside the hot path", typeLabel(h.pass, call.Args[0]))
+			}
+			return
+		case types.Universe.Lookup("new"):
+			if !h.suppressed(call, "new") {
+				h.pass.Reportf(call.Pos(), "new(...) in hot path allocates; reuse a preallocated value")
+			}
+			return
+		case types.Universe.Lookup("append"):
+			h.checkAppend(call)
+			return
+		}
+	}
+	// Conversions: string <-> []byte / []rune copy their operand.
+	if tv, ok := h.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, h.typeOr(call.Args[0])
+		if (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src)) {
+			if !h.suppressed(call, "conversion") {
+				h.pass.Reportf(call.Pos(), "%s conversion in hot path copies its operand; keep one representation", dst.String())
+			}
+		}
+		return
+	}
+	// Calls into fmt always allocate (interface boxing + formatting).
+	if fn := h.pass.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if !h.suppressed(call, "fmt") {
+			h.pass.Reportf(call.Pos(), "fmt.%s in hot path allocates; format outside the hot path", fn.Name())
+		}
+		return
+	}
+	h.checkBoxing(call)
+}
+
+// checkAppend accepts the scratch-reuse shapes and flags the rest:
+// appending to a field (s.buf), a reslice (buf[:0], buf[:n]), through a
+// pointer-to-slice (*slot), or to a local bound to one of those shapes
+// earlier in the function grows a preallocated buffer; appending to any
+// other bare local almost always starts from nil and allocates
+// geometrically.
+func (h *hotChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr, *ast.SliceExpr, *ast.StarExpr:
+		return
+	case *ast.Ident:
+		if obj := h.pass.ObjectOf(arg); obj != nil && h.scratchDerived(obj) {
+			return
+		}
+	}
+	if h.suppressed(call, "append") {
+		return
+	}
+	h.pass.Reportf(call.Pos(), "append to a non-scratch slice in hot path may allocate; append to a preallocated field or reslice (s[:0])")
+}
+
+// scratchDerived reports whether the local obj is, anywhere in the
+// enclosing function, assigned from a reslice or a field selector —
+// `best := g.best[:0]` — which makes it an alias of persistent storage,
+// so appends to it are amortised allocation-free.
+func (h *hotChecker) scratchDerived(obj types.Object) bool {
+	derived := false
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || derived || len(asg.Lhs) != len(asg.Rhs) {
+			return !derived
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || h.pass.ObjectOf(id) != obj {
+				continue
+			}
+			switch ast.Unparen(asg.Rhs[i]).(type) {
+			case *ast.SliceExpr, *ast.SelectorExpr:
+				derived = true
+			}
+		}
+		return !derived
+	})
+	return derived
+}
+
+// checkBoxing flags arguments whose concrete value is converted to an
+// interface parameter at the call site.
+func (h *hotChecker) checkBoxing(call *ast.CallExpr) {
+	sig, ok := h.typeOr(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue // generic instantiation, not boxing
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := h.typeOr(arg)
+		if at == types.Typ[types.Invalid] {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if h.suppressed(call, "boxing") {
+			return
+		}
+		h.pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it on the heap; take a concrete type or hoist the call off the hot path", at.String())
+	}
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isErrGuard reports whether cond contains a comparison against nil —
+// the `if err != nil` / `if x == nil` shapes that guard cold paths.
+func isErrGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return !found
+		}
+		for _, side := range [...]ast.Expr{be.X, be.Y} {
+			if id, ok := ast.Unparen(side).(*ast.Ident); ok && id.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"loom/internal/lint"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over every
+// package in the module and demands zero diagnostics — the same gate CI
+// applies via cmd/loom-lint. It type-checks the whole module (plus the
+// std packages it imports), so it is skipped under -short.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short mode")
+	}
+	root, modPath, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(root, modPath)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no packages found in module")
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range lint.Run(pkg, lint.Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

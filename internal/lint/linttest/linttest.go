@@ -1,0 +1,139 @@
+// Package linttest runs lint analyzers over fixture packages and
+// checks their diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which the module cannot
+// depend on). A fixture line expects diagnostics like:
+//
+//	for k := range m { // want `iteration over map`
+//
+// The string after want is a regular expression in backquotes or
+// double quotes; several per comment demand several diagnostics on
+// that line. Diagnostics without a matching want, and wants without a
+// matching diagnostic, fail the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"loom/internal/lint"
+)
+
+// Run loads the fixture package in dir under the import path asPath
+// (so analyzers gated on package paths see the path the test wants)
+// and applies the analyzers, comparing diagnostics to want comments.
+func Run(t *testing.T, dir, asPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	root, modPath, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader := lint.NewLoader(root, modPath)
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	diags := lint.Run(pkg, analyzers)
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := parsePatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits `"a" "b"` / “ `a` `b` “ into raw patterns.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("loom/internal/core")
+	Dir   string // directory the files were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module without
+// shelling out to the go command: module-internal import paths are
+// mapped onto the module root directly, and standard-library imports
+// are resolved by the compiler's source importer. Loads are memoised so
+// every package in a run shares one type identity per import path.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute module root directory
+	ModPath string // module path from go.mod ("loom")
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	errs map[string]error
+	info *types.Info
+}
+
+// NewLoader returns a loader for the module rooted at modRoot.
+func NewLoader(modRoot, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: modRoot,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		errs:    make(map[string]error),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+}
+
+// FindModule walks upward from dir to the directory containing go.mod
+// and returns its absolute path plus the module path declared in it.
+func FindModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Load parses and type-checks the module package with the given import
+// path (memoised).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[importPath]; ok {
+		return nil, err
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModPath), "/")
+	pkg, err := l.loadDir(filepath.Join(l.ModRoot, rel), importPath)
+	if err != nil {
+		l.errs[importPath] = err
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the package in dir under a caller-
+// chosen import path. Analyzer fixtures use this to masquerade as
+// deterministic packages; the directory must not import module
+// packages.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[asPath]; ok {
+		return pkg, nil
+	}
+	pkg, err := l.loadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[asPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: l.info}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from the module root, everything else falls through to the standard
+// library source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// ModulePackages returns the import paths of every package in the
+// module, in sorted order, skipping testdata and hidden directories.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(l.ModRoot, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, l.ModPath)
+				} else {
+					out = append(out, l.ModPath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map in the deterministic packages
+// unless the loop is provably order-insensitive or carries a justified
+// //loom:orderinvariant annotation. Go randomises map iteration order
+// per run, so any order-sensitive map range makes whole seeded
+// partitioning runs irreproducible (the exact failure PR 5 dug out of
+// pattern.Tracker.enforceCaps by hand).
+//
+// The order-insensitivity proof is a conservative syntactic heuristic;
+// a loop body qualifies when every statement is one of:
+//
+//   - an integer accumulation (x++, x--, x += e, …) — associative and
+//     commutative, unlike float or string accumulation;
+//   - appending to a slice that is sorted later in the same function
+//     (the canonical extract-keys-then-sort fix);
+//   - a store m[k] = v or delete(m, k) whose key mentions a loop
+//     variable and whose value does not read the written map — distinct
+//     iterations touch distinct entries (set/clone building);
+//   - declaring fresh per-iteration locals from call-free expressions;
+//   - an if statement whose branches qualify, including the pure
+//     predicate form `if cond { return <constants> }` (every iteration
+//     returns the same constants, so hit order is irrelevant) and the
+//     payload-free integer min/max form `if v > best { best = v }`;
+//   - a nested range over a slice/array (or another map — checked
+//     separately) whose body qualifies.
+//
+// Anything else needs a sort or a reasoned annotation.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags order-sensitive map iteration in the deterministic packages; " +
+		"suppress with //loom:orderinvariant <reason>",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !DeterministicPackages[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		file := f
+		var funcStack []ast.Node // enclosing *ast.FuncDecl / *ast.FuncLit
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				var body *ast.BlockStmt
+				if fd, ok := n.(*ast.FuncDecl); ok {
+					body = fd.Body
+				} else {
+					body = n.(*ast.FuncLit).Body
+				}
+				if body != nil {
+					ast.Inspect(body, visit)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if !isMap(pass.TypeOf(n.X)) {
+					return true
+				}
+				checkMapRange(pass, file, n, enclosingBody(funcStack))
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+}
+
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	if len(stack) == 0 {
+		return nil
+	}
+	switch fn := stack[len(stack)-1].(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	if d, ok := pass.DirectiveAt(file, rs, "orderinvariant"); ok {
+		if d.Reason == "" {
+			pass.Reportf(rs.For, "//loom:orderinvariant suppression requires a written reason")
+		}
+		return
+	}
+	chk := &orderChecker{pass: pass, rs: rs, fnBody: fnBody}
+	if chk.insensitiveBody() {
+		return
+	}
+	pass.Reportf(rs.For, "iteration over map %s has runtime-randomised order: sort the keys first, "+
+		"or annotate //loom:orderinvariant <reason> if the body is order-insensitive", typeLabel(pass, rs.X))
+}
+
+func typeLabel(pass *Pass, e ast.Expr) string {
+	if t := pass.TypeOf(e); t != nil {
+		return t.String()
+	}
+	return "<unknown>"
+}
+
+// orderChecker proves (conservatively) that one map-range body is
+// order-insensitive.
+type orderChecker struct {
+	pass   *Pass
+	rs     *ast.RangeStmt
+	fnBody *ast.BlockStmt
+	// appendTargets collects slice objects appended to inside the loop;
+	// each must be sorted after the loop for the proof to hold.
+	appendTargets []types.Object
+}
+
+func (c *orderChecker) insensitiveBody() bool {
+	if !c.allowedStmts(c.rs.Body.List) {
+		return false
+	}
+	for _, obj := range c.appendTargets {
+		if !c.sortedAfterLoop(obj) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *orderChecker) allowedStmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !c.allowedStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *orderChecker) allowedStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return isInteger(c.typeOr(s.X))
+	case *ast.AssignStmt:
+		return c.allowedAssign(s)
+	case *ast.ExprStmt:
+		return c.allowedDelete(s.X)
+	case *ast.IfStmt:
+		return c.allowedIf(s)
+	case *ast.BlockStmt:
+		return c.allowedStmts(s.List)
+	case *ast.BranchStmt:
+		// break would stop after a random subset of entries; continue
+		// just skips the current one.
+		return s.Tok == token.CONTINUE
+	case *ast.RangeStmt:
+		// A nested range over a slice/array is deterministic given its
+		// operand; a nested map range is checked independently by the
+		// analyzer, so only its body matters for the outer proof.
+		return c.allowedStmts(s.Body.List)
+	case *ast.ReturnStmt:
+		return c.constantReturn(s)
+	}
+	return false
+}
+
+func (c *orderChecker) typeOr(e ast.Expr) types.Type {
+	if t := c.pass.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+// allowedAssign vets one assignment statement inside the loop body.
+func (c *orderChecker) allowedAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.MUL_ASSIGN, token.SHL_ASSIGN, token.AND_NOT_ASSIGN:
+		// Integer accumulation commutes; float accumulation does not
+		// (addition is not associative), string concatenation is ordered.
+		return len(s.Lhs) == 1 && isInteger(c.typeOr(s.Lhs[0]))
+	case token.DEFINE:
+		// Fresh per-iteration locals are harmless as long as computing
+		// them cannot have side effects (no calls).
+		for _, rhs := range s.Rhs {
+			if hasCall(rhs) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		// s = append(s, …): defer judgement to the post-loop sort check.
+		if tgt, ok := c.appendSelf(lhs, rhs); ok {
+			c.appendTargets = append(c.appendTargets, tgt)
+			return true
+		}
+		// m[k] = v (or s[k] = v on a slice) with a loop-variable key and
+		// a value that does not read the written container: distinct
+		// iterations write distinct entries.
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			t := c.typeOr(idx.X).Underlying()
+			_, isM := t.(*types.Map)
+			_, isS := t.(*types.Slice)
+			if isM || isS {
+				return c.usesLoopVar(idx.Index) && !c.mentionsTarget(rhs, idx.X) && !hasCall(rhs)
+			}
+		}
+	}
+	return false
+}
+
+// appendSelf matches `x = append(x, …)` — x a local or a field like
+// t.scratch — and returns x's object.
+func (c *orderChecker) appendSelf(lhs, rhs ast.Expr) (types.Object, bool) {
+	obj := c.sliceObj(lhs)
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" || c.pass.ObjectOf(fn) != types.Universe.Lookup("append") {
+		return nil, false
+	}
+	if obj == nil || c.sliceObj(call.Args[0]) != obj {
+		return nil, false
+	}
+	for _, a := range call.Args[1:] {
+		if hasCall(a) {
+			return nil, false
+		}
+	}
+	return obj, true
+}
+
+// sliceObj resolves an append/sort target to its variable object: a
+// plain ident or a field selector (the field's object stands in for
+// the whole chain — within one function that is unambiguous enough for
+// the heuristic).
+func (c *orderChecker) sliceObj(e ast.Expr) types.Object {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return c.pass.ObjectOf(t)
+	case *ast.SelectorExpr:
+		return c.pass.ObjectOf(t.Sel)
+	}
+	return nil
+}
+
+// allowedDelete matches delete(m, k) where either m is not the ranged
+// map and the statement touches a loop-variable-selected entry
+// (independent per-key cleanup, like delete(t.byVertex[v], id)), or k
+// is exactly the range key variable (deleting the current entry, which
+// the spec makes well-defined).
+func (c *orderChecker) allowedDelete(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "delete" || c.pass.ObjectOf(fn) != types.Universe.Lookup("delete") {
+		return false
+	}
+	if hasCall(call.Args[0]) || hasCall(call.Args[1]) {
+		return false
+	}
+	if !c.mentionsTarget(call.Args[0], c.rs.X) {
+		return c.usesLoopVar(call.Args[1]) || c.usesLoopVar(call.Args[0])
+	}
+	key, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	kv, ok := ast.Unparen(c.rs.Key).(*ast.Ident)
+	return ok && c.pass.ObjectOf(key) != nil && c.pass.ObjectOf(key) == c.pass.ObjectOf(kv)
+}
+
+func (c *orderChecker) allowedIf(s *ast.IfStmt) bool {
+	if s.Init != nil && !c.allowedStmt(s.Init) {
+		return false
+	}
+	if c.intExtremum(s) {
+		return true
+	}
+	if !c.allowedStmts(s.Body.List) {
+		return false
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		return c.allowedStmts(e.List)
+	case *ast.IfStmt:
+		return c.allowedIf(e)
+	}
+	return false
+}
+
+// intExtremum matches the payload-free running min/max
+// `if v > best { best = v }` over integers: the final extremum is the
+// same whatever order the values arrive in, as long as nothing else
+// (like an argmax key) is tracked alongside it.
+func (c *orderChecker) intExtremum(s *ast.IfStmt) bool {
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	if !isInteger(c.typeOr(asg.Lhs[0])) {
+		return false
+	}
+	lhs := c.objOf(asg.Lhs[0])
+	rhs := c.objOf(asg.Rhs[0])
+	x, y := c.objOf(cond.X), c.objOf(cond.Y)
+	if lhs == nil || rhs == nil || x == nil || y == nil {
+		return false
+	}
+	return (lhs == x && rhs == y) || (lhs == y && rhs == x)
+}
+
+func (c *orderChecker) objOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return c.pass.ObjectOf(id)
+}
+
+// constantReturn accepts `return` of constant literals only (the pure
+// predicate pattern): whichever iteration triggers it, the caller sees
+// the same value. To keep multiple early returns from re-introducing
+// order dependence, all such returns are checked for constancy
+// individually — two different constant returns on overlapping
+// conditions would still race on iteration order, so only ifs guard
+// them and the heuristic stays conservative by requiring the loop to
+// have at most one return shape.
+func (c *orderChecker) constantReturn(s *ast.ReturnStmt) bool {
+	sig := c.returnShape(s)
+	if sig == "" {
+		return false
+	}
+	first := ""
+	ok := true
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			shape := c.returnShape(n)
+			if shape == "" {
+				ok = false
+			} else if first == "" {
+				first = shape
+			} else if shape != first {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// returnShape renders a return statement's results if they are all
+// constants (literals, true/false, nil); "" otherwise.
+func (c *orderChecker) returnShape(s *ast.ReturnStmt) string {
+	shape := "ret"
+	for _, r := range s.Results {
+		switch e := ast.Unparen(r).(type) {
+		case *ast.BasicLit:
+			shape += "|" + e.Value
+		case *ast.Ident:
+			if e.Name != "true" && e.Name != "false" && e.Name != "nil" {
+				return ""
+			}
+			shape += "|" + e.Name
+		default:
+			return ""
+		}
+	}
+	return shape
+}
+
+// usesLoopVar reports whether e mentions the range key or value
+// variable.
+func (c *orderChecker) usesLoopVar(e ast.Expr) bool {
+	for _, v := range [...]ast.Expr{c.rs.Key, c.rs.Value} {
+		if v == nil {
+			continue
+		}
+		id, ok := ast.Unparen(v).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := c.pass.ObjectOf(id); obj != nil && c.pass.refersTo(e, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsTarget reports whether e mentions the root object of target
+// (an ident, possibly behind selectors/indexes).
+func (c *orderChecker) mentionsTarget(e, target ast.Expr) bool {
+	obj := c.rootObj(target)
+	if obj == nil {
+		return true // unknown root: assume the worst
+	}
+	return c.pass.refersTo(e, obj)
+}
+
+func (c *orderChecker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return c.pass.ObjectOf(t)
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfterLoop reports whether obj is passed to a sort call
+// somewhere after the range statement in the enclosing function.
+func (c *orderChecker) sortedAfterLoop(obj types.Object) bool {
+	if c.fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc", "Slice", "SliceStable",
+			"Strings", "Ints", "Float64s", "Stable":
+			if c.sliceObj(call.Args[0]) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasCall reports whether e contains any call expression (conversions
+// and builtins included — conservative).
+func hasCall(e ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

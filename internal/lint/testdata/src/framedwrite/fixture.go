@@ -1,0 +1,42 @@
+// Package fixture exercises the framedwrite analyzer; linttest loads
+// it as loom/internal/checkpoint, the only package it applies to.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func raw(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `raw Write on a checkpoint file handle`
+	return err
+}
+
+func printf(f *os.File, v int) {
+	fmt.Fprintf(f, "%d\n", v) // want `writes raw bytes to a checkpoint file handle`
+}
+
+func copyTo(f *os.File, r io.Reader) {
+	_, _ = io.Copy(f, r) // want `writes raw bytes to a checkpoint file handle`
+}
+
+// viaWriter takes an abstract writer — framing is the caller's problem,
+// so this is accepted.
+func viaWriter(w io.Writer, b []byte) {
+	_, _ = w.Write(b)
+}
+
+// framer is a framing helper itself: exempted with a reason.
+//
+//loom:framedwriter fixture framing helper; every byte it writes is a framed record
+func framer(f *os.File, b []byte) {
+	_, _ = f.Write(b)
+}
+
+// reasonless shows that a bare exemption is itself a finding.
+//
+//loom:framedwriter
+func reasonless(f *os.File, b []byte) { // want `annotation requires a written reason`
+	_, _ = f.Write(b)
+}

@@ -1,0 +1,106 @@
+// Package fixture exercises the hotalloc analyzer. Only functions
+// annotated //loom:hotpath are checked.
+package fixture
+
+import "fmt"
+
+type buf struct {
+	scratch []int
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}
+
+//loom:hotpath
+func makeInHotPath(n int) int {
+	tmp := make([]int, n) // want `in hot path allocates`
+	return len(tmp)
+}
+
+//loom:hotpath
+func appendLocal(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to a non-scratch slice in hot path`
+	}
+	return out
+}
+
+// appendField reuses a struct-field scratch buffer: accepted.
+//
+//loom:hotpath
+func (b *buf) appendField(xs []int) {
+	b.scratch = b.scratch[:0]
+	for _, x := range xs {
+		b.scratch = append(b.scratch, x)
+	}
+}
+
+// appendDerived appends to a local bound to a reslice of persistent
+// storage: accepted.
+//
+//loom:hotpath
+func (b *buf) appendDerived(xs []int) {
+	s := b.scratch[:0]
+	for _, x := range xs {
+		s = append(s, x)
+	}
+	b.scratch = s
+}
+
+//loom:hotpath
+func format(v int) string {
+	return fmt.Sprintf("%d", v) // want `fmt.Sprintf in hot path allocates`
+}
+
+//loom:hotpath
+func closure(v int) func() int {
+	f := func() int { return v } // want `closure in hot path`
+	return f
+}
+
+//loom:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation in hot path`
+}
+
+//loom:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want `conversion in hot path copies`
+}
+
+func box(v interface{}) { _ = v }
+
+//loom:hotpath
+func boxes(v int) {
+	box(v) // want `boxes it on the heap`
+}
+
+// errPath allocates only under an error guard: accepted, the
+// steady-state benchmark never takes that branch.
+//
+//loom:hotpath
+func errPath(err error) []int {
+	if err != nil {
+		return make([]int, 8)
+	}
+	return nil
+}
+
+// allowed carries a justified suppression and is accepted.
+//
+//loom:hotpath
+func allowed(n int) []int {
+	//loom:allocok result escapes to the caller by contract
+	return make([]int, n)
+}
+
+// reasonlessOk shows that a bare suppression is itself a finding.
+//
+//loom:hotpath
+func reasonlessOk(n int) []int {
+	//loom:allocok
+	return make([]int, n) // want `suppression requires a written reason`
+}

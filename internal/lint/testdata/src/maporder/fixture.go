@@ -1,0 +1,64 @@
+// Package fixture exercises the maporder analyzer; linttest loads it
+// under a deterministic import path so the package gate fires.
+package fixture
+
+import "sort"
+
+var out []string
+
+func sink(s string) { out = append(out, s) }
+
+// intSum is order-insensitive: integer accumulation commutes exactly.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum is NOT order-insensitive: float addition is non-associative,
+// so the rounding depends on iteration order.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `iteration over map`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys collects then sorts — the canonical deterministic shape.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// leakOrder appends map values and never sorts them: the slice layout
+// leaks the randomised iteration order to the caller.
+func leakOrder(m map[string]string) []string {
+	var vs []string
+	for _, v := range m { // want `iteration over map`
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// annotated carries a justified suppression and is accepted.
+func annotated(m map[string]string) {
+	//loom:orderinvariant fixture sink is order-free by contract
+	for _, v := range m {
+		sink(v)
+	}
+}
+
+// reasonless shows that a bare suppression is itself a finding.
+func reasonless(m map[string]string) {
+	//loom:orderinvariant
+	for _, v := range m { // want `suppression requires a written reason`
+		sink(v)
+	}
+}

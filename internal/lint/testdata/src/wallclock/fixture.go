@@ -1,0 +1,27 @@
+// Package fixture exercises the wallclock analyzer in strict mode;
+// linttest loads it under a deterministic import path.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `reads the wall clock in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `reads the wall clock in deterministic package`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `reads the global math/rand source in deterministic package`
+}
+
+// seeded constructs and uses an injected generator: rand.New and
+// rand.NewSource are allowed, and methods on a *rand.Rand are fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

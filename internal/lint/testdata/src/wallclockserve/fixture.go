@@ -1,0 +1,15 @@
+// Package fixture exercises the wallclock analyzer's allowlist mode;
+// linttest loads it as loom/internal/serve, whose allowlist contains a
+// function named Open.
+package fixture
+
+import "time"
+
+// Open matches the allowlist entry wallClockAllowlist["loom/internal/serve"]["Open"].
+func Open() time.Time {
+	return time.Now()
+}
+
+func unlisted() time.Time {
+	return time.Now() // want `reads the wall clock outside the curated allowlist`
+}

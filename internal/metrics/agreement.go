@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"loom/internal/graph"
 	"loom/internal/partition"
@@ -62,19 +63,26 @@ func NMI(a *partition.Assignment, truth func(graph.VertexID) int) float64 {
 		px[int(p)]++
 		py[c]++
 	})
-	var mi, hx, hy float64
-	for k, cnt := range joint {
-		pxy := cnt / n
+	// Floating-point addition is not associative, so summing in map
+	// iteration order would make NMI differ in the low bits from run to
+	// run; iterate every term in sorted key order instead.
+	jointKeys := make([][2]int, 0, len(joint))
+	for k := range joint {
+		jointKeys = append(jointKeys, k)
+	}
+	sort.Slice(jointKeys, func(i, j int) bool {
+		if jointKeys[i][0] != jointKeys[j][0] {
+			return jointKeys[i][0] < jointKeys[j][0]
+		}
+		return jointKeys[i][1] < jointKeys[j][1]
+	})
+	var mi float64
+	for _, k := range jointKeys {
+		pxy := joint[k] / n
 		mi += pxy * math.Log(pxy/((px[k[0]]/n)*(py[k[1]]/n)))
 	}
-	for _, cnt := range px {
-		p := cnt / n
-		hx -= p * math.Log(p)
-	}
-	for _, cnt := range py {
-		p := cnt / n
-		hy -= p * math.Log(p)
-	}
+	hx := sortedEntropy(px, n)
+	hy := sortedEntropy(py, n)
 	denom := (hx + hy) / 2
 	if denom == 0 {
 		return 0
@@ -88,4 +96,20 @@ func NMI(a *partition.Assignment, truth func(graph.VertexID) int) float64 {
 		return 1
 	}
 	return out
+}
+
+// sortedEntropy returns -sum p*log p over counts/n, accumulating in
+// sorted key order so the result is bit-identical across runs.
+func sortedEntropy(counts map[int]float64, n float64) float64 {
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var h float64
+	for _, k := range keys {
+		p := counts[k] / n
+		h -= p * math.Log(p)
+	}
+	return h
 }

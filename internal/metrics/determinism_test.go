@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// Regression for the NMI map-order fix: the entropy and mutual-information
+// sums used to accumulate float64 terms in map iteration order, so two
+// computations over the very same clustering could disagree in the low
+// bits (float addition is not associative). Replaying must now be
+// bit-identical, not merely close.
+func TestAgreementReplayBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	const n, k, classes = 600, 24, 19
+	a := partition.MustNewAssignment(k)
+	truthOf := make(map[graph.VertexID]int, n)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(i)
+		if err := a.Set(v, partition.ID(r.Intn(k))); err != nil {
+			t.Fatal(err)
+		}
+		truthOf[v] = r.Intn(classes)
+	}
+	truth := func(v graph.VertexID) int { return truthOf[v] }
+
+	firstNMI := NMI(a, truth)
+	firstPurity := Purity(a, truth)
+	for i := 1; i < 50; i++ {
+		if got := NMI(a, truth); math.Float64bits(got) != math.Float64bits(firstNMI) {
+			t.Fatalf("replay %d: NMI %v (bits %#x) != first %v (bits %#x)",
+				i, got, math.Float64bits(got), firstNMI, math.Float64bits(firstNMI))
+		}
+		if got := Purity(a, truth); math.Float64bits(got) != math.Float64bits(firstPurity) {
+			t.Fatalf("replay %d: purity %v != first %v", i, got, firstPurity)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package motif
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func buildWorkloadTrie(t *testing.T) *Trie {
+	t.Helper()
+	tr := newTrie(5)
+	queries := []struct {
+		id string
+		g  *graph.Graph
+		w  float64
+	}{
+		{"path3", graph.Path("a", "b", "c"), 4},
+		{"square", graph.Cycle("a", "b", "a", "b"), 2},
+		{"tri", graph.Cycle("a", "b", "c"), 3},
+		{"path4", graph.Path("b", "c", "d", "a"), 1},
+	}
+	for _, q := range queries {
+		if err := tr.AddQuery(q.id, q.g, q.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// repFingerprint walks every motif node's representative graph in
+// insertion order and records each vertex's adjacency sequence — exactly
+// the layout the embedding-graph fix made reproducible (edges used to be
+// inserted in map iteration order).
+func repFingerprint(tr *Trie) string {
+	var sb strings.Builder
+	for _, n := range tr.Nodes() {
+		fmt.Fprintf(&sb, "n%d:", n.ID)
+		for _, v := range n.Rep.Vertices() {
+			l, _ := n.Rep.Label(v)
+			fmt.Fprintf(&sb, " %d(%s)->%v", v, l, n.Rep.Neighbors(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Regression for the embedding-graph map-order fix: motif representative
+// graphs collected their edges from a map range, so the adjacency layout —
+// and everything downstream that walks it — varied run to run. Rebuilding
+// the same workload must now yield byte-identical adjacency and DOT output.
+func TestTrieReplayBuildsIdenticalLayout(t *testing.T) {
+	firstFP := repFingerprint(buildWorkloadTrie(t))
+	var firstDOT strings.Builder
+	if err := WriteDOT(&firstDOT, buildWorkloadTrie(t), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		tr := buildWorkloadTrie(t)
+		if fp := repFingerprint(tr); fp != firstFP {
+			t.Fatalf("build %d adjacency layout differs:\n%s\nfirst:\n%s", i, fp, firstFP)
+		}
+		var dot strings.Builder
+		if err := WriteDOT(&dot, tr, 0.2); err != nil {
+			t.Fatal(err)
+		}
+		if dot.String() != firstDOT.String() {
+			t.Fatalf("build %d DOT differs:\n%s\nfirst:\n%s", i, dot.String(), firstDOT.String())
+		}
+	}
+}

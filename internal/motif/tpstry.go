@@ -438,7 +438,19 @@ func (s *embedding) graph(q *graph.Graph) *graph.Graph {
 	for _, v := range s.vertexList {
 		g.AddVertex(v, q.MustLabel(v))
 	}
+	// Insert edges in sorted order so the graph's internal adjacency
+	// layout (which insertion order determines) is run-independent.
+	es := make([]graph.Edge, 0, len(s.edges))
 	for e := range s.edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	for _, e := range es {
 		if err := g.AddEdge(e.U, e.V); err != nil {
 			panic(err)
 		}
@@ -449,6 +461,7 @@ func (s *embedding) graph(q *graph.Graph) *graph.Graph {
 // fullEdges reports whether every q-edge internal to the vertex set is
 // already included (no cycle-closing extensions remain).
 func (s *embedding) fullEdges(q *graph.Graph) bool {
+	//loom:orderinvariant pure membership predicate; returns false on any missing internal edge, whichever is seen first
 	for v := range s.vertexSet {
 		for _, u := range q.Neighbors(v) {
 			if _, in := s.vertexSet[u]; in && v < u {
@@ -467,6 +480,7 @@ func (s *embedding) fullEdges(q *graph.Graph) bool {
 func (s *embedding) frontier(q *graph.Graph, maxVertices int) []graph.Edge {
 	var out []graph.Edge
 	seen := make(map[graph.Edge]struct{})
+	//loom:orderinvariant deduplicates candidate edges into a set and sorts the result before returning
 	for v := range s.vertexSet {
 		for _, u := range q.Neighbors(v) {
 			e := graph.Edge{U: v, V: u}.Normalize()

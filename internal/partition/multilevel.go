@@ -3,9 +3,21 @@ package partition
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"loom/internal/graph"
 )
+
+// sortedPartitionKeys returns m's keys in ascending order so that
+// refinement tie-breaks never depend on map iteration order.
+func sortedPartitionKeys(m map[ID]int) []ID {
+	keys := make([]ID, 0, len(m))
+	for p := range m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // Multilevel is an offline k-way partitioner in the style of METIS (paper
 // §3.1): it recursively coarsens the graph by heavy-edge matching,
@@ -148,6 +160,7 @@ func (w *wgraph) coarsen(rng *rand.Rand) (*wgraph, []int) {
 			continue
 		}
 		bestU, bestW := -1, -1
+		//loom:orderinvariant argmax with a total tie-break (heaviest edge, then smallest u) picks the same mate in any order
 		for u, ew := range w.adj[v] {
 			if match[u] != -1 {
 				continue
@@ -253,6 +266,7 @@ func (w *wgraph) initialPartition(k int, rng *rand.Rand) []ID {
 		addFrontier(seed)
 		for float64(load) < target && unassigned > 0 {
 			best, bestGain := -1, -1
+			//loom:orderinvariant argmax with a total tie-break (highest gain, then smallest v) is iteration-order-free
 			for v, gn := range gain {
 				if gn > bestGain || (gn == bestGain && (best == -1 || v < best)) {
 					best, bestGain = v, gn
@@ -330,11 +344,14 @@ func (w *wgraph) refineFM(part []ID, k int, imbalance float64, passes int) {
 				if len(ext) == 0 {
 					continue // interior vertex; moving it only hurts
 				}
-				for p, ew := range ext {
+				// Equal-gain ties used to fall to map iteration order,
+				// making whole refinement passes irreproducible; visit
+				// candidate partitions in sorted order instead.
+				for _, p := range sortedPartitionKeys(ext) {
 					if loads[p]+w.vw[v] > maxLoad {
 						continue
 					}
-					gain := ew - internal
+					gain := ext[p] - internal
 					if first || gain > bestGain {
 						bestV, bestTo, bestGain = v, p, gain
 						first = false
@@ -398,8 +415,10 @@ func (w *wgraph) refine(part []ID, k int, imbalance float64, passes int) {
 				}
 			}
 			bestP, bestGain := own, 0
-			for p, ew := range ext {
-				gain := ew - internal
+			// Sorted candidate order keeps equal-gain ties (first
+			// strictly-better wins) independent of map iteration order.
+			for _, p := range sortedPartitionKeys(ext) {
+				gain := ext[p] - internal
 				if gain > bestGain && loads[p]+w.vw[v] <= maxLoad {
 					bestP, bestGain = p, gain
 				}

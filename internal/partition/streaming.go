@@ -232,6 +232,8 @@ func (g *Greedy) SetPrior(prev *Assignment, selfWeight float64) {
 // effective returns n's partition for scoring: the current pass's placement
 // when n has been re-placed, the prior pass's otherwise. Prior partitions
 // beyond this heuristic's K (a shrinking restream) read as Unassigned.
+//
+//loom:hotpath
 func (g *Greedy) effective(n graph.VertexID) ID {
 	if p := g.a.Get(n); p != Unassigned {
 		return p
@@ -245,6 +247,8 @@ func (g *Greedy) effective(n graph.VertexID) ID {
 }
 
 // Place implements Streaming.
+//
+//loom:hotpath
 func (g *Greedy) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
 	p := g.scoreOne(v, neighbors, nil)
 	_ = g.a.Set(v, p)
@@ -256,6 +260,8 @@ func (g *Greedy) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
 // all group members to each partition (the sub-graph extension of LDG,
 // paper footnote 1). neighbors maps each group vertex to its known
 // neighbours outside the group.
+//
+//loom:hotpath
 func (g *Greedy) PlaceGroup(group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID) ID {
 	p := g.scoreGroupWeighted(group, neighbors, nil)
 	for _, v := range group {
@@ -273,6 +279,8 @@ type EdgeWeightFunc func(v, neighbor graph.VertexID) float64
 // counting neighbours per partition, LDG sums weightFn over them, biasing
 // the choice toward partitions holding neighbours the workload is likely
 // to traverse to.
+//
+//loom:hotpath
 func (g *Greedy) PlaceWeighted(v graph.VertexID, neighbors []graph.VertexID, weightFn EdgeWeightFunc) ID {
 	p := g.scoreOne(v, neighbors, weightFn)
 	_ = g.a.Set(v, p)
@@ -280,6 +288,8 @@ func (g *Greedy) PlaceWeighted(v graph.VertexID, neighbors []graph.VertexID, wei
 }
 
 // PlaceGroupWeighted is PlaceGroup with per-edge weights.
+//
+//loom:hotpath
 func (g *Greedy) PlaceGroupWeighted(group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID, weightFn EdgeWeightFunc) ID {
 	p := g.scoreGroupWeighted(group, neighbors, weightFn)
 	for _, v := range group {
@@ -289,6 +299,8 @@ func (g *Greedy) PlaceGroupWeighted(group []graph.VertexID, neighbors map[graph.
 }
 
 // resetLinks zeroes and returns the per-partition link scratch.
+//
+//loom:hotpath
 func (g *Greedy) resetLinks() []float64 {
 	for i := range g.links {
 		g.links[i] = 0
@@ -300,6 +312,8 @@ func (g *Greedy) resetLinks() []float64 {
 // needs no group-membership set (a vertex is never its own neighbour in a
 // simple graph, but the n == v guard preserves the old semantics for
 // malformed input) and no per-call allocation at all.
+//
+//loom:hotpath
 func (g *Greedy) scoreOne(v graph.VertexID, neighbors []graph.VertexID, weightFn EdgeWeightFunc) ID {
 	links := g.resetLinks()
 	for _, n := range neighbors {
@@ -326,6 +340,8 @@ func (g *Greedy) scoreOne(v graph.VertexID, neighbors []graph.VertexID, weightFn
 // markGroup stamps the group members into the generation-stamped membership
 // scratch (keyed by assignment handle) and returns the generation to test
 // against.
+//
+//loom:hotpath
 func (g *Greedy) markGroup(group []graph.VertexID) uint32 {
 	if g.groupGen == math.MaxUint32 { // wrapped: stale stamps could alias
 		for i := range g.inGroupGen {
@@ -345,6 +361,8 @@ func (g *Greedy) markGroup(group []graph.VertexID) uint32 {
 }
 
 // inGroup reports whether n was stamped by the latest markGroup.
+//
+//loom:hotpath
 func (g *Greedy) inGroup(n graph.VertexID, gen uint32) bool {
 	h, ok := g.a.ids.Lookup(int64(n))
 	return ok && int(h) < len(g.inGroupGen) && g.inGroupGen[h] == gen
@@ -353,6 +371,8 @@ func (g *Greedy) inGroup(n graph.VertexID, gen uint32) bool {
 // scoreGroupWeighted is the scoring core for whole-group placement: with
 // weightFn nil every external edge counts 1 (classic LDG); otherwise each
 // counts weightFn(v, n).
+//
+//loom:hotpath
 func (g *Greedy) scoreGroupWeighted(group []graph.VertexID, neighbors map[graph.VertexID][]graph.VertexID, weightFn EdgeWeightFunc) ID {
 	gen := g.markGroup(group)
 	// Weighted edges from the group to each partition.
@@ -386,6 +406,8 @@ func (g *Greedy) scoreGroupWeighted(group []graph.VertexID, neighbors map[graph.
 // least-loaded candidates and then uniformly at random among them, per
 // Stanton & Kliot. The rng is consumed only on a genuine tie, matching the
 // map-backed reference bit for bit.
+//
+//loom:hotpath
 func (g *Greedy) pickBest(links []float64, add int) ID {
 	bestScore := math.Inf(-1)
 	best := g.best[:0]
@@ -497,6 +519,8 @@ func (f *Fennel) SetPrior(prev *Assignment, selfWeight float64) {
 }
 
 // Place implements Streaming.
+//
+//loom:hotpath
 func (f *Fennel) Place(v graph.VertexID, neighbors []graph.VertexID) ID {
 	links := f.links
 	for i := range links {

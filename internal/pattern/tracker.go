@@ -374,6 +374,7 @@ func (t *Tracker) seedFromEdge(e graph.Edge, la, lb graph.Label) *Match {
 func (t *Tracker) frontierEdges(m *Match, w *graph.Graph, rejected map[graph.Edge]struct{}) []graph.Edge {
 	var out []graph.Edge
 	seen := make(map[graph.Edge]struct{})
+	//loom:orderinvariant deduplicates frontier edges into a set and sorts the result before returning
 	for v := range m.vertices {
 		for _, u := range w.Neighbors(v) {
 			e := graph.Edge{U: v, V: u}.Normalize()
@@ -417,6 +418,7 @@ func (t *Tracker) register(m *Match, w *graph.Graph) bool {
 	t.nextID++
 	t.matches[m.ID] = m
 	t.byKey[k] = m.ID
+	//loom:orderinvariant inserts m.ID into one set per distinct vertex; the final index is order-free
 	for v := range m.vertices {
 		set, ok := t.byVertex[v]
 		if !ok {
@@ -434,6 +436,7 @@ func (t *Tracker) register(m *Match, w *graph.Graph) bool {
 // exact isomorphism.
 func (t *Tracker) verify(m *Match, w *graph.Graph) bool {
 	sub := graph.New()
+	//loom:orderinvariant builds a scratch graph only consulted through order-free isomorphism checking
 	for v := range m.vertices {
 		l, ok := w.Label(v)
 		if !ok {
@@ -441,6 +444,7 @@ func (t *Tracker) verify(m *Match, w *graph.Graph) bool {
 		}
 		sub.AddVertex(v, l)
 	}
+	//loom:orderinvariant edge-set insertion into the same scratch graph; Isomorphic reads sorted views
 	for e := range m.edges {
 		if err := sub.AddEdge(e.U, e.V); err != nil {
 			return false
@@ -508,6 +512,7 @@ func (t *Tracker) drop(id int64) {
 // assigned to a partition and leaves the window).
 func (t *Tracker) RemoveVertex(v graph.VertexID) {
 	ids := make([]int64, 0, len(t.byVertex[v]))
+	//loom:orderinvariant snapshots the id set; drop() deletions commute, leaving identical final indexes
 	for id := range t.byVertex[v] {
 		ids = append(ids, id)
 	}
@@ -542,7 +547,9 @@ func (t *Tracker) GroupFor(v graph.VertexID) []graph.VertexID {
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
+		//loom:orderinvariant grows a connected set to its closure; membership, not visit order, is what escapes (sorted below)
 		for id := range t.byVertex[x] {
+			//loom:orderinvariant same closure computation one level down
 			for u := range t.matches[id].vertices {
 				if _, in := group[u]; !in {
 					group[u] = struct{}{}

@@ -424,6 +424,8 @@ func (s *Server) Abort() {
 
 // Where returns the partition serving vertex v, lock-free. ok is false
 // while v is unknown or still awaiting assignment in the window.
+//
+//loom:hotpath
 func (s *Server) Where(v graph.VertexID) (partition.ID, bool) {
 	return s.cur.Load().tab.get(v)
 }
@@ -442,8 +444,11 @@ type RouteDecision struct {
 
 // Route picks the shard a query touching the given vertices should be sent
 // to: the partition owning the most of them (lowest ID on ties). Lock-free.
+//
+//loom:hotpath
 func (s *Server) Route(vs ...graph.VertexID) RouteDecision {
 	tab := s.cur.Load().tab
+	//loom:allocok PerPartition escapes to the caller by contract; one small slice per routed query
 	d := RouteDecision{Target: partition.Unassigned, PerPartition: make([]int, s.k)}
 	for _, v := range vs {
 		p, ok := tab.get(v)

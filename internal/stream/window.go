@@ -199,6 +199,7 @@ func (w *Window) Flush() []Eviction {
 	return out
 }
 
+//loom:hotpath
 func (w *Window) evictOldest() *Eviction {
 	v := w.arrival[w.head]
 	w.head++
@@ -209,6 +210,7 @@ func (w *Window) evictOldest() *Eviction {
 	return w.remove(v)
 }
 
+//loom:hotpath
 func (w *Window) remove(v graph.VertexID) *Eviction {
 	h, _ := w.g.HandleOf(v)
 	l, _ := w.g.Label(v)
