@@ -13,6 +13,9 @@
 //	                                  # (ns/vertex, allocs/vertex, cut fraction,
 //	                                  # imbalance per scenario) and exit;
 //	                                  # combine with -quick
+//	loom-bench -chaos 50              # run 50 seeded fault-injection
+//	                                  # schedules against the durable server
+//	                                  # (internal/fault/chaos) and exit
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"loom/internal/experiments"
+	"loom/internal/fault/chaos"
 )
 
 func main() {
@@ -32,7 +36,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "global random seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.String("json", "", "write the benchmark trajectory to this file (e.g. BENCH_loom.json) and exit")
+	chaosSeeds := flag.Int("chaos", 0, "run this many seeded chaos fault-injection schedules and exit")
 	flag.Parse()
+
+	if *chaosSeeds > 0 {
+		if err := runChaos(*seed, *chaosSeeds); err != nil {
+			fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, s := range experiments.All() {
@@ -101,6 +114,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loom-bench: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runChaos drives n seeded fault-injection schedules (base seed onward)
+// through the chaos harness and reports per-seed and aggregate activity;
+// any durability violation fails the run with its seed, so it can be
+// replayed with `-chaos 1 -seed <s>`.
+func runChaos(base int64, n int) error {
+	scratch, err := os.MkdirTemp("", "loom-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	fmt.Printf("loom-bench: chaos, %d schedule(s), seeds %d..%d\n", n, base, base+int64(n)-1)
+	var total chaos.Report
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s := base + int64(i)
+		rep, err := chaos.Run(s, chaos.Options{Scratch: scratch})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w (replay: loom-bench -chaos 1 -seed %d)", s, err, s)
+		}
+		fmt.Printf("  seed %-6d k=%d ops=%-4d injections=%-3d crashes=%-2d reanchors=%-2d restreams=%-2d unacked=%d\n",
+			rep.Seed, rep.K, rep.Ops, rep.Injections, rep.Crashes, rep.Reanchors, rep.Restreams, rep.Unacked)
+		total.Ops += rep.Ops
+		total.Injections += rep.Injections
+		total.Crashes += rep.Crashes
+		total.Reanchors += rep.Reanchors
+		total.Restreams += rep.Restreams
+		total.Unacked += rep.Unacked
+	}
+	fmt.Printf("loom-bench: chaos PASS in %v: ops=%d injections=%d crashes=%d reanchors=%d restreams=%d unacked=%d — survivor matched fault-free control on every seed\n",
+		time.Since(start).Round(time.Millisecond), total.Ops, total.Injections, total.Crashes, total.Reanchors, total.Restreams, total.Unacked)
+	return nil
 }
 
 // writeBenchJSON measures the benchmark trajectory and writes it as JSON,

@@ -12,6 +12,8 @@
 //	           [-restream-passes 1] [-restream-priority none]
 //	           [-restream-heuristic loom] [-mailbox 64]
 //	           [-data-dir /var/lib/loom] [-fsync always|none]
+//	           [-admit-rate 0] [-admit-burst 0] [-reanchor]
+//	           [-shutdown-timeout 10s]
 //
 // With -data-dir the server is durable: accepted batches are written to a
 // write-ahead log (fsynced per -fsync), snapshots are taken at restream
@@ -30,6 +32,15 @@
 //	POST /restream    force a restream now; ?wait=1 blocks until adopted.
 //	POST /drain       assign every window-resident vertex immediately.
 //	POST /checkpoint  drain + durable snapshot now (requires -data-dir).
+//	GET  /healthz     liveness: state machine + queue depth; 503 once stopped.
+//	GET  /readyz      readiness: 503 while wedged, re-anchoring or backlogged.
+//
+// Failure semantics: with -admit-rate the server sheds load at the door —
+// refused ingests get 429 Too Many Requests with a Retry-After header and
+// nothing is applied. A persistence failure (e.g. disk full) wedges the
+// server: reads keep working, further writes get 503 Service Unavailable,
+// and with -reanchor (the default) the server retries the re-anchoring
+// snapshot on a capped exponential backoff until durability returns.
 package main
 
 import (
@@ -75,6 +86,10 @@ func main() {
 	mailbox := flag.Int("mailbox", serve.DefaultMailbox, "ingest mailbox capacity (batches)")
 	dataDir := flag.String("data-dir", "", "checkpoint directory; enables WAL + snapshot durability")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always|none")
+	admitRate := flag.Float64("admit-rate", 0, "admission control: sustained elements/sec accepted into the mailbox (0 = unlimited)")
+	admitBurst := flag.Float64("admit-burst", 0, "admission control: burst size in elements (0 = admit-rate)")
+	reanchor := flag.Bool("reanchor", true, "self-heal a wedged server: retry the re-anchoring snapshot with capped backoff (needs -data-dir)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget for in-flight HTTP requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	srv, err := buildServer(serverOptions{
@@ -84,6 +99,7 @@ func main() {
 		maxCut: *maxCut, maxImbalance: *maxImb, minAssigned: *minAssigned,
 		passes: *passes, priority: *priorityName, heuristic: *heuristic,
 		mailbox: *mailbox, dataDir: *dataDir, fsync: *fsync,
+		admitRate: *admitRate, admitBurst: *admitBurst, reanchor: *reanchor,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loom-serve: %v\n", err)
@@ -108,14 +124,23 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: newMux(srv)}
+	// Read/idle timeouts shed half-open and stalled connections so a slow
+	// or hostile client cannot pin handler goroutines forever. ReadTimeout
+	// is generous because /ingest streams arbitrarily large bodies.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		// Shutdown waits for in-flight handlers; the serve.Server must
 		// stay up until they finish (an ingest mid-stream would otherwise
@@ -145,6 +170,9 @@ type serverOptions struct {
 	priority, heuristic  string
 	mailbox              int
 	dataDir, fsync       string
+	admitRate            float64
+	admitBurst           float64
+	reanchor             bool
 }
 
 // buildServer assembles a serve.Server from CLI options; shared by main
@@ -176,6 +204,8 @@ func buildServer(o serverOptions) (*serve.Server, error) {
 			Priority:       priority,
 			Heuristic:      o.heuristic,
 		},
+		Admission: serve.AdmissionConfig{Rate: o.admitRate, Burst: o.admitBurst},
+		Reanchor:  serve.ReanchorPolicy{Enabled: o.reanchor && o.dataDir != ""},
 	}
 	// Validate the fsync policy even without -data-dir, so a typo does not
 	// lie dormant until durability is turned on.
@@ -212,16 +242,29 @@ func newMux(srv *serve.Server) *http.ServeMux {
 		before := srv.Stats()
 		resp := ingestResponse{}
 		batch := make([]stream.Element, 0, ingestBatch)
-		flush := func() {
+		// A typed refusal (wedged persistence, admission overload, stopped)
+		// terminates the request: retrying the rest of the body would only
+		// widen the hole the client has to re-send.
+		var refused error
+		flush := func() bool {
 			if len(batch) == 0 {
-				return
+				return true
 			}
-			if err := srv.IngestSync(batch); err != nil && len(resp.Errors) < 16 {
-				resp.Errors = append(resp.Errors, err.Error())
-			}
+			err := srv.IngestSync(batch)
 			batch = batch[:0]
+			switch {
+			case err == nil:
+			case errors.Is(err, serve.ErrWedged), errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
+				refused = err
+				return false
+			default: // element rejections: recorded, not fatal
+				if len(resp.Errors) < 16 {
+					resp.Errors = append(resp.Errors, err.Error())
+				}
+			}
+			return true
 		}
-		for {
+		for refused == nil {
 			el, ok := src.Next()
 			if !ok {
 				break
@@ -237,12 +280,36 @@ func newMux(srv *serve.Server) *http.ServeMux {
 		after := srv.Stats()
 		resp.Accepted = int(after.Ingested - before.Ingested)
 		resp.Rejected = int(after.Rejected - before.Rejected)
+		if refused != nil {
+			resp.Error = refused.Error()
+			status, _ := refusalStatus(w, refused)
+			writeJSON(w, status, resp)
+			return
+		}
 		if err := src.Err(); err != nil {
 			resp.Error = err.Error()
 			writeJSON(w, http.StatusBadRequest, resp)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := srv.Health()
+		status := http.StatusOK
+		if h.State == "stopped" {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := srv.Health()
+		status := http.StatusOK
+		if !h.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
 	})
 
 	mux.HandleFunc("GET /place/{v}", func(w http.ResponseWriter, r *http.Request) {
@@ -296,7 +363,11 @@ func newMux(srv *serve.Server) *http.ServeMux {
 
 	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
 		if err := srv.Drain(); err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			status, ok := refusalStatus(w, err)
+			if !ok {
+				status = http.StatusInternalServerError
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"assigned": srv.Stats().Assigned})
@@ -315,6 +386,25 @@ func newMux(srv *serve.Server) *http.ServeMux {
 	})
 
 	return mux
+}
+
+// refusalStatus maps serve's typed refusals to HTTP semantics: an
+// admission refusal is 429 Too Many Requests with a Retry-After header,
+// a wedged or stopped server is 503 Service Unavailable. ok is false for
+// errors that are not typed refusals.
+func refusalStatus(w http.ResponseWriter, err error) (status int, ok bool) {
+	var ov *serve.OverloadError
+	switch {
+	case errors.As(err, &ov):
+		secs := int64((ov.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(max(secs, 1), 10))
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, serve.ErrWedged), errors.Is(err, serve.ErrStopped):
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
+	"loom/internal/fault"
 	"loom/internal/gen"
 	"loom/internal/graph"
 	"loom/internal/serve"
@@ -376,5 +378,96 @@ func TestServeIngestErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("/route with no anchors status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeHealthAndRefusals covers the failure surface over the wire:
+// health probes in every state, 503 on a wedged server, repair via
+// /checkpoint, and 429 + Retry-After from admission control.
+func TestServeHealthAndRefusals(t *testing.T) {
+	dopts := serverOptions{
+		k: 2, expected: 16, window: 4, slack: 1.2, seed: 1, labels: 4, workloadN: 0,
+		mailbox: 4, passes: 1, priority: "none", heuristic: "ldg", minAssigned: 4,
+		dataDir: t.TempDir(), fsync: "always",
+	}
+	_, hs := startTestServer(t, dopts)
+
+	var h serve.Health
+	if code := getJSON(t, hs.URL+"/healthz", &h); code != http.StatusOK || h.State != "healthy" {
+		t.Fatalf("/healthz = %d %+v, want 200 healthy", code, h)
+	}
+	if code := getJSON(t, hs.URL+"/readyz", &h); code != http.StatusOK || !h.Ready {
+		t.Fatalf("/readyz = %d %+v, want 200 ready", code, h)
+	}
+
+	// Wedge the server: one injected WAL append failure. The failing batch
+	// is applied in memory (reported in Errors, still 200); everything
+	// after it must be refused with 503 until a snapshot re-anchors.
+	reg := fault.NewRegistry(1)
+	reg.FailOnce(fault.WALAppend, fault.ErrNoSpace)
+	fault.Enable(reg)
+	defer fault.Disable()
+	var ing ingestResponse
+	if code := postBody(t, hs.URL+"/ingest", "v 0 a\nv 1 b\n", &ing); code != http.StatusOK {
+		t.Fatalf("ack-failed ingest status %d, want 200", code)
+	}
+	if ing.Accepted != 2 || len(ing.Errors) != 1 {
+		t.Fatalf("ack-failed ingest = %+v, want 2 accepted + 1 error", ing)
+	}
+	fault.Disable()
+
+	if code := postBody(t, hs.URL+"/ingest", "v 2 a\n", &ing); code != http.StatusServiceUnavailable {
+		t.Fatalf("wedged ingest status %d, want 503", code)
+	}
+	if ing.Error == "" || ing.Accepted != 0 {
+		t.Fatalf("wedged ingest body = %+v, want typed error and nothing accepted", ing)
+	}
+	if code := getJSON(t, hs.URL+"/healthz", &h); code != http.StatusOK || h.State != "wedged" {
+		t.Fatalf("/healthz while wedged = %d %+v, want 200 (alive) + state wedged", code, h)
+	}
+	if code := getJSON(t, hs.URL+"/readyz", &h); code != http.StatusServiceUnavailable || h.Ready || h.LastPersistErr == "" {
+		t.Fatalf("/readyz while wedged = %d %+v, want 503 with sticky persist error", code, h)
+	}
+	if code := postBody(t, hs.URL+"/drain", "", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("wedged drain status %d, want 503", code)
+	}
+
+	// The documented repair: an explicit checkpoint re-anchors the WAL.
+	if code := postBody(t, hs.URL+"/checkpoint", "", nil); code != http.StatusOK {
+		t.Fatalf("repairing checkpoint status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/readyz", &h); code != http.StatusOK || h.State != "healthy" {
+		t.Fatalf("/readyz after repair = %d %+v, want 200 healthy", code, h)
+	}
+	if code := postBody(t, hs.URL+"/ingest", "v 2 a\n", &ing); code != http.StatusOK || ing.Accepted != 1 {
+		t.Fatalf("post-repair ingest = %d %+v, want 200 with 1 accepted", code, ing)
+	}
+
+	// Admission control: a bucket of one element refuses a three-element
+	// batch with 429 and tells the client when to come back.
+	aopts := serverOptions{
+		k: 2, expected: 16, window: 4, slack: 1.2, seed: 1, labels: 4, workloadN: 0,
+		mailbox: 4, passes: 1, priority: "none", heuristic: "ldg", minAssigned: 4,
+		admitRate: 1, admitBurst: 1,
+	}
+	_, ahs := startTestServer(t, aopts)
+	resp, err := http.Post(ahs.URL+"/ingest", "text/plain", strings.NewReader("v 0 a\nv 1 b\nv 2 c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-admission ingest status %d, want 429", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var aing ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&aing); err != nil {
+		t.Fatal(err)
+	}
+	if aing.Error == "" || aing.Accepted != 0 {
+		t.Fatalf("over-admission body = %+v, want typed error and nothing accepted", aing)
 	}
 }

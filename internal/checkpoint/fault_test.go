@@ -1,0 +1,257 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"loom/internal/fault"
+	"loom/internal/graph"
+)
+
+// openForFaults builds a store with two appended batches, ready for
+// fault-injection drills.
+func openForFaults(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, _, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(RecordBatch, batch(v(0, "a"), v(1, "b"), e(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(RecordBatch, batch(v(2, "c"), e(2, 0))); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func noTmpOrphans(t *testing.T, dir string) {
+	t.Helper()
+	if stale, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(stale) != 0 {
+		t.Fatalf("tmp orphans left behind: %v", stale)
+	}
+}
+
+// TestSnapshotENOSPCKeepsPreviousGeneration drills ENOSPC at each of the
+// three temp+rename failure positions: the failed generation must leave
+// no orphan, the previous generation must stay loadable, and the WAL
+// tail behind it must replay in full.
+func TestSnapshotENOSPCKeepsPreviousGeneration(t *testing.T) {
+	for _, point := range []fault.Point{fault.SnapWrite, fault.SnapSync, fault.SnapRename} {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			st := openForFaults(t, dir)
+			g, a := testGraphAssignment(t)
+			m := testMeta()
+			if err := st.WriteSnapshot(m, g, a); err != nil {
+				t.Fatalf("baseline snapshot: %v", err)
+			}
+			// Two more records form the tail behind the good generation.
+			if _, err := st.Append(RecordBatch, batch(v(3, "a"))); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Append(RecordDrain, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			fault.Enable(fault.NewRegistry(1).FailOnce(point, fault.ErrNoSpace))
+			defer fault.Disable()
+			if err := st.WriteSnapshot(m, g, a); !errors.Is(err, fault.ErrNoSpace) {
+				t.Fatalf("snapshot under %s = %v, want ErrNoSpace", point, err)
+			}
+			noTmpOrphans(t, dir)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			fault.Disable()
+			st2, rec, err := Open(dir, SyncAlways)
+			if err != nil {
+				t.Fatalf("recover after failed snapshot: %v", err)
+			}
+			defer st2.Close()
+			if !rec.HasSnapshot {
+				t.Fatal("previous snapshot generation was not loaded")
+			}
+			if len(rec.Tail) != 2 {
+				t.Fatalf("replayed tail = %d records, want the 2 behind the good generation", len(rec.Tail))
+			}
+			if rec.Tail[0].Kind != RecordBatch || rec.Tail[1].Kind != RecordDrain {
+				t.Fatalf("tail kinds = %v,%v", rec.Tail[0].Kind, rec.Tail[1].Kind)
+			}
+		})
+	}
+}
+
+// TestPruneFailureKeepsGenerationsLoadable: a failed prune pass only
+// costs disk — every retained generation stays loadable, and the next
+// successful snapshot prunes the backlog.
+func TestPruneFailureKeepsGenerationsLoadable(t *testing.T) {
+	dir := t.TempDir()
+	st := openForFaults(t, dir)
+	g, a := testGraphAssignment(t)
+	m := testMeta()
+
+	fault.Enable(fault.NewRegistry(1).Fail(fault.SegPrune, fault.ErrNoSpace))
+	defer fault.Disable()
+	for i := 0; i < 4; i++ {
+		if err := st.WriteSnapshot(m, g, a); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if _, err := st.Append(RecordBatch, batch(v(graph4(i), "a"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"+snapSuffix))
+	if len(snaps) <= keepSnapshots {
+		t.Fatalf("prune ran under injection: %d snapshot files", len(snaps))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Disable()
+	st2, rec, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("recover with unpruned backlog: %v", err)
+	}
+	if !rec.HasSnapshot || len(rec.Tail) != 1 {
+		t.Fatalf("recovered snapshot=%v tail=%d, want newest generation + 1 record", rec.HasSnapshot, len(rec.Tail))
+	}
+	// The next successful snapshot prunes the backlog down.
+	if err := st2.WriteSnapshot(m, g, a); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ = filepath.Glob(filepath.Join(dir, snapPrefix+"*"+snapSuffix))
+	if len(snaps) > keepSnapshots {
+		t.Fatalf("backlog survived a clean prune: %d snapshot files", len(snaps))
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// graph4 maps small ints to fresh vertex IDs outside the seed batches.
+func graph4(i int) graph.VertexID { return graph.VertexID(10 + i) }
+
+// TestWALShortWriteRollsBack: an injected torn frame (ENOSPC mid-write)
+// must be truncated away so the writer keeps working and recovery sees a
+// gapless history.
+func TestWALShortWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := openForFaults(t, dir)
+	fault.Enable(fault.NewRegistry(1).ShortWriteOnce(fault.WALFrameWrite, 7))
+	defer fault.Disable()
+	if _, err := st.Append(RecordBatch, batch(v(3, "a"))); !errors.Is(err, fault.ErrNoSpace) {
+		t.Fatalf("append under short write = %v, want ErrNoSpace", err)
+	}
+	// The writer rolled back: the very next append lands cleanly.
+	if _, err := st.Append(RecordBatch, batch(v(3, "a"))); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Disable()
+	_, rec, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rec.TornTail {
+		t.Fatal("torn bytes survived the rollback")
+	}
+	if len(rec.Tail) != 3 {
+		t.Fatalf("replayed %d records, want 3 (2 seed + 1 after rollback)", len(rec.Tail))
+	}
+}
+
+// TestWALSyncFailureRollsBack: a failed fsync keeps the invariant that a
+// failed append leaves no record.
+func TestWALSyncFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := openForFaults(t, dir)
+	fault.Enable(fault.NewRegistry(1).FailOnce(fault.WALSync, fault.ErrNoSpace))
+	defer fault.Disable()
+	if _, err := st.Append(RecordBatch, batch(v(3, "a"))); !errors.Is(err, fault.ErrNoSpace) {
+		t.Fatalf("append under failed fsync = %v, want ErrNoSpace", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Disable()
+	_, rec, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(rec.Tail) != 2 {
+		t.Fatalf("replayed %d records, want only the 2 acknowledged ones", len(rec.Tail))
+	}
+}
+
+// TestWALReadCorruptTornTail: read-side corruption of the segment tail
+// degrades to a truncated torn tail — reported, never a panic or a scan
+// error.
+func TestWALReadCorruptTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st := openForFaults(t, dir)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(fault.NewRegistry(1).FailOnce(fault.WALReadCorrupt, nil))
+	defer fault.Disable()
+	st2, rec, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("recover over corrupted tail: %v", err)
+	}
+	if !rec.TornTail {
+		t.Fatal("corruption was not surfaced as a torn tail")
+	}
+	if len(rec.Tail) != 1 {
+		t.Fatalf("replayed %d records, want 1 (the corrupted final record is dropped)", len(rec.Tail))
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapReadSkipFallsBack: a damaged newest snapshot is passed over and
+// recovery anchors on the previous generation plus its longer tail.
+func TestSnapReadSkipFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := openForFaults(t, dir)
+	g, a := testGraphAssignment(t)
+	m := testMeta()
+	if err := st.WriteSnapshot(m, g, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(RecordBatch, batch(v(3, "a"))); err != nil {
+		t.Fatal(err)
+	}
+	m2 := m
+	m2.Epoch = m.Epoch + 1
+	if err := st.WriteSnapshot(m2, g, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable(fault.NewRegistry(1).FailOnce(fault.SnapReadSkip, nil))
+	defer fault.Disable()
+	st2, rec, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("recover with damaged newest generation: %v", err)
+	}
+	defer st2.Close()
+	if !rec.HasSnapshot || rec.Meta.Epoch != m.Epoch {
+		t.Fatalf("recovered epoch %d (snapshot=%v), want fallback to epoch %d",
+			rec.Meta.Epoch, rec.HasSnapshot, m.Epoch)
+	}
+	if rec.SkippedSnapshots != 1 {
+		t.Fatalf("SkippedSnapshots = %d, want 1", rec.SkippedSnapshots)
+	}
+	if len(rec.Tail) != 1 {
+		t.Fatalf("replayed %d records, want the 1 behind the fallback generation", len(rec.Tail))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"loom/internal/fault"
 	"loom/internal/graph"
 	"loom/internal/partition"
 	"loom/internal/stream"
@@ -136,6 +137,12 @@ func Open(dir string, policy SyncPolicy) (*Store, *Recovered, error) {
 
 	rec := &Recovered{}
 	for _, seq := range snapSeqs {
+		// fault.SnapReadSkip treats this generation as damaged, forcing
+		// the fall-back-to-previous-generation path recovery must survive.
+		if fault.Check(fault.SnapReadSkip) != nil {
+			rec.SkippedSnapshots++
+			continue
+		}
 		f, err := os.Open(filepath.Join(dir, snapName(seq)))
 		if err != nil {
 			rec.SkippedSnapshots++
@@ -237,7 +244,20 @@ func (s *Store) WriteSnapshot(m Meta, g *graph.Graph, a *partition.Assignment) e
 	if err != nil {
 		return err
 	}
+	// Fault sites cover the three distinct failure positions of the
+	// temp+rename dance — body write, fsync, rename — each of which must
+	// leave the previous generation loadable and no tmp orphan behind.
+	if err := fault.Check(fault.SnapWrite); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := WriteSnapshot(f, m, g, a); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fault.Check(fault.SnapSync); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -248,6 +268,10 @@ func (s *Store) WriteSnapshot(m Meta, g *graph.Graph, a *partition.Assignment) e
 		return err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fault.Check(fault.SnapRename); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -285,6 +309,11 @@ func (s *Store) WriteSnapshot(m Meta, g *graph.Graph, a *partition.Assignment) e
 // segments that no kept snapshot needs. Best-effort: pruning failures are
 // ignored (they only cost disk).
 func (s *Store) prune() {
+	// An injected prune failure skips the pass wholesale, as a failed
+	// unlink would: the extra generations cost disk, never correctness.
+	if fault.Check(fault.SegPrune) != nil {
+		return
+	}
 	snapSeqs, segSeqs, err := scanDir(s.dir)
 	if err != nil {
 		return

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"unicode"
 
+	"loom/internal/fault"
 	"loom/internal/graph"
 	"loom/internal/stream"
 )
@@ -235,11 +236,17 @@ func scanSegment(data []byte) (segmentScan, error) {
 	}
 }
 
-// readSegmentFile scans the segment at path.
+// readSegmentFile scans the segment at path. The fault.WALReadCorrupt
+// failpoint flips the last byte of the in-memory image before the scan,
+// simulating on-disk corruption of the tail: the scan must degrade to a
+// torn tail, never a panic.
 func readSegmentFile(path string) (segmentScan, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return segmentScan{}, err
+	}
+	if inj := fault.Hit(fault.WALReadCorrupt); inj != nil && len(data) > walHeaderSize {
+		data[len(data)-1] ^= 0xff
 	}
 	return scanSegment(data)
 }
@@ -316,9 +323,25 @@ func (w *walWriter) append(kind RecordKind, elems []stream.Element) (int, error)
 	if w.broken {
 		return 0, errWriterBroken
 	}
+	// Fault injection sites mirror the real failure shapes: WALAppend
+	// fails before any byte moves, WALFrameWrite tears (ShortWrite) or
+	// fails the frame write, WALSync fails the fsync after a complete
+	// frame. Each takes the same rollback path the organic error would.
+	if err := fault.Check(fault.WALAppend); err != nil {
+		return 0, err
+	}
 	frame, err := encodeRecord(w.next, kind, elems)
 	if err != nil {
 		return 0, err
+	}
+	if inj := fault.Hit(fault.WALFrameWrite); inj != nil {
+		if sw := inj.ShortWrite; sw > 0 && sw < len(frame) {
+			// A genuinely torn frame prefix, exactly what a crash or
+			// ENOSPC mid-write leaves; rollback must truncate it away.
+			_, _ = w.f.Write(frame[:sw])
+		}
+		w.rollback()
+		return 0, inj.Failure()
 	}
 	n, err := w.f.Write(frame)
 	if err != nil || n != len(frame) {
@@ -329,6 +352,10 @@ func (w *walWriter) append(kind RecordKind, elems []stream.Element) (int, error)
 		return 0, err
 	}
 	if w.sync {
+		if err := fault.Check(fault.WALSync); err != nil {
+			w.rollback()
+			return 0, err
+		}
 		if err := w.f.Sync(); err != nil {
 			// Rolling the unsynced frame back keeps one invariant for
 			// callers: a failed append leaves no record. (Recovery copes

@@ -133,22 +133,24 @@ func Analyzers() []*Analyzer {
 // the equivalence/golden fixtures replay through it. maporder and the
 // strict mode of wallclock apply to exactly this set.
 var DeterministicPackages = map[string]bool{
-	"loom":                     true,
-	"loom/internal/core":       true,
-	"loom/internal/partition":  true,
-	"loom/internal/pattern":    true,
-	"loom/internal/graph":      true,
-	"loom/internal/stream":     true,
-	"loom/internal/motif":      true,
-	"loom/internal/signature":  true,
-	"loom/internal/metrics":    true,
-	"loom/internal/checkpoint": true,
-	"loom/internal/cluster":    true,
-	"loom/internal/iso":        true,
-	"loom/internal/ident":      true,
-	"loom/internal/gen":        true,
-	"loom/internal/query":      true,
-	"loom/internal/store":      true,
+	"loom":                      true,
+	"loom/internal/core":        true,
+	"loom/internal/partition":   true,
+	"loom/internal/pattern":     true,
+	"loom/internal/graph":       true,
+	"loom/internal/stream":      true,
+	"loom/internal/motif":       true,
+	"loom/internal/signature":   true,
+	"loom/internal/metrics":     true,
+	"loom/internal/checkpoint":  true,
+	"loom/internal/fault":       true,
+	"loom/internal/fault/chaos": true,
+	"loom/internal/cluster":     true,
+	"loom/internal/iso":         true,
+	"loom/internal/ident":       true,
+	"loom/internal/gen":         true,
+	"loom/internal/query":       true,
+	"loom/internal/store":       true,
 }
 
 // A Directive is one parsed //loom:<name> <reason> comment.

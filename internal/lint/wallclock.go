@@ -64,6 +64,8 @@ var wallClockAllowlist = map[string]map[string]string{
 		"Server.adopt":          "measures restream DurationMS for Stats",
 		"Server.shutdown":       "spin-wait backoff while quiescing; no state derived from time",
 		"Server.abortShutdown":  "spin-wait backoff during crash-shaped stop",
+		"defaultAdmissionNow":   "token-bucket refill clock; injectable via AdmissionConfig.Now, placements never read it",
+		"defaultReanchorTimer":  "self-healing retry timer; injectable via ReanchorPolicy.Timer, placements never read it",
 	},
 	"loom/internal/experiments": {
 		// The experiment harness reports elapsed wall time next to the
@@ -73,7 +75,8 @@ var wallClockAllowlist = map[string]map[string]string{
 		"Runner.E4": "reports one-pass vs multilevel elapsed time",
 	},
 	"loom/cmd/loom-bench": {
-		"main": "benchmark driver timing",
+		"main":     "benchmark driver timing",
+		"runChaos": "reports wall time of the chaos sweep; schedules themselves are seed-deterministic",
 	},
 	"loom/examples/recommender": {
 		"main": "demo prints its own runtime",

@@ -53,8 +53,18 @@ type PersistStats struct {
 	LastErr string `json:"last_err,omitempty"`
 	// Wedged reports that a WAL append failed and ingest is refused until
 	// a successful Checkpoint (or restream swap) re-anchors the log.
-	Wedged  bool        `json:"wedged,omitempty"`
-	Recover RecoverInfo `json:"recover"`
+	Wedged bool `json:"wedged,omitempty"`
+	// State is the durability state machine: "healthy", "re-anchoring"
+	// (wedged, self-healing retries scheduled) or "wedged" (waiting for
+	// an operator Checkpoint).
+	State string `json:"state,omitempty"`
+	// ReanchorAttempts/Reanchors count self-healing snapshot tries and
+	// successes; NextRetryMS is the currently armed backoff delay (0 when
+	// no retry is pending).
+	ReanchorAttempts int64       `json:"reanchor_attempts,omitempty"`
+	Reanchors        int64       `json:"reanchors,omitempty"`
+	NextRetryMS      int64       `json:"next_retry_ms,omitempty"`
+	Recover          RecoverInfo `json:"recover"`
 }
 
 // Open starts a durable Server over the checkpoint directory in opts: it

@@ -34,6 +34,7 @@ import (
 
 	"loom/internal/checkpoint"
 	"loom/internal/core"
+	"loom/internal/fault"
 	"loom/internal/graph"
 	"loom/internal/metrics"
 	"loom/internal/motif"
@@ -64,6 +65,14 @@ const (
 
 // ErrStopped is returned by operations on a stopped Server.
 var ErrStopped = errors.New("serve: server stopped")
+
+// ErrWedged is the base error of every wedged-ingest refusal: a WAL
+// append (or restream-swap snapshot) failed, so the in-memory state
+// leads the log and accepting more would acknowledge durability the
+// directory cannot deliver. errors.Is(err, ErrWedged) matches. A
+// successful Checkpoint — explicit, or scheduled by ReanchorPolicy —
+// clears it.
+var ErrWedged = errors.New("serve: persistence wedged")
 
 // ErrNoPersistence is returned by Checkpoint on a server built without a
 // data directory (New instead of Open).
@@ -119,6 +128,13 @@ type Config struct {
 	Mailbox int
 	// Drift configures degradation-triggered restreaming.
 	Drift DriftConfig
+	// Admission rate-limits ingest ahead of the mailbox; refused batches
+	// fail fast with *OverloadError instead of blocking. Zero Rate
+	// disables it.
+	Admission AdmissionConfig
+	// Reanchor makes a wedged server retry the re-anchoring snapshot
+	// itself instead of waiting for an operator Checkpoint.
+	Reanchor ReanchorPolicy
 }
 
 // ctrlKind discriminates control envelopes from data batches.
@@ -186,6 +202,27 @@ type Server struct {
 		// the WAL past the gap and clears the wedge.
 		wedged  atomic.Bool
 		recover RecoverInfo
+	}
+
+	// admission is the ingest token bucket; nil when Admission.Rate is 0.
+	// It runs on the caller's goroutine in send, ahead of the mailbox.
+	admission *tokenBucket
+
+	// heal is the self-healing re-anchor state. The atomics are readable
+	// from any goroutine (Stats); everything else is writer-owned.
+	heal struct {
+		enabled      bool
+		initial, max time.Duration
+		timer        func(time.Duration) <-chan time.Time
+		// retryCh is the armed retry timer; nil (blocking forever in the
+		// loop select) when no retry is pending.
+		retryCh <-chan time.Time
+		backoff time.Duration
+		// attempts/healed count re-anchor tries and successes; nextMS is
+		// the currently armed backoff (0 = no retry pending).
+		attempts atomic.Int64
+		healed   atomic.Int64
+		nextMS   atomic.Int64
 	}
 
 	// Writer-owned state below: touched only by the loop goroutine.
@@ -298,6 +335,30 @@ func newServer(cfg Config) (*Server, error) {
 		tab:        newTable(0),
 		restreamCh: make(chan *restreamOutcome, 1),
 	}
+	if cfg.Admission.Rate < 0 {
+		return nil, fmt.Errorf("serve: admission rate %v < 0", cfg.Admission.Rate)
+	}
+	if cfg.Admission.Rate > 0 {
+		s.admission = newTokenBucket(cfg.Admission)
+	}
+	if cfg.Reanchor.Enabled {
+		s.heal.enabled = true
+		s.heal.initial = cfg.Reanchor.Initial
+		if s.heal.initial <= 0 {
+			s.heal.initial = DefaultReanchorInitial
+		}
+		s.heal.max = cfg.Reanchor.Max
+		if s.heal.max <= 0 {
+			s.heal.max = DefaultReanchorMax
+		}
+		if s.heal.max < s.heal.initial {
+			s.heal.max = s.heal.initial
+		}
+		s.heal.timer = cfg.Reanchor.Timer
+		if s.heal.timer == nil {
+			s.heal.timer = defaultReanchorTimer
+		}
+	}
 	return s, nil
 }
 
@@ -387,6 +448,20 @@ func (s *Server) send(env envelope) error {
 		return ErrStopped
 	default:
 	}
+	// Admission control and the accept failpoint gate data batches only:
+	// control envelopes (drain, checkpoint, restream...) are operator
+	// actions, not load.
+	if env.kind == ctrlNone && len(env.elems) > 0 {
+		if s.admission != nil {
+			if wait, ok := s.admission.admit(len(env.elems)); !ok {
+				s.admission.refused.Add(int64(len(env.elems)))
+				return &OverloadError{RetryAfter: wait}
+			}
+		}
+		if err := fault.Check(fault.ServeAccept); err != nil {
+			return err
+		}
+	}
 	select {
 	case s.mail <- env:
 		return nil
@@ -474,6 +549,14 @@ func (s *Server) Route(vs ...graph.VertexID) RouteDecision {
 func (s *Server) Stats() Stats {
 	st := s.cur.Load().stats
 	st.MailboxDepth = len(s.mail)
+	st.MailboxCap = cap(s.mail)
+	if s.admission != nil {
+		st.Admission = &AdmissionStats{
+			Rate:    s.admission.rate,
+			Burst:   s.admission.burst,
+			Refused: s.admission.refused.Load(),
+		}
+	}
 	if s.persist.enabled {
 		ps := &PersistStats{
 			Enabled:    true,
@@ -485,6 +568,17 @@ func (s *Server) Stats() Stats {
 			Wedged:     s.persist.wedged.Load(),
 			Recover:    s.persist.recover,
 		}
+		switch {
+		case ps.Wedged && s.heal.enabled:
+			ps.State = "re-anchoring"
+		case ps.Wedged:
+			ps.State = "wedged"
+		default:
+			ps.State = "healthy"
+		}
+		ps.ReanchorAttempts = s.heal.attempts.Load()
+		ps.Reanchors = s.heal.healed.Load()
+		ps.NextRetryMS = s.heal.nextMS.Load()
 		if e := s.persist.lastErr.Load(); e != nil {
 			ps.LastErr = *e
 		}
@@ -503,6 +597,9 @@ func (s *Server) loop() {
 			s.handle(env)
 		case out := <-s.restreamCh:
 			s.adopt(out)
+		case <-s.heal.retryCh:
+			// nil when no retry is pending (blocks forever).
+			s.reanchor()
 		case <-s.quit:
 			if s.aborted.Load() {
 				s.abortShutdown()
@@ -558,6 +655,11 @@ func (s *Server) handle(env envelope) {
 			ch <- err
 		}
 		s.snapWaits = s.snapWaits[:0]
+		if err != nil {
+			// A failed checkpoint snapshot on a wedged server leaves the
+			// wedge in place; hand the repair to the retry timer.
+			s.scheduleReanchor()
+		}
 	}
 	s.maybeDriftRestream()
 }
@@ -571,11 +673,18 @@ func (s *Server) process(env envelope) error {
 		// state and therefore every subsequent placement. Refuse it
 		// outright while wedged — draining unlogged would diverge.
 		if s.persist.store != nil && s.persist.wedged.Load() {
-			return fmt.Errorf("serve: persistence wedged (WAL append failed); checkpoint to repair")
+			return fmt.Errorf("%w: drain refused; checkpoint to repair", ErrWedged)
 		}
 		s.p.Finish()
 		return s.logRecord(checkpoint.RecordDrain)
 	case ctrlCheckpoint:
+		// The barrier failpoint refuses the checkpoint request before it
+		// drains or reseeds anything: the caller sees the error, the
+		// serving state is untouched.
+		if err := fault.Check(fault.ServeBarrier); err != nil {
+			env.reply <- err
+			return nil
+		}
 		s.p.Finish()
 		// The barrier record makes the drain+reseed replayable when the
 		// snapshot below fails. While wedged (or if this append itself
@@ -612,7 +721,7 @@ func (s *Server) process(env envelope) error {
 	// recovery would reject replayed records referencing the gap.
 	if logWAL && s.persist.wedged.Load() && len(env.elems) > 0 {
 		s.rejected += int64(len(env.elems))
-		return fmt.Errorf("serve: persistence wedged (WAL append failed): refused %d elements; checkpoint to repair", len(env.elems))
+		return fmt.Errorf("%w: refused %d elements; checkpoint to repair", ErrWedged, len(env.elems))
 	}
 	var errs []error
 	dropped := 0
@@ -651,8 +760,13 @@ func (s *Server) process(env envelope) error {
 func (s *Server) appendWAL(kind checkpoint.RecordKind, elems []stream.Element) error {
 	n, err := s.persist.store.Append(kind, elems)
 	if err != nil {
+		// The returned error wraps the underlying I/O failure, NOT
+		// ErrWedged: the batch WAS applied in memory — it is the durability
+		// acknowledgement that failed. Only refusals of later work (which
+		// is not applied) carry ErrWedged.
 		s.notePersistErr(err)
 		s.persist.wedged.Store(true)
+		s.scheduleReanchor()
 		return fmt.Errorf("serve: wal append: %w", err)
 	}
 	s.persist.walRecords.Add(1)
@@ -1096,8 +1210,15 @@ func (s *Server) adopt(out *restreamOutcome) {
 	// background pass), so if the write fails the log's timeline is now
 	// behind the served state for good — wedge ingest until a snapshot
 	// succeeds, exactly like a failed WAL append. Serving reads goes on.
-	if err := s.writeSnapshot(); err != nil && s.persist.store != nil {
+	swapErr := fault.Check(fault.ServeSwap)
+	if swapErr != nil && s.persist.store != nil {
+		s.notePersistErr(swapErr)
+	} else {
+		swapErr = s.writeSnapshot()
+	}
+	if swapErr != nil && s.persist.store != nil {
 		s.persist.wedged.Store(true)
+		s.scheduleReanchor()
 	}
 	if reply != nil {
 		reply <- nil

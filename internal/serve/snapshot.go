@@ -120,8 +120,13 @@ type Stats struct {
 	// nil before the first one. The pointed-to report is immutable.
 	LastRestream *RestreamReport `json:"last_restream,omitempty"`
 	// MailboxDepth is the number of batches queued behind the writer at the
-	// moment Stats was called (live, not frozen at publication).
+	// moment Stats was called (live, not frozen at publication);
+	// MailboxCap is the queue capacity.
 	MailboxDepth int `json:"mailbox_depth"`
+	MailboxCap   int `json:"mailbox_cap"`
+	// Admission reports the ingest token bucket; nil when admission
+	// control is off. Counters are live, not frozen at publication.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Persist reports the durability layer; nil on a server built without
 	// a data directory. Counters are live (read at the Stats call), not
 	// frozen at publication.

@@ -451,6 +451,17 @@ type (
 	ServerMove = serve.Move
 	// RouteDecision is the outcome of Server.Route.
 	RouteDecision = serve.RouteDecision
+	// ServerAdmissionConfig configures token-bucket admission control in
+	// front of Server.Ingest.
+	ServerAdmissionConfig = serve.AdmissionConfig
+	// ServerOverloadError carries the Retry-After hint of an admission
+	// refusal; errors.Is(err, ErrServerOverloaded) matches it.
+	ServerOverloadError = serve.OverloadError
+	// ServerReanchorPolicy configures self-healing of a wedged server:
+	// retry the re-anchoring snapshot with capped exponential backoff.
+	ServerReanchorPolicy = serve.ReanchorPolicy
+	// ServerHealth is the liveness/readiness view behind Server.Health.
+	ServerHealth = serve.Health
 )
 
 // ErrServerStopped is returned by operations on a stopped Server.
@@ -459,6 +470,17 @@ var ErrServerStopped = serve.ErrStopped
 // ErrServerNoPersistence is returned by Server.Checkpoint on a server
 // started without a data directory (NewServer instead of OpenServer).
 var ErrServerNoPersistence = serve.ErrNoPersistence
+
+// ErrServerWedged is returned by writes while persistence is wedged: a
+// WAL append failed after its batch was applied, so ingest is refused
+// until a snapshot (Server.Checkpoint or the self-healing re-anchor)
+// restores durability. Reads keep working throughout.
+var ErrServerWedged = serve.ErrWedged
+
+// ErrServerOverloaded is returned by Server.Ingest/IngestSync when
+// admission control refuses a batch; errors.As to *ServerOverloadError
+// for the Retry-After hint.
+var ErrServerOverloaded = serve.ErrOverloaded
 
 // NewServer starts an online partition server and its ingest loop. Feed it
 // with Server.Ingest/IngestSync, query it with Server.Where/Route/Stats,
