@@ -36,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "global random seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.String("json", "", "write the benchmark trajectory to this file (e.g. BENCH_loom.json) and exit")
+	baseline := flag.String("baseline", "", "with -json: compare against this committed trajectory and fail on regression (may be the same file; it is read first)")
+	tolerance := flag.Float64("tolerance", 0.20, "with -baseline: allowed relative regression before failing")
 	chaosSeeds := flag.Int("chaos", 0, "run this many seeded chaos fault-injection schedules and exit")
 	flag.Parse()
 
@@ -55,11 +57,33 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *seed, *quick); err != nil {
+		// The baseline is read before the new trajectory overwrites it, so
+		// `-json BENCH_loom.json -baseline BENCH_loom.json` compares against
+		// the committed numbers and leaves the fresh ones in place.
+		var base []experiments.BenchRecord
+		if *baseline != "" {
+			var err error
+			if base, err = readBenchJSON(*baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "loom-bench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		records, err := writeBenchJSON(*jsonOut, *seed, *quick)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("loom-bench: wrote benchmark trajectory to %s\n", *jsonOut)
+		if *baseline != "" {
+			regressions := experiments.CompareBaseline(records, base, *tolerance)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "loom-bench: REGRESSION: %s\n", r)
+			}
+			if len(regressions) > 0 {
+				os.Exit(1)
+			}
+			fmt.Printf("loom-bench: no regressions beyond %.0f%% against %s\n", *tolerance*100, *baseline)
+		}
 		return
 	}
 
@@ -152,18 +176,28 @@ func runChaos(base int64, n int) error {
 // writeBenchJSON measures the benchmark trajectory and writes it as JSON,
 // so successive PRs can diff ns/vertex, allocs/vertex, cut fraction and
 // imbalance per scenario.
-func writeBenchJSON(path string, seed int64, quick bool) error {
+func writeBenchJSON(path string, seed int64, quick bool) ([]experiments.BenchRecord, error) {
 	records, err := experiments.BenchTrajectory(seed, quick)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := experiments.WriteBenchJSON(f, records); err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
-	return f.Close()
+	return records, f.Close()
+}
+
+// readBenchJSON loads a committed benchmark trajectory.
+func readBenchJSON(path string) ([]experiments.BenchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return experiments.ReadBenchJSON(f)
 }

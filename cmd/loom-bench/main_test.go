@@ -13,7 +13,7 @@ import (
 // checks the emitted file parses back with sane records.
 func TestWriteBenchJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_loom.json")
-	if err := writeBenchJSON(path, 42, true); err != nil {
+	if _, err := writeBenchJSON(path, 42, true); err != nil {
 		t.Fatalf("writeBenchJSON: %v", err)
 	}
 	data, err := os.ReadFile(path)

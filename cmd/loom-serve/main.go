@@ -26,6 +26,11 @@
 //
 //	POST /ingest      body: graph text codec ("v <id> <label>" / "e <u> <v>"
 //	                  lines); decoded incrementally, applied in order.
+//	                  With Content-Type: application/x-loom-frame the body
+//	                  is length-prefixed binary frames instead, decoded on
+//	                  a parallel worker pool (same ordering and durability
+//	                  guarantees; a malformed frame is a 400 and nothing
+//	                  from it is applied).
 //	GET  /place/{v}   placement of vertex v.
 //	GET  /route?v=1&v=2&v=3   shard decision for a query touching vertices.
 //	GET  /stats       server statistics (drift estimators, persistence).
@@ -53,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -227,10 +233,115 @@ type ingestResponse struct {
 	Accepted int      `json:"accepted"`
 	Rejected int      `json:"rejected"`
 	Errors   []string `json:"errors,omitempty"`
+	// Frames and Deduped are reported for binary-framed ingest only:
+	// frames applied, and intra-frame duplicates dropped by the decode
+	// stage before the writer saw them.
+	Frames  int `json:"frames,omitempty"`
+	Deduped int `json:"deduped,omitempty"`
 	// Error is the decode error that terminated the body mid-stream, if
 	// any; Accepted/Rejected still report the batches applied before it
 	// (there is no rollback).
 	Error string `json:"error,omitempty"`
+}
+
+// contentTypeIs reports whether header names the media type want,
+// ignoring parameters (charset etc.) and surrounding whitespace.
+func contentTypeIs(header, want string) bool {
+	if i := strings.IndexByte(header, ';'); i >= 0 {
+		header = header[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(header), want)
+}
+
+// ingestText applies a body in the line-oriented text codec through
+// IngestSync, batching decode against partitioning.
+func ingestText(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+	src := stream.FromReader(r.Body)
+	before := srv.Stats()
+	resp := ingestResponse{}
+	batch := make([]stream.Element, 0, ingestBatch)
+	// A typed refusal (wedged persistence, admission overload, stopped)
+	// terminates the request: retrying the rest of the body would only
+	// widen the hole the client has to re-send.
+	var refused error
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		err := srv.IngestSync(batch)
+		batch = batch[:0]
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrWedged), errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
+			refused = err
+			return false
+		default: // element rejections: recorded, not fatal
+			if len(resp.Errors) < 16 {
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+		}
+		return true
+	}
+	for refused == nil {
+		el, ok := src.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, el)
+		if len(batch) == ingestBatch {
+			flush()
+		}
+	}
+	flush()
+	// Counted from the server's own ledger (approximate only under
+	// concurrent ingest requests).
+	after := srv.Stats()
+	resp.Accepted = int(after.Ingested - before.Ingested)
+	resp.Rejected = int(after.Rejected - before.Rejected)
+	if refused != nil {
+		resp.Error = refused.Error()
+		status, _ := refusalStatus(w, refused)
+		writeJSON(w, status, resp)
+		return
+	}
+	if err := src.Err(); err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ingestBinary applies a body of length-prefixed binary frames through
+// the parallel decode front-stage. A malformed frame terminates the
+// request with 400; frames before it were applied in order (there is no
+// rollback), exactly like a mid-stream text decode error.
+func ingestBinary(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+	before := srv.Stats()
+	res, err := srv.IngestFrames(r.Body)
+	resp := ingestResponse{Frames: res.Frames, Deduped: res.Deduped}
+	after := srv.Stats()
+	resp.Accepted = int(after.Ingested - before.Ingested)
+	resp.Rejected = int(after.Rejected - before.Rejected)
+	if elemErr := res.Err(); elemErr != nil && len(resp.Errors) < 16 {
+		resp.Errors = append(resp.Errors, elemErr.Error())
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		var bad *serve.BadFrameError
+		switch {
+		case errors.As(err, &bad):
+			writeJSON(w, http.StatusBadRequest, resp)
+		default:
+			status, ok := refusalStatus(w, err)
+			if !ok {
+				status = http.StatusInternalServerError
+			}
+			writeJSON(w, status, resp)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // newMux wires the HTTP surface over srv.
@@ -238,60 +349,11 @@ func newMux(srv *serve.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
-		src := stream.FromReader(r.Body)
-		before := srv.Stats()
-		resp := ingestResponse{}
-		batch := make([]stream.Element, 0, ingestBatch)
-		// A typed refusal (wedged persistence, admission overload, stopped)
-		// terminates the request: retrying the rest of the body would only
-		// widen the hole the client has to re-send.
-		var refused error
-		flush := func() bool {
-			if len(batch) == 0 {
-				return true
-			}
-			err := srv.IngestSync(batch)
-			batch = batch[:0]
-			switch {
-			case err == nil:
-			case errors.Is(err, serve.ErrWedged), errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
-				refused = err
-				return false
-			default: // element rejections: recorded, not fatal
-				if len(resp.Errors) < 16 {
-					resp.Errors = append(resp.Errors, err.Error())
-				}
-			}
-			return true
-		}
-		for refused == nil {
-			el, ok := src.Next()
-			if !ok {
-				break
-			}
-			batch = append(batch, el)
-			if len(batch) == ingestBatch {
-				flush()
-			}
-		}
-		flush()
-		// Counted from the server's own ledger (approximate only under
-		// concurrent ingest requests).
-		after := srv.Stats()
-		resp.Accepted = int(after.Ingested - before.Ingested)
-		resp.Rejected = int(after.Rejected - before.Rejected)
-		if refused != nil {
-			resp.Error = refused.Error()
-			status, _ := refusalStatus(w, refused)
-			writeJSON(w, status, resp)
+		if ct := r.Header.Get("Content-Type"); contentTypeIs(ct, stream.BinaryContentType) {
+			ingestBinary(srv, w, r)
 			return
 		}
-		if err := src.Err(); err != nil {
-			resp.Error = err.Error()
-			writeJSON(w, http.StatusBadRequest, resp)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
+		ingestText(srv, w, r)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

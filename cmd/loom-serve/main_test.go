@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"loom/internal/gen"
 	"loom/internal/graph"
 	"loom/internal/serve"
+	"loom/internal/stream"
 )
 
 func startTestServer(t *testing.T, o serverOptions) (*serve.Server, *httptest.Server) {
@@ -59,6 +61,39 @@ func postBody(t *testing.T, url, body string, out any) int {
 		t.Fatalf("POST %s: decode: %v", url, err)
 	}
 	return resp.StatusCode
+}
+
+// postBinary posts a binary frame body with the binary content type
+// (plus a parameter, so the media-type matching is exercised too).
+func postBinary(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, stream.BinaryContentType+"; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// framesOf encodes elems into binary frames of at most per elements.
+func framesOf(t *testing.T, elems []stream.Element, per int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := stream.NewFrameWriter(&buf)
+	for i := 0; i < len(elems); i += per {
+		end := min(i+per, len(elems))
+		if err := fw.WriteBatch(elems[i:end]); err != nil {
+			t.Fatalf("encode frame at %d: %v", i, err)
+		}
+	}
+	return buf.Bytes()
 }
 
 // TestServeEndToEnd is the HTTP smoke test: start the server, ingest the
@@ -469,5 +504,173 @@ func TestServeHealthAndRefusals(t *testing.T) {
 	}
 	if aing.Error == "" || aing.Accepted != 0 {
 		t.Fatalf("over-admission body = %+v, want typed error and nothing accepted", aing)
+	}
+}
+
+// TestServeBinaryIngestE2E covers the binary wire protocol over HTTP:
+// the same graph fed as text to one server and as binary frames to
+// another must produce identical placements, a garbage body must be a
+// clean 400, and nothing from a poisoned stream may be applied.
+func TestServeBinaryIngestE2E(t *testing.T) {
+	opts := serverOptions{
+		k: 2, expected: 16, window: 4, threshold: 0.3, slack: 1.2, seed: 1,
+		labels: 4, workloadN: 0, mailbox: 8,
+		passes: 1, priority: "none", heuristic: "ldg", minAssigned: 4,
+	}
+	_, textHS := startTestServer(t, opts)
+	_, binHS := startTestServer(t, opts)
+
+	g := graph.Fig1Graph()
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	var sb strings.Builder
+	if err := graph.WriteStreamed(&sb, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if code := postBody(t, textHS.URL+"/ingest", sb.String(), nil); code != http.StatusOK {
+		t.Fatalf("text ingest status %d", code)
+	}
+	var ing ingestResponse
+	body := framesOf(t, elems, 4)
+	if code := postBinary(t, binHS.URL+"/ingest", body, &ing); code != http.StatusOK {
+		t.Fatalf("binary ingest status %d (%+v)", code, ing)
+	}
+	if ing.Accepted != len(elems) || ing.Rejected != 0 {
+		t.Fatalf("binary ingest = %+v, want %d accepted", ing, len(elems))
+	}
+	if want := (len(elems) + 3) / 4; ing.Frames != want {
+		t.Fatalf("binary ingest frames = %d, want %d", ing.Frames, want)
+	}
+
+	if code := postBody(t, textHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatal("text drain failed")
+	}
+	if code := postBody(t, binHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatal("binary drain failed")
+	}
+	for _, v := range g.Vertices() {
+		var pt, pb struct {
+			Assigned  bool `json:"assigned"`
+			Partition int  `json:"partition"`
+		}
+		getJSON(t, fmt.Sprintf("%s/place/%d", textHS.URL, v), &pt)
+		getJSON(t, fmt.Sprintf("%s/place/%d", binHS.URL, v), &pb)
+		if pt != pb {
+			t.Fatalf("placement of %d diverges: text %+v binary %+v", v, pt, pb)
+		}
+	}
+
+	// A garbage body under the binary content type is a 400 with a typed
+	// error and no application.
+	_, badHS := startTestServer(t, opts)
+	if code := postBinary(t, badHS.URL+"/ingest", []byte("v 0 a\nv 1 b\n"), &ing); code != http.StatusBadRequest {
+		t.Fatalf("garbage binary ingest status %d, want 400", code)
+	}
+	if ing.Error == "" || ing.Accepted != 0 {
+		t.Fatalf("garbage binary ingest body = %+v, want typed error and nothing accepted", ing)
+	}
+	var st serve.Stats
+	getJSON(t, badHS.URL+"/stats", &st)
+	if st.Ingested != 0 {
+		t.Fatalf("garbage binary stream applied %d elements, want 0", st.Ingested)
+	}
+}
+
+// TestServeBinaryCrashRecoveryE2E is the crash drill with binary wire
+// ingest: a durable server fed binary frames over HTTP is hard-stopped
+// mid-stream, restarted from its -data-dir (replaying binary WAL
+// records), fed the rest, and must match a never-crashed control on
+// every counter and placement.
+func TestServeBinaryCrashRecoveryE2E(t *testing.T) {
+	const k = 4
+	rng := rand.New(rand.NewSource(21))
+	alphabet := gen.DefaultAlphabet(4)
+	g, err := gen.PlantedPartitionDegrees(600, k, 8, 2, &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	first, second := elems[:len(elems)/2], elems[len(elems)/2:]
+
+	opts := serverOptions{
+		k: k, expected: g.NumVertices(), window: 32, threshold: 0.05,
+		slack: 1.2, seed: 1, labels: 4, workloadN: 8, mailbox: 8,
+		passes: 1, priority: "none", heuristic: "loom", minAssigned: 1 << 30,
+	}
+	_, controlHS := startTestServer(t, opts)
+	dopts := opts
+	dopts.dataDir = t.TempDir()
+	dopts.fsync = "always"
+	durable, durableHS := startTestServer(t, dopts)
+
+	// One frame per request keeps one envelope per publication on every
+	// server, so even Stats.Epoch must agree between control, durable and
+	// post-crash replay (which publishes once per WAL record).
+	feed := func(hs *httptest.Server, elems []stream.Element) int {
+		accepted := 0
+		for i := 0; i < len(elems); i += 64 {
+			end := min(i+64, len(elems))
+			var ing ingestResponse
+			if code := postBinary(t, hs.URL+"/ingest", framesOf(t, elems[i:end], 64), &ing); code != http.StatusOK {
+				t.Fatalf("binary ingest status %d (%+v)", code, ing)
+			}
+			accepted += ing.Accepted
+		}
+		return accepted
+	}
+	accCtl := feed(controlHS, first)
+	accDur := feed(durableHS, first)
+	if accCtl != accDur {
+		t.Fatalf("accept mismatch before crash: control %d durable %d", accCtl, accDur)
+	}
+
+	// Crash: hard stop, no checkpoint.
+	durable.Abort()
+	durableHS.Close()
+
+	restarted, restartedHS := startTestServer(t, dopts)
+	rst := restarted.Stats()
+	if rst.Persist == nil {
+		t.Fatal("restarted server has no persistence stats")
+	}
+	if rst.Persist.Recover.ReplayedElements != accDur {
+		t.Fatalf("replayed %d elements, want the %d accepted before the crash",
+			rst.Persist.Recover.ReplayedElements, accDur)
+	}
+
+	feed(controlHS, second)
+	feed(restartedHS, second)
+	if code := postBody(t, controlHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatal("control drain failed")
+	}
+	if code := postBody(t, restartedHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatal("restarted drain failed")
+	}
+
+	var stCtl, stDur serve.Stats
+	getJSON(t, controlHS.URL+"/stats", &stCtl)
+	getJSON(t, restartedHS.URL+"/stats", &stDur)
+	stCtl.MailboxDepth, stDur.MailboxDepth = 0, 0
+	stCtl.Persist, stDur.Persist = nil, nil
+	ctlJSON, _ := json.Marshal(stCtl)
+	durJSON, _ := json.Marshal(stDur)
+	if string(ctlJSON) != string(durJSON) {
+		t.Fatalf("stats diverge after binary crash recovery:\ncontrol   %s\nrestarted %s", ctlJSON, durJSON)
+	}
+	for _, v := range g.Vertices() {
+		var pc, pd struct {
+			Assigned  bool `json:"assigned"`
+			Partition int  `json:"partition"`
+		}
+		getJSON(t, fmt.Sprintf("%s/place/%d", controlHS.URL, v), &pc)
+		getJSON(t, fmt.Sprintf("%s/place/%d", restartedHS.URL, v), &pd)
+		if pc != pd {
+			t.Fatalf("placement of %d diverges: control %+v restarted %+v", v, pc, pd)
+		}
 	}
 }

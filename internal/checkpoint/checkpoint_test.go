@@ -510,6 +510,124 @@ func TestEncodeRejectsUnsafeLabels(t *testing.T) {
 // TestCorruptRecordIsFatalNotTorn: a CRC-valid frame that fails to decode
 // cannot come from a torn write; recovery must refuse to start rather
 // than silently truncate the acknowledged records behind it.
+// TestWALBinaryRecordRoundTrip interleaves text and binary batch records
+// in one segment: AppendBinary's verbatim frame payload must replay as
+// the same elements, in sequence with its text neighbours.
+func TestWALBinaryRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textBatch := batch(v(0, "a"), v(1, "b"), e(0, 1))
+	binBatch := batch(v(2, "c"), v(3, "a"), e(2, 3), e(3, 0))
+	var enc stream.FrameEncoder
+	payload, err := enc.AppendPayload(nil, binBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(RecordBatch, textBatch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(RecordDrain, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 3 || rec.TornTail {
+		t.Fatalf("recovered %d records (torn=%v), want 3 intact", len(rec.Tail), rec.TornTail)
+	}
+	if rec.Tail[0].Kind != RecordBatch || !elemsEqual(rec.Tail[0].Elems, textBatch) {
+		t.Fatalf("text record did not round-trip: %+v", rec.Tail[0])
+	}
+	if rec.Tail[1].Kind != RecordBatchBinary || !elemsEqual(rec.Tail[1].Elems, binBatch) {
+		t.Fatalf("binary record did not round-trip: %+v", rec.Tail[1])
+	}
+	if rec.Tail[2].Kind != RecordDrain {
+		t.Fatalf("record 2 kind = %d, want drain", rec.Tail[2].Kind)
+	}
+
+	// A torn binary tail is skipped like any other torn record, and the
+	// intact prefix survives.
+	if _, err := st2.AppendBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Tail) != 3 || !rec2.TornTail {
+		t.Fatalf("after tear: %d records, torn=%v; want 3, true", len(rec2.Tail), rec2.TornTail)
+	}
+}
+
+// TestCorruptBinaryRecordIsFatalNotTorn is the binary twin of
+// TestCorruptRecordIsFatalNotTorn: a CRC-valid binary record whose frame
+// payload no longer decodes (here: an unknown element kind) is an
+// encoder bug or bit-rot, not a torn write — recovery must refuse, not
+// silently truncate acknowledged data.
+func TestCorruptBinaryRecordIsFatalNotTorn(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc stream.FrameEncoder
+	payload, err := enc.AppendPayload(nil, batch(v(0, "a"), v(1, "b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := walHeaderSize
+	n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+	// Drop the last byte of the binary frame body (cutting the element
+	// stream mid-element) and re-stamp the WAL frame's length and CRC so
+	// the framing layer still accepts it.
+	rec := data[pos+frameHeaderSize : pos+frameHeaderSize+n-1]
+	binary.LittleEndian.PutUint32(data[pos:pos+4], uint32(n-1))
+	binary.LittleEndian.PutUint32(data[pos+4:pos+8], crc32.ChecksumIEEE(rec))
+	if err := os.WriteFile(segs[0], data[:pos+frameHeaderSize+n-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(dir, SyncAlways); err == nil {
+		t.Fatal("Open accepted a CRC-valid undecodable binary record (silent truncation)")
+	}
+}
+
 func TestCorruptRecordIsFatalNotTorn(t *testing.T) {
 	dir := t.TempDir()
 	st, _, err := Open(dir, SyncAlways)

@@ -86,9 +86,18 @@ func FuzzWALRecord(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	full := mkSeg(0, r0, r1)
+	var enc stream.FrameEncoder
+	binBody, err := enc.AppendPayload(nil, []stream.Element{
+		{Kind: stream.VertexElement, V: 3, Label: "c"},
+		{Kind: stream.EdgeElement, V: 1, U: 3},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	r2 := encodeRecordBody(2, RecordBatchBinary, binBody)
+	full := mkSeg(0, r0, r1, r2)
 	f.Add(full)
-	f.Add(full[:len(full)-3]) // torn final record
+	f.Add(full[:len(full)-3]) // torn final (binary) record
 	f.Add(mkSeg(7))           // header only
 	f.Add([]byte(walMagic))   // short header
 	f.Add([]byte{})
@@ -109,9 +118,23 @@ func FuzzWALRecord(f *testing.F) {
 				t.Fatalf("scanner returned non-consecutive seq %d (want %d)", rec.Seq, next)
 			}
 			next++
-			frame, err := encodeRecord(rec.Seq, rec.Kind, rec.Elems)
-			if err != nil {
-				t.Fatalf("accepted record does not re-encode: %v", err)
+			var frame []byte
+			if rec.Kind == RecordBatchBinary {
+				// Binary bodies re-encode through the binary codec; the
+				// text encoder would stamp the right kind over the wrong
+				// body format.
+				var renc stream.FrameEncoder
+				body, err := renc.AppendPayload(nil, rec.Elems)
+				if err != nil {
+					t.Fatalf("accepted binary record does not re-encode: %v", err)
+				}
+				frame = encodeRecordBody(rec.Seq, rec.Kind, body)
+			} else {
+				var err error
+				frame, err = encodeRecord(rec.Seq, rec.Kind, rec.Elems)
+				if err != nil {
+					t.Fatalf("accepted record does not re-encode: %v", err)
+				}
 			}
 			back, err := decodePayload(frame[frameHeaderSize:])
 			if err != nil {

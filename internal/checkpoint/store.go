@@ -233,6 +233,16 @@ func (s *Store) Append(kind RecordKind, elems []stream.Element) (int, error) {
 	return s.wal.append(kind, elems)
 }
 
+// AppendBinary writes one binary-batch record whose body is the given
+// pre-encoded binary frame payload, verbatim — no re-encoding between
+// the decode stage and the log. The caller (the serve decode stage)
+// guarantees the payload decodes cleanly with zero intra-frame
+// duplicates and that every element it carries was accepted; replay
+// rejects anything else as corruption.
+func (s *Store) AppendBinary(payload []byte) (int, error) {
+	return s.wal.appendBody(RecordBatchBinary, payload)
+}
+
 // WriteSnapshot persists one snapshot (temp file + rename), rotates the
 // WAL to a fresh segment, and prunes snapshots and segments that are no
 // longer needed. m.NextSeq is stamped by the store.

@@ -5,15 +5,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
-	"strings"
-	"unicode"
 
 	"loom/internal/fault"
 	"loom/internal/graph"
 	"loom/internal/stream"
+	"loom/internal/wire"
 )
 
 // The write-ahead log is a sequence of framed records appended to segment
@@ -21,15 +19,17 @@ import (
 //
 //	u32 LE payload length | u32 LE CRC32(payload) | payload
 //
-// and each payload is
+// (the shared wire framing — see internal/wire) and each payload is
 //
 //	u64 LE sequence number | u8 record kind | body
 //
-// where the body of a batch record is the graph-stream text codec
+// where the body of a text batch record is the graph-stream text codec
 // ("v <id> <label>" / "e <u> <v>" lines) — the same shape loom-serve
-// ingests over HTTP, so replay reuses stream.FromReader unchanged. A
-// segment file starts with an 8-byte magic plus the u64 LE sequence
-// number of its first record.
+// ingests over HTTP, so replay reuses stream.FromReader unchanged — and
+// the body of a binary batch record is a binary ingest frame payload
+// verbatim (see internal/stream's binary codec), so an accepted binary
+// batch is logged without re-encoding. A segment file starts with an
+// 8-byte magic plus the u64 LE sequence number of its first record.
 //
 // Recovery tolerates a torn tail: a frame whose length, checksum, body or
 // sequence number does not check out ends the scan, and everything before
@@ -40,13 +40,13 @@ const (
 	walMagic = "loomwal1"
 	// walHeaderSize is magic + start sequence number.
 	walHeaderSize = len(walMagic) + 8
-	// frameHeaderSize is length + CRC.
-	frameHeaderSize = 8
+	// frameHeaderSize is length + CRC (the shared wire framing).
+	frameHeaderSize = wire.HeaderSize
 	// payloadHeaderSize is sequence number + kind.
 	payloadHeaderSize = 9
 	// maxPayload bounds a single record so a corrupt length field cannot
 	// drive a giant allocation.
-	maxPayload = 1 << 30
+	maxPayload = wire.MaxPayload
 )
 
 // RecordKind discriminates WAL records.
@@ -65,6 +65,12 @@ const (
 	// alone would leave the engine (and its tie-break RNG) in a
 	// different state than the live server had.
 	RecordBarrier RecordKind = 3
+	// RecordBatchBinary carries the accepted elements of one binary
+	// ingest batch: the body is a binary frame payload (internal/stream)
+	// appended verbatim, so the hot ingest path never re-encodes. Only
+	// dedup-clean payloads whose every element was accepted are logged
+	// this way; partial batches fall back to RecordBatch.
+	RecordBatchBinary RecordKind = 4
 )
 
 // Record is one decoded WAL entry.
@@ -84,7 +90,7 @@ type Record struct {
 // unsafe labels at ingest with this same predicate, so the accepted
 // stream is always encodable.
 func CodecSafeLabel(l graph.Label) bool {
-	return l != "" && !strings.ContainsFunc(string(l), unicode.IsSpace)
+	return wire.SafeLabel(string(l))
 }
 
 // encodeElements renders elems in the graph-stream text codec. Labels
@@ -125,7 +131,7 @@ func decodeElements(body []byte) ([]stream.Element, error) {
 	return out, nil
 }
 
-// encodeRecord frames one record.
+// encodeRecord frames one record whose body is built from elems.
 func encodeRecord(seq uint64, kind RecordKind, elems []stream.Element) ([]byte, error) {
 	var body bytes.Buffer
 	if kind == RecordBatch {
@@ -133,14 +139,21 @@ func encodeRecord(seq uint64, kind RecordKind, elems []stream.Element) ([]byte, 
 			return nil, err
 		}
 	}
-	frame := make([]byte, frameHeaderSize+payloadHeaderSize+body.Len())
+	return encodeRecordBody(seq, kind, body.Bytes()), nil
+}
+
+// encodeRecordBody frames one record around a pre-encoded body using the
+// shared wire framing. This is the path binary ingest batches take: the
+// body is the frame payload the decode stage already validated, appended
+// without re-encoding.
+func encodeRecordBody(seq uint64, kind RecordKind, body []byte) []byte {
+	frame := make([]byte, frameHeaderSize+payloadHeaderSize+len(body))
 	payload := frame[frameHeaderSize:]
 	binary.LittleEndian.PutUint64(payload[0:8], seq)
 	payload[8] = byte(kind)
-	copy(payload[payloadHeaderSize:], body.Bytes())
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	return frame, nil
+	copy(payload[payloadHeaderSize:], body)
+	wire.PutHeader(frame[:frameHeaderSize], payload)
+	return frame
 }
 
 // decodePayload parses one CRC-validated payload.
@@ -156,6 +169,12 @@ func decodePayload(payload []byte) (Record, error) {
 	switch rec.Kind {
 	case RecordBatch:
 		elems, err := decodeElements(body)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Elems = elems
+	case RecordBatchBinary:
+		elems, err := stream.DecodeFramePayload(body)
 		if err != nil {
 			return Record{}, err
 		}
@@ -211,14 +230,13 @@ func scanSegment(data []byte) (segmentScan, error) {
 			s.torn = true
 			return s, nil
 		}
-		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
-		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		n, sum := wire.ParseHeader(data[pos : pos+frameHeaderSize])
 		if n < payloadHeaderSize || n > maxPayload || len(data)-pos-frameHeaderSize < n {
 			s.torn = true
 			return s, nil
 		}
 		payload := data[pos+frameHeaderSize : pos+frameHeaderSize+n]
-		if crc32.ChecksumIEEE(payload) != sum {
+		if !wire.Verify(payload, sum) {
 			s.torn = true
 			return s, nil
 		}
@@ -334,6 +352,32 @@ func (w *walWriter) append(kind RecordKind, elems []stream.Element) (int, error)
 	if err != nil {
 		return 0, err
 	}
+	return w.writeFrame(frame)
+}
+
+// appendBody frames and writes one record around a pre-encoded body —
+// the zero-re-encode path binary ingest batches take. Same fault sites
+// and rollback guarantees as append.
+//
+//loom:framedwriter shares the frame write/rollback tail with append; every byte is a framed record
+//loom:hotpath
+func (w *walWriter) appendBody(kind RecordKind, body []byte) (int, error) {
+	if w.broken {
+		return 0, errWriterBroken
+	}
+	if err := fault.Check(fault.WALAppend); err != nil {
+		return 0, err
+	}
+	return w.writeFrame(encodeRecordBody(w.next, kind, body))
+}
+
+// writeFrame writes one already-framed record, honouring the frame-write
+// and sync failpoints and rolling back to the previous frame boundary on
+// failure.
+//
+//loom:framedwriter the single sink both append paths funnel framed bytes through
+//loom:hotpath
+func (w *walWriter) writeFrame(frame []byte) (int, error) {
 	if inj := fault.Hit(fault.WALFrameWrite); inj != nil {
 		if sw := inj.ShortWrite; sw > 0 && sw < len(frame) {
 			// A genuinely torn frame prefix, exactly what a crash or

@@ -102,7 +102,12 @@ type Partitioner struct {
 	// observed before); nil keeps the streaming-only view of edges seen so
 	// far.
 	adjacency func(graph.VertexID) []graph.VertexID
-	stats     Stats
+	// nbrs is the singleton-placement neighbour scratch: assignSingle
+	// concatenates window and assigned neighbours here instead of
+	// allocating per eviction. Greedy scores the slice transiently and
+	// never retains it.
+	nbrs  []graph.VertexID
+	stats Stats
 }
 
 // New returns a LOOM partitioner over the workload summarised by trie.
@@ -196,11 +201,27 @@ func (p *Partitioner) SetAdjacencyOracle(fn func(graph.VertexID) []graph.VertexI
 }
 
 // neighborsOf returns the scoring neighbour list for an evicted vertex.
+// The result is freshly allocated (or oracle-owned), so group placement may
+// retain it across further evictions; the singleton path uses
+// neighborsScratch instead.
 func (p *Partitioner) neighborsOf(ev stream.Eviction) []graph.VertexID {
 	if p.adjacency != nil {
 		return p.adjacency(ev.V)
 	}
 	return append(append([]graph.VertexID(nil), ev.WindowNeighbors...), ev.AssignedNeighbors...)
+}
+
+// neighborsScratch is neighborsOf into the reusable scratch buffer: valid
+// only until the next call, for callers that score and drop the list.
+//
+//loom:hotpath
+func (p *Partitioner) neighborsScratch(ev stream.Eviction) []graph.VertexID {
+	if p.adjacency != nil {
+		return p.adjacency(ev.V)
+	}
+	p.nbrs = append(p.nbrs[:0], ev.WindowNeighbors...)
+	p.nbrs = append(p.nbrs, ev.AssignedNeighbors...)
+	return p.nbrs
 }
 
 // Consume processes one stream element.
@@ -403,8 +424,10 @@ func (p *Partitioner) groupFor(v graph.VertexID) []graph.VertexID {
 }
 
 // assignSingle places one vertex by LDG (traversal-weighted when enabled).
+//
+//loom:hotpath
 func (p *Partitioner) assignSingle(ev stream.Eviction) {
-	neighbors := p.neighborsOf(ev)
+	neighbors := p.neighborsScratch(ev)
 	if p.cfg.TraversalWeighting {
 		p.ldg.PlaceWeighted(ev.V, neighbors, p.edgeWeight)
 	} else {

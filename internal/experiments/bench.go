@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,6 +45,10 @@ type BenchRecord struct {
 	// RecoverMS (serve-recover scenario only) is the wall-clock restart
 	// latency of a durable server: snapshot load plus WAL tail replay.
 	RecoverMS int64 `json:"recover_ms,omitempty"`
+	// IngestElementsPerSec (ingest-text / ingest-binary scenarios only) is
+	// end-to-end ingest throughput through a durable server: wire decode,
+	// writer-side partitioning and WAL append, per stream element.
+	IngestElementsPerSec float64 `json:"ingest_elements_per_sec,omitempty"`
 }
 
 // measure runs fn, returning its wall time and the number of heap
@@ -183,6 +188,14 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 		fmt.Sprintf("community-%d/serve-recover", n)); err != nil {
 		return nil, err
 	}
+
+	// Ingest front doors: the text codec decoded inline (what POST /ingest
+	// with the line codec costs) against the binary wire protocol through
+	// the parallel decode front-stage, both at equal durability.
+	if err := benchIngest(&out, graphs[fmt.Sprintf("community-%d", n)], alphabet, seed, k,
+		fmt.Sprintf("community-%d", n)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -276,6 +289,175 @@ func benchRecover(out *[]BenchRecord, g *graph.Graph, alphabet []graph.Label, se
 		RecoverMS:       elapsed.Milliseconds(),
 	})
 	return nil
+}
+
+// ingestBenchBatch is the elements-per-batch of both ingest scenarios:
+// the text path flushes IngestSync at this size (exactly loom-serve's
+// HTTP handler) and the binary path packs this many elements per frame.
+const ingestBenchBatch = 512
+
+// benchIngest measures end-to-end ingest throughput of the two wire
+// front doors at equal durability (WAL append per accepted batch, fsync
+// none): the line-oriented text codec decoded inline on the feeding
+// goroutine, and the binary frame protocol through the parallel decode
+// front-stage with its raw WAL fast path. The writer runs plain windowed
+// LDG (no workload trie), so the measurement is dominated by what the
+// wire protocol controls — decode, validation, interning and the WAL
+// append — not by motif scoring that is identical on both paths.
+// Throughput is the best of five runs (fresh server and data dir each),
+// which shakes out GC and scheduler noise on small quick-mode instances
+// well enough for the CI regression gate's 20% tolerance.
+func benchIngest(out *[]BenchRecord, g *graph.Graph, alphabet []graph.Label, seed int64, k int, prefix string) error {
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		return err
+	}
+	// Pre-render both wire forms once: the measurement covers decode and
+	// apply, never rendering (clients pay that, not the server).
+	var text bytes.Buffer
+	if err := graph.WriteStreamed(&text, g); err != nil {
+		return err
+	}
+	var bin bytes.Buffer
+	fw := stream.NewFrameWriter(&bin)
+	for i := 0; i < len(elems); i += ingestBenchBatch {
+		end := min(i+ingestBenchBatch, len(elems))
+		if err := fw.WriteBatch(elems[i:end]); err != nil {
+			return err
+		}
+	}
+
+	cfg := serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: seed},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Alphabet: alphabet,
+	}
+
+	run := func(scenario string, feed func(s *serve.Server) error) error {
+		var best time.Duration
+		var bestMallocs uint64
+		var a *partition.Assignment
+		for rep := 0; rep < 5; rep++ {
+			dir, err := os.MkdirTemp("", "loom-bench-ingest-")
+			if err != nil {
+				return err
+			}
+			s, err := serve.Open(cfg, serve.PersistOptions{Dir: dir, Fsync: checkpoint.SyncNone})
+			if err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			elapsed, mallocs, err := measure(func() error { return feed(s) })
+			if err == nil {
+				if err = s.Drain(); err == nil {
+					a, err = s.Export()
+				}
+			}
+			s.Stop()
+			os.RemoveAll(dir)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || elapsed < best {
+				best, bestMallocs = elapsed, mallocs
+			}
+		}
+		perVertex := best.Nanoseconds() / int64(g.NumVertices())
+		*out = append(*out, BenchRecord{
+			Scenario:             scenario,
+			NsPerOp:              perVertex,
+			NsPerVertex:          perVertex,
+			AllocsPerVertex:      float64(bestMallocs) / float64(g.NumVertices()),
+			CutFraction:          metrics.CutFraction(g, a),
+			Imbalance:            metrics.VertexImbalance(a),
+			Vertices:             g.NumVertices(),
+			Edges:                g.NumEdges(),
+			K:                    k,
+			IngestElementsPerSec: float64(len(elems)) / best.Seconds(),
+		})
+		return nil
+	}
+
+	if err := run(prefix+"/ingest-text", func(s *serve.Server) error {
+		src := stream.FromReader(bytes.NewReader(text.Bytes()))
+		batch := make([]stream.Element, 0, ingestBenchBatch)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			err := s.IngestSync(batch)
+			batch = batch[:0]
+			return err
+		}
+		for {
+			el, ok := src.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, el)
+			if len(batch) == ingestBenchBatch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		return src.Err()
+	}); err != nil {
+		return err
+	}
+	return run(prefix+"/ingest-binary", func(s *serve.Server) error {
+		res, err := s.IngestFrames(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			return err
+		}
+		return res.Err()
+	})
+}
+
+// CompareBaseline checks records against a committed baseline and returns
+// one human-readable line per regression beyond tol (a fraction, e.g.
+// 0.20): ns_per_vertex may not grow and ingest_elements_per_sec may not
+// shrink by more than tol relative to the baseline's value for the same
+// scenario. Scenarios present on only one side are ignored, so the set
+// can evolve without invalidating old baselines.
+func CompareBaseline(records, baseline []BenchRecord, tol float64) []string {
+	base := make(map[string]BenchRecord, len(baseline))
+	for _, b := range baseline {
+		base[b.Scenario] = b
+	}
+	var regressions []string
+	for _, r := range records {
+		b, ok := base[r.Scenario]
+		if !ok {
+			continue
+		}
+		if b.NsPerVertex > 0 && float64(r.NsPerVertex) > float64(b.NsPerVertex)*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns_per_vertex %d exceeds baseline %d by more than %.0f%%",
+					r.Scenario, r.NsPerVertex, b.NsPerVertex, tol*100))
+		}
+		if b.IngestElementsPerSec > 0 && r.IngestElementsPerSec < b.IngestElementsPerSec*(1-tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ingest_elements_per_sec %.0f below baseline %.0f by more than %.0f%%",
+					r.Scenario, r.IngestElementsPerSec, b.IngestElementsPerSec, tol*100))
+		}
+	}
+	return regressions
+}
+
+// ReadBenchJSON parses a benchmark trajectory written by WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) ([]BenchRecord, error) {
+	var records []BenchRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, err
+	}
+	return records, nil
 }
 
 // buildBenchTrie synthesises the default workload trie for the bench.

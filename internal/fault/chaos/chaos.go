@@ -22,6 +22,7 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -58,6 +59,7 @@ type Report struct {
 	Elements   int
 	Ops        int // applied operations in the final history
 	Batches    int // applied batch ops
+	Binary     int // batch ops driven through the binary wire path
 	Refused    int // batches refused before application (wedge/accept)
 	Unacked    int // ops applied but not acknowledged durable
 	Crashes    int
@@ -88,6 +90,7 @@ type op struct {
 var (
 	errAcceptRefused  = errors.New("chaos: accept failpoint refused the batch")
 	errBarrierRefused = errors.New("chaos: barrier failpoint refused the checkpoint")
+	errDecodeRefused  = errors.New("chaos: decode failpoint poisoned the frame")
 )
 
 // timerHook is the injected ReanchorPolicy.Timer: retries fire when the
@@ -149,6 +152,7 @@ func buildRegistry(seed int64) *fault.Registry {
 	r.FailProb(fault.ServeSwap, fault.ErrNoSpace, 0.20)
 	r.FailProb(fault.ServeBarrier, errBarrierRefused, 0.08)
 	r.FailProb(fault.ServeAccept, errAcceptRefused, 0.04)
+	r.FailProb(fault.WireDecode, errDecodeRefused, 0.03)
 	return r
 }
 
@@ -272,6 +276,8 @@ func Run(seed int64, opts Options) (*Report, error) {
 	}()
 
 	var history []op
+	var frameEnc stream.FrameEncoder
+	var frameBuf []byte
 	lastDurable := 0
 	snapsSeen := srv.Stats().Persist.Snapshots
 	cursor := 0
@@ -354,12 +360,37 @@ func Run(seed int64, opts Options) (*Report, error) {
 			end := min(cursor+size, len(elems))
 			chunk := elems[cursor:end]
 			cursor = end
-			err := srv.IngestSync(chunk)
+			// Roughly half the batches travel the binary wire path: encode
+			// the chunk as one frame and push it through the parallel decode
+			// stage, so the chaos schedule interleaves both ingest front
+			// doors against the same fault registry. A binary batch is
+			// equivalent to the IngestSync of the same chunk (the control
+			// replays it that way), and its stream-fatal refusals and
+			// unacked durability errors classify identically.
+			binary := rng.Float64() < 0.5
+			var err error
+			if binary {
+				frame, encErr := frameEnc.AppendFrame(frameBuf[:0], chunk)
+				if encErr != nil {
+					return nil, fmt.Errorf("chaos: frame encode: %w", encErr)
+				}
+				frameBuf = frame
+				res, ferr := srv.IngestFrames(bytes.NewReader(frame))
+				if ferr == nil {
+					ferr = res.Err()
+				}
+				err = ferr
+				rep.Binary++
+			} else {
+				err = srv.IngestSync(chunk)
+			}
 			switch {
-			case errors.Is(err, errAcceptRefused), errors.Is(err, serve.ErrWedged):
-				// Refused before touching state: the elements are simply
-				// gone from this timeline (later edges referencing them
-				// will be rejected — identically in the control).
+			case errors.Is(err, errAcceptRefused), errors.Is(err, errDecodeRefused), errors.Is(err, serve.ErrWedged):
+				// Refused before touching state — at the admission gate or
+				// as a poisoned binary frame that never reached the writer:
+				// the elements are simply gone from this timeline (later
+				// edges referencing them will be rejected — identically in
+				// the control).
 				rep.Refused++
 			case err != nil && errors.Is(err, fault.ErrInjected):
 				// Applied in memory, durability acknowledgement failed.

@@ -30,6 +30,7 @@ func TestChaosDurability(t *testing.T) {
 		}
 		totals.Ops += rep.Ops
 		totals.Batches += rep.Batches
+		totals.Binary += rep.Binary
 		totals.Refused += rep.Refused
 		totals.Unacked += rep.Unacked
 		totals.Crashes += rep.Crashes
@@ -37,13 +38,16 @@ func TestChaosDurability(t *testing.T) {
 		totals.Restreams += rep.Restreams
 		totals.Injections += rep.Injections
 	}
-	t.Logf("%d seeds: ops=%d batches=%d refused=%d unacked=%d crashes=%d reanchors=%d restreams=%d injections=%d",
-		*chaosSeeds, totals.Ops, totals.Batches, totals.Refused, totals.Unacked,
+	t.Logf("%d seeds: ops=%d batches=%d binary=%d refused=%d unacked=%d crashes=%d reanchors=%d restreams=%d injections=%d",
+		*chaosSeeds, totals.Ops, totals.Batches, totals.Binary, totals.Refused, totals.Unacked,
 		totals.Crashes, totals.Reanchors, totals.Restreams, totals.Injections)
 	// A schedule that never injects, never crashes, or never heals is not
 	// exercising the machinery it exists to prove.
 	if totals.Injections == 0 {
 		t.Fatal("no failpoints fired across all seeds; registry wiring is broken")
+	}
+	if totals.Binary == 0 {
+		t.Fatal("no batches travelled the binary wire path across all seeds")
 	}
 	if totals.Crashes == 0 {
 		t.Fatal("no crash-recovery cycles across all seeds")

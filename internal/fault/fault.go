@@ -68,6 +68,15 @@ const (
 	// ServeBarrier fires at the checkpoint barrier, failing the
 	// checkpoint request before it drains or reseeds anything.
 	ServeBarrier Point = "serve/barrier"
+	// WireDecode fires in a binary-ingest decode worker before the frame
+	// is parsed: the frame is treated as malformed (poisoned) and the
+	// stream is refused with a typed error; nothing from the frame
+	// reaches the writer or the WAL.
+	WireDecode Point = "wire/decode"
+	// ServeDecodeStall fires as a decode worker picks a frame up;
+	// intended for latency-only injections that simulate a stalled
+	// worker — the pipeline must stay ordered and correct, just slower.
+	ServeDecodeStall Point = "serve/decode-stall"
 )
 
 // Points returns every named failpoint site, in declaration order.
@@ -76,6 +85,7 @@ func Points() []Point {
 		WALAppend, WALFrameWrite, WALSync, WALReadCorrupt,
 		SnapWrite, SnapSync, SnapRename, SnapReadSkip, SegPrune,
 		ServeAccept, ServeSwap, ServeBarrier,
+		WireDecode, ServeDecodeStall,
 	}
 }
 

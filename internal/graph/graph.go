@@ -17,6 +17,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -195,6 +196,16 @@ func (g *Graph) AddVertex(v VertexID, l Label) {
 // AddEdge inserts the undirected edge {u,v}. Both endpoints must already be
 // present; self-loops and duplicate edges are rejected with an error so
 // stream feeders can surface malformed input.
+// appendAdj appends one half-edge, seeding a fresh adjacency list with
+// capacity for a typical degree: without it every vertex pays a chain of
+// growslice doublings from zero on the ingest hot path.
+func appendAdj(adj []ident.Handle, h ident.Handle) []ident.Handle {
+	if adj == nil {
+		adj = make([]ident.Handle, 0, 8)
+	}
+	return append(adj, h)
+}
+
 func (g *Graph) AddEdge(u, v VertexID) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop on vertex %d", u)
@@ -210,8 +221,8 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	if g.hasEdgeH(hu, hv) {
 		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
 	}
-	g.adj[hu] = append(g.adj[hu], hv)
-	g.adj[hv] = append(g.adj[hv], hu)
+	g.adj[hu] = appendAdj(g.adj[hu], hv)
+	g.adj[hv] = appendAdj(g.adj[hv], hu)
 	g.m++
 	return nil
 }
@@ -318,7 +329,7 @@ func (g *Graph) AppendNeighbors(dst []VertexID, v VertexID) []VertexID {
 		dst = append(dst, VertexID(g.ids.KeyOf(nh)))
 	}
 	tail := dst[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	slices.Sort(tail)
 	return dst
 }
 

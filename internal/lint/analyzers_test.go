@@ -30,3 +30,10 @@ func TestHotAllocAnalyzer(t *testing.T) {
 func TestFramedWriteAnalyzer(t *testing.T) {
 	linttest.Run(t, "testdata/src/framedwrite", "loom/internal/checkpoint", lint.FramedWrite)
 }
+
+// The frame helpers shared with the WAL put internal/stream under the
+// same framing discipline; the same fixture must diagnose identically
+// when loaded at that import path.
+func TestFramedWriteAnalyzerStream(t *testing.T) {
+	linttest.Run(t, "testdata/src/framedwrite", "loom/internal/stream", lint.FramedWrite)
+}

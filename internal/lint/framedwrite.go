@@ -18,14 +18,23 @@ import (
 //
 // unless the enclosing function is annotated //loom:framedwriter
 // <reason>, which marks it as one of the framing helpers themselves.
+//
+// The same discipline covers loom/internal/stream: its wire-frame
+// helpers produce the exact bytes the WAL appends verbatim
+// (checkpoint.RecordBatchBinary), so a raw file write there would
+// corrupt recovery just as surely as one in checkpoint itself.
 var FramedWrite = &Analyzer{
 	Name: "framedwrite",
-	Doc: "in internal/checkpoint, bans raw writes to file handles outside " +
-		"//loom:framedwriter framing helpers",
+	Doc: "in internal/checkpoint and internal/stream, bans raw writes to " +
+		"file handles outside //loom:framedwriter framing helpers",
 	Run: runFramedWrite,
 }
 
-const checkpointPath = "loom/internal/checkpoint"
+// framedPaths are the packages under the framing discipline.
+var framedPaths = map[string]bool{
+	"loom/internal/checkpoint": true,
+	"loom/internal/stream":     true,
+}
 
 // fileWriteMethods are the *os.File methods that emit bytes.
 var fileWriteMethods = map[string]bool{
@@ -43,7 +52,7 @@ var writerFirstArgFuncs = map[string]map[string]bool{
 }
 
 func runFramedWrite(pass *Pass) {
-	if pass.Pkg.Path() != checkpointPath {
+	if !framedPaths[pass.Pkg.Path()] {
 		return
 	}
 	pass.eachFuncWithFile(func(f *ast.File, fn *ast.FuncDecl) {

@@ -22,7 +22,10 @@ import (
 //     strings builds a fresh string every time);
 //   - function literals (closures capture their environment on the
 //     heap);
-//   - string<->[]byte/[]rune conversions;
+//   - string<->[]byte/[]rune conversions — except a string([]byte)
+//     key in a map *read* (m[string(b)]), which the compiler compiles
+//     without copying; map writes still allocate their key and stay
+//     flagged;
 //   - interface boxing at call sites: passing a concrete value to an
 //     interface parameter materialises an interface value.
 //
@@ -51,6 +54,10 @@ type hotChecker struct {
 	pass *Pass
 	file *ast.File
 	fn   *ast.FuncDecl
+	// lvalues are map-index expressions appearing on an assignment's
+	// left-hand side: a string([]byte) key there DOES allocate (the map
+	// retains the key), so only reads earn the conversion exemption.
+	lvalues map[*ast.IndexExpr]bool
 }
 
 func (h *hotChecker) walk(n ast.Node) {
@@ -80,8 +87,26 @@ func (h *hotChecker) walk(n ast.Node) {
 				h.pass.Reportf(n.Pos(), "string concatenation in hot path allocates; reuse a scratch buffer")
 			}
 		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ie, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if h.lvalues == nil {
+						h.lvalues = make(map[*ast.IndexExpr]bool)
+					}
+					h.lvalues[ie] = true
+				}
+			}
 			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(h.typeOr(n.Lhs[0])) && !h.suppressed(n, "string concatenation") {
 				h.pass.Reportf(n.Pos(), "string concatenation in hot path allocates; reuse a scratch buffer")
+			}
+		case *ast.IndexExpr:
+			if conv := h.mapReadStringKey(n); conv != nil {
+				// The intern-cache hit idiom: walk everything except the
+				// exempted key conversion itself.
+				h.walk(n.X)
+				for _, a := range conv.Args {
+					h.walk(a)
+				}
+				return false
 			}
 		}
 		return true
@@ -210,6 +235,33 @@ func (h *hotChecker) scratchDerived(obj types.Object) bool {
 	return derived
 }
 
+// mapReadStringKey returns the string([]byte) conversion used as the key
+// of a map read — the one conversion the compiler performs without
+// copying — or nil if n is not that shape (wrong types, or the index sits
+// on an assignment's left-hand side, where the stored key is copied).
+func (h *hotChecker) mapReadStringKey(n *ast.IndexExpr) *ast.CallExpr {
+	if h.lvalues[n] {
+		return nil
+	}
+	if _, ok := h.typeOr(n.X).Underlying().(*types.Map); !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(n.Index).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := h.pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isString(tv.Type) {
+		return nil
+	}
+	// Only []byte keys: the compiler's no-copy lookup does not extend to
+	// []rune conversions.
+	if !isByteSlice(h.typeOr(call.Args[0])) {
+		return nil
+	}
+	return call
+}
+
 // checkBoxing flags arguments whose concrete value is converted to an
 // interface parameter at the call site.
 func (h *hotChecker) checkBoxing(call *ast.CallExpr) {
@@ -253,6 +305,15 @@ func (h *hotChecker) checkBoxing(call *ast.CallExpr) {
 		}
 		h.pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it on the heap; take a concrete type or hoist the call off the hot path", at.String())
 	}
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
 }
 
 func isByteOrRuneSlice(t types.Type) bool {

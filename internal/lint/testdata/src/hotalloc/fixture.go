@@ -2,7 +2,10 @@
 // annotated //loom:hotpath are checked.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 type buf struct {
 	scratch []int
@@ -103,4 +106,68 @@ func allowed(n int) []int {
 func reasonlessOk(n int) []int {
 	//loom:allocok
 	return make([]int, n) // want `suppression requires a written reason`
+}
+
+type cache struct{ m map[string]int }
+
+// mapReadKey is the intern-cache hit idiom: the compiler compiles a map
+// READ keyed by string([]byte) without copying the key, so the
+// conversion is exempt.
+//
+//loom:hotpath
+func (c *cache) mapReadKey(b []byte) (int, bool) {
+	v, ok := c.m[string(b)]
+	return v, ok
+}
+
+// mapWriteKey stores the key, which copies it: still flagged.
+//
+//loom:hotpath
+func (c *cache) mapWriteKey(b []byte, v int) {
+	c.m[string(b)] = v // want `conversion in hot path copies`
+}
+
+// mapReadRuneKey gets no exemption: the no-copy lookup is []byte-only.
+//
+//loom:hotpath
+func (c *cache) mapReadRuneKey(r []rune) int {
+	return c.m[string(r)] // want `conversion in hot path copies`
+}
+
+type frameBuf struct{ buf []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// poolWorker is the decode-worker shape: take a pooled value, reslice
+// its buffer, append into it. The appends target pool-backed amortised
+// storage and are accepted; only returning the value to the pool boxes,
+// once per frame, and carries its own justification.
+//
+//loom:hotpath
+func poolWorker(data []byte) int {
+	w := framePool.Get().(*frameBuf)
+	w.buf = w.buf[:0]
+	for _, b := range data {
+		w.buf = append(w.buf, b)
+	}
+	n := len(w.buf)
+	//loom:allocok interface boxing happens once per frame, not per element
+	framePool.Put(w)
+	return n
+}
+
+// poolWorkerDerived is the same shape through a local alias of the
+// pooled buffer: accepted.
+//
+//loom:hotpath
+func poolWorkerDerived(data []byte) int {
+	w := framePool.Get().(*frameBuf)
+	buf := w.buf[:0]
+	for _, b := range data {
+		buf = append(buf, b)
+	}
+	w.buf = buf
+	//loom:allocok interface boxing happens once per frame, not per element
+	framePool.Put(w)
+	return len(buf)
 }

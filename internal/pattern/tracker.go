@@ -143,6 +143,9 @@ type Tracker struct {
 	// with slices.Sort it keeps the per-match determinism sort off the
 	// allocator on the ingest path.
 	capVerts []graph.VertexID
+	// single backs GroupFor's matchless fast path, so the common
+	// one-vertex group costs no allocation.
+	single [1]graph.VertexID
 }
 
 // NewTracker returns a Tracker over the given TPSTry++.
@@ -540,8 +543,18 @@ func (t *Tracker) MatchesContaining(v graph.VertexID) []*Match {
 // GroupFor returns the transitive closure of vertices sharing a match with
 // v (including v itself when it participates in any match, or just {v}
 // otherwise): the set LOOM assigns to a single partition at once, so that
-// overlapping motif occurrences are never split (paper §4.4).
+// overlapping motif occurrences are never split (paper §4.4). The returned
+// slice is only valid until the next GroupFor call; callers that retain it
+// must copy.
 func (t *Tracker) GroupFor(v graph.VertexID) []graph.VertexID {
+	// Fast path: a vertex in no live match is its own group. This is the
+	// overwhelmingly common case on streams whose workload matches rarely
+	// (or never, with an empty trie), and it must not pay for the closure
+	// walk below.
+	if len(t.byVertex[v]) == 0 {
+		t.single[0] = v
+		return t.single[:1]
+	}
 	group := map[graph.VertexID]struct{}{v: {}}
 	queue := []graph.VertexID{v}
 	for len(queue) > 0 {
@@ -562,6 +575,6 @@ func (t *Tracker) GroupFor(v graph.VertexID) []graph.VertexID {
 	for u := range group {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

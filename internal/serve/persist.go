@@ -120,7 +120,11 @@ func Open(cfg Config, opts PersistOptions) (*Server, error) {
 	for _, r := range rec.Tail {
 		info.ReplayedRecords++
 		switch r.Kind {
-		case checkpoint.RecordBatch:
+		case checkpoint.RecordBatch, checkpoint.RecordBatchBinary:
+			// Binary batch records decode to the same pre-validated
+			// elements the writer accepted live (the store decoded the
+			// payload during the segment scan); both kinds replay through
+			// the identical apply path.
 			info.ReplayedElements += len(r.Elems)
 			if err := s.process(envelope{elems: r.Elems}); err != nil {
 				// The log holds only once-accepted elements; a rejection

@@ -135,6 +135,10 @@ type Config struct {
 	// Reanchor makes a wedged server retry the re-anchoring snapshot
 	// itself instead of waiting for an operator Checkpoint.
 	Reanchor ReanchorPolicy
+	// DecodeWorkers sizes the parallel binary-frame decode stage in
+	// front of the writer loop (IngestFrames). Zero defaults to
+	// GOMAXPROCS; the workers start lazily on first binary ingest.
+	DecodeWorkers int
 }
 
 // ctrlKind discriminates control envelopes from data batches.
@@ -153,6 +157,15 @@ type envelope struct {
 	kind   ctrlKind
 	reply  chan error                 // buffered(1) when non-nil
 	replyA chan *partition.Assignment // ctrlExport only, buffered(1)
+	// raw is the binary frame payload elems were decoded from, when the
+	// batch arrived through the binary decode stage: if the writer
+	// accepts every element it is appended to the WAL verbatim instead
+	// of re-encoding. rawExact means decode dropped nothing (no
+	// intra-frame duplicates), i.e. raw describes exactly elems. The
+	// buffers stay owned by the sender's frame job; the writer may read
+	// them only until it releases the reply.
+	raw      []byte
+	rawExact bool
 }
 
 // restreamOutcome carries a finished background restream back to the
@@ -207,6 +220,18 @@ type Server struct {
 	// admission is the ingest token bucket; nil when Admission.Rate is 0.
 	// It runs on the caller's goroutine in send, ahead of the mailbox.
 	admission *tokenBucket
+
+	// decode is the parallel binary-frame decode stage (ingest.go):
+	// workers start lazily on the first IngestFrames call and exit with
+	// quit. jobs carries frames to whichever worker is free; the
+	// sequencer re-establishes frame order before the mailbox.
+	decode struct {
+		start    sync.Once
+		jobs     chan *frameJob
+		pool     sync.Pool
+		workers  int
+		inflight int
+	}
 
 	// heal is the self-healing re-anchor state. The atomics are readable
 	// from any goroutine (Stats); everything else is writer-owned.
@@ -337,6 +362,9 @@ func newServer(cfg Config) (*Server, error) {
 	}
 	if cfg.Admission.Rate < 0 {
 		return nil, fmt.Errorf("serve: admission rate %v < 0", cfg.Admission.Rate)
+	}
+	if cfg.DecodeWorkers < 0 {
+		return nil, fmt.Errorf("serve: decode workers %d < 0", cfg.DecodeWorkers)
 	}
 	if cfg.Admission.Rate > 0 {
 		s.admission = newTokenBucket(cfg.Admission)
@@ -747,7 +775,18 @@ func (s *Server) process(env envelope) error {
 	// Durability before acknowledgement: the accepted slice of the batch
 	// is in the WAL (fsynced per policy) before handle releases the reply.
 	if logWAL && len(s.walScratch) > 0 {
-		if err := s.appendWAL(checkpoint.RecordBatch, s.walScratch); err != nil {
+		// Binary batches whose every decoded element was accepted are
+		// logged as their original frame payload, skipping the text
+		// re-encode entirely. The payload must describe exactly the
+		// accepted elements — any decode-stage dedup or writer-side
+		// rejection falls back to encoding the accepted subset, because
+		// replay applies WAL bodies verbatim and fatally rejects
+		// duplicates ("the log holds only once-accepted elements").
+		if env.raw != nil && env.rawExact && len(s.walScratch) == len(env.elems) {
+			if err := s.appendWALBinary(env.raw); err != nil {
+				errs = append(errs, err)
+			}
+		} else if err := s.appendWAL(checkpoint.RecordBatch, s.walScratch); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -759,6 +798,19 @@ func (s *Server) process(env envelope) error {
 // further appends are pointless until a snapshot re-anchors the history.
 func (s *Server) appendWAL(kind checkpoint.RecordKind, elems []stream.Element) error {
 	n, err := s.persist.store.Append(kind, elems)
+	return s.noteAppend(n, err)
+}
+
+// appendWALBinary logs one accepted binary batch as its original frame
+// payload (no re-encode); failure semantics are identical to appendWAL.
+func (s *Server) appendWALBinary(payload []byte) error {
+	n, err := s.persist.store.AppendBinary(payload)
+	return s.noteAppend(n, err)
+}
+
+// noteAppend maintains the persistence counters and the wedge for both
+// append paths.
+func (s *Server) noteAppend(n int, err error) error {
 	if err != nil {
 		// The returned error wraps the underlying I/O failure, NOT
 		// ErrWedged: the batch WAS applied in memory — it is the durability

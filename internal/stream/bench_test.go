@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"loom/internal/graph"
@@ -32,4 +34,93 @@ func BenchmarkWindowEvict(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// codecElems builds the shared codec benchmark stream: a vertex chain
+// with one edge per vertex after the first, the same element mix the
+// ingest benchmarks use.
+func codecElems() []Element {
+	labels := []graph.Label{"a", "b", "c", "d"}
+	elems := make([]Element, 0, 2*4096)
+	for i := 0; i < 4096; i++ {
+		elems = append(elems, Element{Kind: VertexElement, V: graph.VertexID(i), Label: labels[i%4]})
+		if i > 0 {
+			elems = append(elems, Element{Kind: EdgeElement, V: graph.VertexID(i - 1), U: graph.VertexID(i)})
+		}
+	}
+	return elems
+}
+
+// BenchmarkDecodeText measures the text codec alone: scan + parse of the
+// line protocol, no window or partitioner behind it. Pair with
+// BenchmarkDecodeFrames for the wire-protocol speedup in isolation.
+func BenchmarkDecodeText(b *testing.B) {
+	elems := codecElems()
+	var text bytes.Buffer
+	for i := range elems {
+		el := &elems[i]
+		if el.Kind == VertexElement {
+			fmt.Fprintf(&text, "v %d %s\n", el.V, el.Label)
+		} else {
+			fmt.Fprintf(&text, "e %d %d\n", el.V, el.U)
+		}
+	}
+	b.SetBytes(int64(text.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := FromReader(bytes.NewReader(text.Bytes()))
+		n := 0
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := src.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != len(elems) {
+			b.Fatalf("decoded %d of %d elements", n, len(elems))
+		}
+	}
+	b.ReportMetric(float64(len(elems)), "elems/op")
+}
+
+// BenchmarkDecodeFrames measures the binary codec alone: frame framing,
+// CRC verification, varint parsing, label dictionary resolution and
+// dedup, on a per-goroutine decoder with warm scratch.
+func BenchmarkDecodeFrames(b *testing.B) {
+	elems := codecElems()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for start := 0; start < len(elems); start += 512 {
+		end := min(start+512, len(elems))
+		if err := fw.WriteBatch(elems[start:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dec FrameDecoder
+	var batch Batch
+	for i := 0; i < b.N; i++ {
+		fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+		n := 0
+		for {
+			err := fr.Next(&batch)
+			if err != nil {
+				break
+			}
+			if err := dec.Decode(&batch); err != nil {
+				b.Fatal(err)
+			}
+			n += len(batch.Elems)
+		}
+		if n != len(elems) {
+			b.Fatalf("decoded %d of %d elements", n, len(elems))
+		}
+	}
+	b.ReportMetric(float64(len(elems)), "elems/op")
 }

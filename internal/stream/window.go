@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"slices"
 
 	"loom/internal/graph"
 	"loom/internal/ident"
@@ -34,6 +35,10 @@ type Window struct {
 	// resident endpoint's Eviction. Slots are cleared at eviction, so a
 	// recycled handle always starts empty.
 	deferred [][]graph.VertexID
+	// ev is the reusable eviction record: its neighbour slices are scratch
+	// buffers overwritten by every eviction, so steady-state churn stays
+	// allocation-free. See the lifetime contract on Eviction.
+	ev Eviction
 }
 
 // NewWindow returns a window holding at most capacity vertices
@@ -83,6 +88,10 @@ func (w *Window) Oldest() (graph.VertexID, bool) {
 
 // Eviction describes a vertex leaving the window: the vertex, its label and
 // the edges it had to other vertices (resident or already-assigned).
+//
+// The neighbour slices returned by AddVertex, EvictOldest and Evict are
+// window-owned scratch buffers, valid only until the next eviction; callers
+// that retain them must copy. Flush returns independently owned copies.
 type Eviction struct {
 	V     graph.VertexID
 	Label graph.Label
@@ -166,7 +175,8 @@ func (w *Window) AddEdge(u, v graph.VertexID) (bothResident bool, err error) {
 }
 
 // EvictOldest forces eviction of the oldest vertex; ok is false when the
-// window is empty.
+// window is empty. The Eviction's neighbour slices are reused by the next
+// eviction (see Eviction).
 func (w *Window) EvictOldest() (Eviction, bool) {
 	if w.Len() == 0 {
 		return Eviction{}, false
@@ -175,7 +185,9 @@ func (w *Window) EvictOldest() (Eviction, bool) {
 }
 
 // Evict removes a specific resident vertex (used when LOOM assigns a whole
-// motif match at once). It reports false if v is not resident.
+// motif match at once). It reports false if v is not resident. The
+// Eviction's neighbour slices are reused by the next eviction (see
+// Eviction).
 func (w *Window) Evict(v graph.VertexID) (Eviction, bool) {
 	if !w.Resident(v) {
 		return Eviction{}, false
@@ -190,11 +202,17 @@ func (w *Window) Evict(v graph.VertexID) (Eviction, bool) {
 }
 
 // Flush evicts every resident vertex in arrival order and returns the
-// evictions; used at end-of-stream.
+// evictions; used at end-of-stream. Unlike the per-vertex eviction entry
+// points, the returned records own their neighbour slices (each one is
+// deep-copied out of the scratch buffers before the next eviction reuses
+// them).
 func (w *Window) Flush() []Eviction {
 	out := make([]Eviction, 0, w.Len())
 	for w.Len() > 0 {
-		out = append(out, *w.evictOldest())
+		ev := *w.evictOldest()
+		ev.WindowNeighbors = slices.Clone(ev.WindowNeighbors)
+		ev.AssignedNeighbors = slices.Clone(ev.AssignedNeighbors)
+		out = append(out, ev)
 	}
 	return out
 }
@@ -214,8 +232,10 @@ func (w *Window) evictOldest() *Eviction {
 func (w *Window) remove(v graph.VertexID) *Eviction {
 	h, _ := w.g.HandleOf(v)
 	l, _ := w.g.Label(v)
-	ev := &Eviction{V: v, Label: l}
-	ev.WindowNeighbors = w.g.Neighbors(v)
+	ev := &w.ev
+	ev.V, ev.Label = v, l
+	ev.WindowNeighbors = w.g.AppendNeighbors(ev.WindowNeighbors[:0], v)
+	ev.AssignedNeighbors = ev.AssignedNeighbors[:0]
 	if int(h) < len(w.deferred) {
 		ev.AssignedNeighbors = append(ev.AssignedNeighbors, w.deferred[h]...)
 		w.deferred[h] = w.deferred[h][:0]

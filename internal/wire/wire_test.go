@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xab}, 1000),
+	}
+	for _, p := range payloads {
+		frame := AppendFrame(nil, p)
+		if len(frame) != HeaderSize+len(p) {
+			t.Fatalf("frame length %d, want %d", len(frame), HeaderSize+len(p))
+		}
+		n, crc := ParseHeader(frame[:HeaderSize])
+		if n != len(p) {
+			t.Fatalf("parsed length %d, want %d", n, len(p))
+		}
+		if !Verify(frame[HeaderSize:], crc) {
+			t.Fatal("CRC did not verify")
+		}
+		if len(p) > 0 {
+			mutated := append([]byte(nil), frame[HeaderSize:]...)
+			mutated[0] ^= 0xff
+			if Verify(mutated, crc) {
+				t.Fatal("CRC verified a mutated payload")
+			}
+		}
+	}
+}
+
+func TestAppendFrameExtends(t *testing.T) {
+	buf := AppendFrame(nil, []byte("one"))
+	buf = AppendFrame(buf, []byte("two"))
+	n1, crc1 := ParseHeader(buf[:HeaderSize])
+	if n1 != 3 || !Verify(buf[HeaderSize:HeaderSize+n1], crc1) {
+		t.Fatal("first frame damaged by second append")
+	}
+	rest := buf[HeaderSize+n1:]
+	n2, crc2 := ParseHeader(rest[:HeaderSize])
+	if n2 != 3 || !Verify(rest[HeaderSize:HeaderSize+n2], crc2) {
+		t.Fatal("second frame does not parse")
+	}
+}
+
+func TestSafeLabel(t *testing.T) {
+	cases := []struct {
+		label string
+		ok    bool
+	}{
+		{"", false},
+		{"a", true},
+		{"user:42", true},
+		{"a b", false},
+		{"a\tb", false},
+		{"a\vb", false},     // vertical tab: unicode space, not ASCII-obvious
+		{"b\u00a0c", false}, // NBSP
+		{"\u2028", false},   // line separator
+		{"héllo", true},     // multi-byte, no space
+		{"\xff\xfe", true},  // invalid UTF-8 is not whitespace
+		{"trail\n", false},
+	}
+	for _, c := range cases {
+		if got := SafeLabel(c.label); got != c.ok {
+			t.Errorf("SafeLabel(%q) = %v, want %v", c.label, got, c.ok)
+		}
+		if got := SafeLabelBytes([]byte(c.label)); got != c.ok {
+			t.Errorf("SafeLabelBytes(%q) = %v, want %v", c.label, got, c.ok)
+		}
+	}
+}

@@ -529,6 +529,30 @@ func OpenServer(cfg ServerConfig, opts ServerPersistOptions) (*Server, error) {
 // loom-serve and `loom partition -order file`).
 func FromReader(r io.Reader) *stream.ReaderSource { return stream.FromReader(r) }
 
+// Binary wire protocol (internal/stream): length-prefixed CRC-framed
+// element batches with varint ids and a per-frame label dictionary — the
+// fast ingest front door (`POST /ingest` with Content-Type
+// BinaryContentType), decoded off the writer goroutine and appended to
+// the WAL verbatim.
+type (
+	// FrameIngest summarises one Server.IngestFrames call: frames and
+	// elements accepted, intra-frame duplicates dropped, and the typed
+	// per-frame error, if any (FrameIngest.Err).
+	FrameIngest = serve.FrameIngest
+	// BadFrameError is the typed refusal for a frame that fails CRC,
+	// framing or validation; nothing from a bad frame reaches the writer.
+	BadFrameError = serve.BadFrameError
+	// FrameWriter renders element batches as binary frames onto a writer —
+	// the client half of the codec.
+	FrameWriter = stream.FrameWriter
+)
+
+// BinaryContentType is the HTTP Content-Type of the binary wire protocol.
+const BinaryContentType = stream.BinaryContentType
+
+// NewFrameWriter returns a FrameWriter encoding batches onto w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return stream.NewFrameWriter(w) }
+
 // WriteGraph serialises g in the text codec, all vertices before all edges.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
 

@@ -1,6 +1,8 @@
 package loom_test
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -83,5 +85,91 @@ func TestServerFacade(t *testing.T) {
 	s.Stop()
 	if err := s.IngestSync(nil); err != loom.ErrServerStopped {
 		t.Fatalf("post-stop ingest = %v, want ErrServerStopped", err)
+	}
+}
+
+// TestServerBinaryIngestFacade drives the binary wire protocol through
+// the public API: encode the Figure 1 graph as frames with a
+// FrameWriter, ingest them with Server.IngestFrames, and check the
+// placements match a text-fed twin.
+func TestServerBinaryIngestFacade(t *testing.T) {
+	cfg := loom.ServerConfig{
+		Core: loom.Config{
+			Partition: loom.PartitionConfig{K: 2, ExpectedVertices: 8, Slack: 1.2},
+			Threshold: 0.3,
+		},
+		Workload: loom.Fig1Workload(),
+		Alphabet: loom.DefaultAlphabet(4),
+	}
+	g := loom.Fig1Graph()
+	var sb strings.Builder
+	if err := loom.WriteGraphStreamed(&sb, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	src := loom.FromReader(strings.NewReader(sb.String()))
+	var elems []loom.StreamElement
+	for {
+		el, ok := src.Next()
+		if !ok {
+			break
+		}
+		elems = append(elems, el)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	text, err := loom.NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer(text): %v", err)
+	}
+	defer text.Stop()
+	if err := text.IngestSync(elems); err != nil {
+		t.Fatalf("text ingest: %v", err)
+	}
+	if err := text.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	bin, err := loom.NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer(binary): %v", err)
+	}
+	defer bin.Stop()
+	var frames bytes.Buffer
+	fw := loom.NewFrameWriter(&frames)
+	if err := fw.WriteBatch(elems); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	res, err := bin.IngestFrames(bytes.NewReader(frames.Bytes()))
+	if err != nil {
+		t.Fatalf("IngestFrames: %v", err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("frame error: %v", err)
+	}
+	if res.Frames != 1 || res.Elements != len(elems) {
+		t.Fatalf("FrameIngest = %+v, want 1 frame, %d elements", res, len(elems))
+	}
+	if err := bin.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, v := range g.Vertices() {
+		tp, tok := text.Where(v)
+		bp, bok := bin.Where(v)
+		if !tok || !bok || tp != bp {
+			t.Fatalf("Where(%d): text %v,%v binary %v,%v", v, tp, tok, bp, bok)
+		}
+	}
+
+	// A poisoned frame is a typed refusal that applies nothing.
+	var bad *loom.BadFrameError
+	if _, err := bin.IngestFrames(strings.NewReader("not a frame")); err == nil {
+		t.Fatal("garbage frames accepted")
+	} else if !errors.As(err, &bad) {
+		t.Fatalf("garbage frames error = %T %v, want BadFrameError", err, err)
+	}
+	if loom.BinaryContentType != "application/x-loom-frame" {
+		t.Fatalf("BinaryContentType = %q", loom.BinaryContentType)
 	}
 }
