@@ -9,8 +9,12 @@
 //	           [-threshold 0.05] [-workload 16 | -workload-file w.txt]
 //	           [-labels 4] [-slack 1.2] [-seed 1]
 //	           [-max-cut 0.6] [-max-imbalance 1.3] [-min-assigned 512]
+//	           [-drift-window 0] [-max-migration 0]
 //	           [-restream-passes 1] [-restream-priority none]
 //	           [-restream-heuristic loom] [-mailbox 64]
+//	           [-query-limit 200] [-replica-budget 0]
+//	           [-max-msgs-per-query 0] [-query-window 0]
+//	           [-refresh-queries 0] [-static-workload]
 //	           [-data-dir /var/lib/loom] [-fsync always|none]
 //	           [-admit-rate 0] [-admit-burst 0] [-reanchor]
 //	           [-shutdown-timeout 10s]
@@ -34,6 +38,20 @@
 //	GET  /place/{v}   placement of vertex v.
 //	GET  /route?v=1&v=2&v=3   shard decision for a query touching vertices.
 //	GET  /stats       server statistics (drift estimators, persistence).
+//	POST /query       execute a pattern traversal over the current serving
+//	                  view. Body: a pattern spec ("path a b c", "cycle ...",
+//	                  "star ...", "graph v0:a ... e0-1 ...") as text/plain,
+//	                  or {"id","query","limit"} as application/json. The
+//	                  response reports matches plus the real cross-shard
+//	                  cost (messages, local/remote/replica reads). Served
+//	                  patterns feed the observed-workload loop: they become
+//	                  the workload the next loom restream scores against,
+//	                  and with -max-msgs-per-query the per-window message
+//	                  rate alone can trigger a background restream.
+//	GET  /workload    query-engine statistics: message rate, view
+//	                  generation, replica count, hottest observed patterns.
+//	POST /query/refresh  rebuild the serving view from current placements
+//	                  (and respend -replica-budget on accumulated heat).
 //	POST /restream    force a restream now; ?wait=1 blocks until adopted.
 //	POST /drain       assign every window-resident vertex immediately.
 //	POST /checkpoint  drain + durable snapshot now (requires -data-dir).
@@ -54,6 +72,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,6 +86,7 @@ import (
 	"loom/internal/gen"
 	"loom/internal/graph"
 	"loom/internal/partition"
+	"loom/internal/qserve"
 	"loom/internal/query"
 	"loom/internal/serve"
 	"loom/internal/stream"
@@ -86,10 +106,18 @@ func main() {
 	maxCut := flag.Float64("max-cut", 0, "restream when cut fraction exceeds this (0 = disabled)")
 	maxImb := flag.Float64("max-imbalance", 0, "restream when imbalance exceeds this (0 = disabled)")
 	minAssigned := flag.Int("min-assigned", serve.DefaultMinAssigned, "drift triggers wait for this many assigned vertices")
+	driftWindow := flag.Int("drift-window", 0, "drift cut rate is measured per this many observed edges (0 = lifetime fraction)")
+	maxMigration := flag.Float64("max-migration", 0, "reject automatic restream swaps migrating more than this fraction of vertices (0 = unlimited)")
 	passes := flag.Int("restream-passes", 1, "passes per background restream")
 	priorityName := flag.String("restream-priority", "none", "between-pass reordering: none|degree|ambivalence|cutdegree")
 	heuristic := flag.String("restream-heuristic", "loom", "restream engine: loom|ldg|fennel")
 	mailbox := flag.Int("mailbox", serve.DefaultMailbox, "ingest mailbox capacity (batches)")
+	queryLimit := flag.Int("query-limit", qserve.DefaultMatchLimit, "match cap per served query (-1 = unlimited; requests can tighten)")
+	replicaBudget := flag.Int("replica-budget", 0, "hotspot replicas placed per view refresh (0 = replication off)")
+	maxMsgsPerQuery := flag.Float64("max-msgs-per-query", 0, "restream when the per-window cross-shard message rate exceeds this (0 = disabled)")
+	queryWindow := flag.Int("query-window", 0, "served queries per message-rate window (0 = default)")
+	refreshQueries := flag.Int("refresh-queries", 0, "rebuild the serving view every N served queries (0 = on demand only)")
+	staticWorkload := flag.Bool("static-workload", false, "keep the static workload: do not feed served queries back into restream scoring")
 	dataDir := flag.String("data-dir", "", "checkpoint directory; enables WAL + snapshot durability")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always|none")
 	admitRate := flag.Float64("admit-rate", 0, "admission control: sustained elements/sec accepted into the mailbox (0 = unlimited)")
@@ -98,19 +126,25 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget for in-flight HTTP requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	srv, err := buildServer(serverOptions{
+	opts := serverOptions{
 		k: *k, expected: *expected, window: *window, threshold: *threshold,
 		slack: *slack, seed: *seed, labels: *labels,
 		workloadN: *workloadN, workloadFile: *workloadFile,
 		maxCut: *maxCut, maxImbalance: *maxImb, minAssigned: *minAssigned,
+		driftWindow: *driftWindow, maxMigration: *maxMigration,
 		passes: *passes, priority: *priorityName, heuristic: *heuristic,
 		mailbox: *mailbox, dataDir: *dataDir, fsync: *fsync,
 		admitRate: *admitRate, admitBurst: *admitBurst, reanchor: *reanchor,
-	})
+		queryLimit: *queryLimit, replicaBudget: *replicaBudget,
+		maxMsgsPerQuery: *maxMsgsPerQuery, queryWindow: *queryWindow,
+		refreshQueries: *refreshQueries, staticWorkload: *staticWorkload,
+	}
+	srv, err := buildServer(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loom-serve: %v\n", err)
 		os.Exit(1)
 	}
+	qe := buildEngine(srv, opts)
 	if st := srv.Stats(); st.Persist != nil {
 		r := st.Persist.Recover
 		fmt.Fprintf(os.Stderr,
@@ -135,7 +169,7 @@ func main() {
 	// is generous because /ingest streams arbitrarily large bodies.
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(srv),
+		Handler:           newMux(srv, qe),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       10 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -173,12 +207,20 @@ type serverOptions struct {
 	workloadFile         string
 	maxCut, maxImbalance float64
 	minAssigned, passes  int
+	driftWindow          int
+	maxMigration         float64
 	priority, heuristic  string
 	mailbox              int
 	dataDir, fsync       string
 	admitRate            float64
 	admitBurst           float64
 	reanchor             bool
+	queryLimit           int
+	replicaBudget        int
+	maxMsgsPerQuery      float64
+	queryWindow          int
+	refreshQueries       int
+	staticWorkload       bool
 }
 
 // buildServer assembles a serve.Server from CLI options; shared by main
@@ -203,12 +245,16 @@ func buildServer(o serverOptions) (*serve.Server, error) {
 		Alphabet: alphabet,
 		Mailbox:  o.mailbox,
 		Drift: serve.DriftConfig{
-			MaxCutFraction: o.maxCut,
-			MaxImbalance:   o.maxImbalance,
-			MinAssigned:    o.minAssigned,
-			Passes:         o.passes,
-			Priority:       priority,
-			Heuristic:      o.heuristic,
+			MaxCutFraction:       o.maxCut,
+			MaxImbalance:         o.maxImbalance,
+			MinAssigned:          o.minAssigned,
+			WindowEdges:          o.driftWindow,
+			MaxMigrationFraction: o.maxMigration,
+			MaxMessagesPerQuery:  o.maxMsgsPerQuery,
+			QueryWindow:          o.queryWindow,
+			Passes:               o.passes,
+			Priority:             priority,
+			Heuristic:            o.heuristic,
 		},
 		Admission: serve.AdmissionConfig{Rate: o.admitRate, Burst: o.admitBurst},
 		Reanchor:  serve.ReanchorPolicy{Enabled: o.reanchor && o.dataDir != ""},
@@ -223,6 +269,19 @@ func buildServer(o serverOptions) (*serve.Server, error) {
 		return serve.New(cfg)
 	}
 	return serve.Open(cfg, serve.PersistOptions{Dir: o.dataDir, Fsync: policy})
+}
+
+// buildEngine assembles the query engine over srv from CLI options;
+// shared by main and the end-to-end test. Trigger thresholds
+// (max-msgs-per-query, query-window) travel via the server's DriftConfig,
+// so the engine inherits them.
+func buildEngine(srv *serve.Server, o serverOptions) *qserve.Engine {
+	return qserve.New(srv, qserve.Options{
+		MatchLimit:     o.queryLimit,
+		ReplicaBudget:  o.replicaBudget,
+		RefreshQueries: o.refreshQueries,
+		StaticWorkload: o.staticWorkload,
+	})
 }
 
 // ingestBatch bounds how many decoded elements are applied per IngestSync
@@ -344,8 +403,12 @@ func ingestBinary(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// newMux wires the HTTP surface over srv.
-func newMux(srv *serve.Server) *http.ServeMux {
+// maxQueryBody bounds a /query request body; pattern specs are tiny, so
+// anything bigger is a client error, not a query.
+const maxQueryBody = 1 << 20
+
+// newMux wires the HTTP surface over srv and the query engine qe.
+func newMux(srv *serve.Server, qe *qserve.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
@@ -407,6 +470,51 @@ func newMux(srv *serve.Server) *http.ServeMux {
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody+1))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if len(body) > maxQueryBody {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "query body too large"})
+			return
+		}
+		req, err := qserve.ParseRequest(r.Header.Get("Content-Type"), body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		resp, err := qe.Query(req)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, qserve.ErrBadQuery) {
+				status = http.StatusBadRequest
+			} else if s, ok := refusalStatus(w, err); ok {
+				status = s
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /workload", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, qe.Stats())
+	})
+
+	mux.HandleFunc("POST /query/refresh", func(w http.ResponseWriter, r *http.Request) {
+		if err := qe.Refresh(); err != nil {
+			status, ok := refusalStatus(w, err)
+			if !ok {
+				status = http.StatusInternalServerError
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, qe.Stats())
 	})
 
 	mux.HandleFunc("POST /restream", func(w http.ResponseWriter, r *http.Request) {

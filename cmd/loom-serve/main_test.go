@@ -25,7 +25,7 @@ func startTestServer(t *testing.T, o serverOptions) (*serve.Server, *httptest.Se
 	if err != nil {
 		t.Fatalf("buildServer: %v", err)
 	}
-	hs := httptest.NewServer(newMux(srv))
+	hs := httptest.NewServer(newMux(srv, buildEngine(srv, o)))
 	t.Cleanup(func() {
 		hs.Close()
 		srv.Stop()

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/qserve"
+	"loom/internal/query"
+	"loom/internal/store"
+)
+
+// genGraph builds the deterministic labelled planted-partition graph the
+// query end-to-end tests serve.
+func genGraph(t *testing.T, n, k int, seed int64) (*graph.Graph, []graph.Label) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	alphabet := gen.DefaultAlphabet(4)
+	g, err := gen.PlantedPartitionDegrees(n, k, 8, 2, &gen.UniformLabeler{Alphabet: alphabet, Rand: r}, r)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return g, alphabet
+}
+
+// ingestAndDrain pushes g over the wire in stream layout and drains.
+func ingestAndDrain(t *testing.T, hs string, g *graph.Graph) {
+	t.Helper()
+	var sb strings.Builder
+	if err := graph.WriteStreamed(&sb, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var ing ingestResponse
+	if code := postBody(t, hs+"/ingest", sb.String(), &ing); code != http.StatusOK {
+		t.Fatalf("/ingest status %d: %+v", code, ing)
+	}
+	if ing.Rejected != 0 {
+		t.Fatalf("/ingest rejected %d elements: %v", ing.Rejected, ing.Errors)
+	}
+	if code := postBody(t, hs+"/drain", "", nil); code != http.StatusOK {
+		t.Fatalf("/drain status %d", code)
+	}
+}
+
+// postQuery runs one query over the wire with the given content type.
+func postQuery(t *testing.T, hs, contentType, body string) (qserve.Response, int) {
+	t.Helper()
+	resp, err := http.Post(hs+"/query", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var out qserve.Response
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("POST /query: decode: %v", err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// TestQueryHTTPParityWithOfflineStore is the serving-parity contract over
+// the wire: POST /query answers bit-identically — matches and the full
+// message accounting — to the offline evaluator (store.Build over the
+// exported assignment, the engine behind `loom evaluate -store`).
+func TestQueryHTTPParityWithOfflineStore(t *testing.T) {
+	g, alphabet := genGraph(t, 300, 3, 41)
+	srv, hs := startTestServer(t, serverOptions{
+		k: 3, expected: 300, window: 64, threshold: 0.05, slack: 1.2, seed: 1,
+		labels: 4, workloadN: 8, mailbox: 8,
+		passes: 1, priority: "none", heuristic: "loom", minAssigned: 4,
+		queryLimit: -1,
+	})
+	ingestAndDrain(t, hs.URL, g)
+
+	a, err := srv.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	st, err := store.Build(g, a)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	l := func(i int) string { return string(alphabet[i]) }
+	specs := []string{
+		"path " + l(0) + " " + l(1),
+		"path " + l(0) + " " + l(1) + " " + l(2),
+		"cycle " + l(0) + " " + l(1) + " " + l(2),
+		"star " + l(2) + " " + l(0) + " " + l(1),
+	}
+	for _, spec := range specs {
+		served, code := postQuery(t, hs.URL, "text/plain", spec)
+		if code != http.StatusOK {
+			t.Fatalf("%q: status %d", spec, code)
+		}
+		p, err := query.ParsePatternSpec(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		off := store.NewEngine(st)
+		var want int
+		if labels, ok := query.PathLabels(p); ok {
+			want, err = off.MatchPath(labels, 0)
+		} else {
+			want, err = off.MatchPattern(p, 0)
+		}
+		if err != nil {
+			t.Fatalf("%q offline: %v", spec, err)
+		}
+		if served.Matches != want {
+			t.Errorf("%q: served %d matches, offline %d", spec, served.Matches, want)
+		}
+		os := off.Stats()
+		if served.Messages != os.Messages || served.LocalReads != os.LocalReads ||
+			served.RemoteReads != os.RemoteReads || served.ReplicaReads != os.ReplicaReads {
+			t.Errorf("%q: served cost %+v, offline %+v", spec, served, os)
+		}
+
+		// The JSON form of the same query serves identically (modulo the
+		// echoed id).
+		asJSON := string(qserve.EncodeRequest(qserve.Request{ID: "q", Spec: spec}))
+		j, code := postQuery(t, hs.URL, "application/json", asJSON)
+		if code != http.StatusOK {
+			t.Fatalf("%q json: status %d", spec, code)
+		}
+		if j.ID != "q" {
+			t.Errorf("%q json: id %q not echoed", spec, j.ID)
+		}
+		j.ID = served.ID
+		if j != served {
+			t.Errorf("%q: json serve %+v != text serve %+v", spec, j, served)
+		}
+	}
+
+	// Malformed requests are 400s, not 500s.
+	if _, code := postQuery(t, hs.URL, "text/plain", "frob x y"); code != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d, want 400", code)
+	}
+	if _, code := postQuery(t, hs.URL, "application/json", `{"query":`); code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", code)
+	}
+
+	// The engine-stats and refresh endpoints answer.
+	var es qserve.EngineStats
+	if code := getJSON(t, hs.URL+"/workload", &es); code != http.StatusOK {
+		t.Fatalf("/workload status %d", code)
+	}
+	if es.Queries == 0 || es.ObservedPatterns == 0 || es.ViewGeneration == 0 {
+		t.Fatalf("/workload stats %+v", es)
+	}
+	if code := postBody(t, hs.URL+"/query/refresh", "", &es); code != http.StatusOK {
+		t.Fatalf("/query/refresh status %d", code)
+	}
+	if es.ViewGeneration < 2 {
+		t.Fatalf("refresh did not advance the view: %+v", es)
+	}
+}
+
+// TestShiftedWorkloadRestreamReducesMessages closes the loop end to end:
+// two identical servers ingest the same graph; one feeds served queries
+// back (observed workload + message-rate trigger), the control never
+// restreams. A shifted query load — patterns the static setup knows
+// nothing about — must trigger an observed-workload restream on the live
+// server and leave it answering that load with fewer cross-shard messages
+// than the control.
+func TestShiftedWorkloadRestreamReducesMessages(t *testing.T) {
+	g, alphabet := genGraph(t, 400, 2, 59)
+	base := serverOptions{
+		k: 2, expected: 400, window: 64, threshold: 0.05, slack: 1.2, seed: 1,
+		labels: 4, workloadN: 0, mailbox: 8,
+		passes: 2, priority: "none", heuristic: "loom", minAssigned: 4,
+		queryLimit: -1,
+	}
+	live := base
+	live.maxMsgsPerQuery = 0.001 // any cross-shard traffic trips it
+	live.queryWindow = 8
+	liveSrv, liveHS := startTestServer(t, live)
+	_, ctlHS := startTestServer(t, base) // never-refed control
+
+	ingestAndDrain(t, liveHS.URL, g)
+	ingestAndDrain(t, ctlHS.URL, g)
+
+	l := func(i int) string { return string(alphabet[i]) }
+	hot := []string{
+		"path " + l(0) + " " + l(1),
+		"path " + l(1) + " " + l(0) + " " + l(1),
+	}
+
+	// Shifted load: serve the hot patterns (queries only, no ingest) until
+	// the live server's message-rate window fires a workload restream.
+	deadline := time.Now().Add(30 * time.Second)
+	for liveSrv.Stats().Restreams == 0 {
+		for _, spec := range hot {
+			if resp, code := postQuery(t, liveHS.URL, "text/plain", spec); code != http.StatusOK {
+				t.Fatalf("%q: status %d", spec, code)
+			} else if resp.Messages == 0 {
+				t.Skip("no cross-shard traffic for this layout")
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("workload restream never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep := liveSrv.Stats().LastRestream
+	if rep == nil || rep.Trigger != "workload" {
+		t.Fatalf("report = %+v, want workload trigger", rep)
+	}
+	if rep.WorkloadSource != "observed" {
+		t.Fatalf("report = %+v, want observed workload source", rep)
+	}
+
+	// Wait for the engine's post-restream view refresh, then probe both
+	// servers with the same shifted load.
+	var es qserve.EngineStats
+	for {
+		if code := getJSON(t, liveHS.URL+"/workload", &es); code != http.StatusOK {
+			t.Fatalf("/workload status %d", code)
+		}
+		if es.ViewGeneration >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("view never refreshed after restream: %+v", es)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	probe := func(hs string) (msgs, matches int) {
+		t.Helper()
+		for _, spec := range hot {
+			resp, code := postQuery(t, hs, "text/plain", spec)
+			if code != http.StatusOK {
+				t.Fatalf("probe %q: status %d", spec, code)
+			}
+			msgs += resp.Messages
+			matches += resp.Matches
+		}
+		return msgs, matches
+	}
+	liveMsgs, liveMatches := probe(liveHS.URL)
+	ctlMsgs, ctlMatches := probe(ctlHS.URL)
+	if liveMatches != ctlMatches {
+		t.Fatalf("restream changed results: live %d matches, control %d", liveMatches, ctlMatches)
+	}
+	if liveMsgs >= ctlMsgs {
+		t.Fatalf("observed-workload restream did not reduce cross-shard messages: live %d, control %d", liveMsgs, ctlMsgs)
+	}
+	t.Logf("shifted load: %d msgs on control, %d after observed-workload restream", ctlMsgs, liveMsgs)
+}

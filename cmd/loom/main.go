@@ -500,7 +500,7 @@ func cmdEvaluate(args []string) error {
 	workloadN := fs.Int("workload", 16, "synthetic workload size (0 = structural metrics only)")
 	samples := fs.Int("samples", 0, "sampled executions (0 = exhaustive weighted run)")
 	seed := fs.Int64("seed", 1, "random seed")
-	useStore := fs.Bool("store", false, "deploy the sharded store and count cross-shard messages for the workload's path queries")
+	useStore := fs.Bool("store", false, "deploy the sharded store and count cross-shard messages for the workload's queries")
 	replicas := fs.Int("replicas", 0, "replication budget for the hotspot advisor (with -store)")
 	matchLimit := fs.Int("match-limit", 200, "per-query match cap for -store traversals (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
@@ -549,7 +549,7 @@ func cmdEvaluate(args []string) error {
 }
 
 // evalStore deploys the sharded store (internal/store) under the
-// assignment, replays the workload's path queries through the traversal
+// assignment, replays the workload's queries through the traversal
 // engine, and reports cross-shard messages before and after the hotspot
 // replication advisor spends its budget — the deployment-level measure
 // the structural cut only approximates.
@@ -567,30 +567,39 @@ func evalStore(g *graph.Graph, a *partition.Assignment, w *query.Workload, repli
 		return nil
 	}
 
-	type pathQuery struct {
-		id     string
-		labels []graph.Label
+	// Path-shaped queries take the cheaper linear traversal; everything
+	// else (cycles, stars, arbitrary graph forms) goes through the general
+	// pattern matcher. Both run on the same engine and cost model, which
+	// is also exactly what the online /query endpoint executes — the
+	// serve-side parity test pins the two bit-identical.
+	type storedQuery struct {
+		id      string
+		labels  []graph.Label // path fast-path when non-nil
+		pattern *graph.Graph
 	}
-	var paths []pathQuery
-	skipped := 0
+	var queries []storedQuery
+	pathN := 0
 	for _, q := range w.Queries() {
-		if labels, ok := pathLabels(q.Pattern); ok {
-			paths = append(paths, pathQuery{id: q.ID, labels: labels})
-		} else {
-			skipped++
+		sq := storedQuery{id: q.ID, pattern: q.Pattern}
+		if labels, ok := query.PathLabels(q.Pattern); ok {
+			sq.labels = labels
+			pathN++
 		}
-	}
-	if len(paths) == 0 {
-		fmt.Printf("store: no path-shaped queries in the workload (%d skipped); nothing to traverse\n", skipped)
-		return nil
+		queries = append(queries, sq)
 	}
 
 	run := func(eng *store.Engine) (int, store.Stats, error) {
 		matches := 0
-		for _, pq := range paths {
-			n, err := eng.MatchPath(pq.labels, matchLimit)
+		for _, sq := range queries {
+			var n int
+			var err error
+			if sq.labels != nil {
+				n, err = eng.MatchPath(sq.labels, matchLimit)
+			} else {
+				n, err = eng.MatchPattern(sq.pattern, matchLimit)
+			}
 			if err != nil {
-				return 0, store.Stats{}, fmt.Errorf("query %s: %w", pq.id, err)
+				return 0, store.Stats{}, fmt.Errorf("query %s: %w", sq.id, err)
 			}
 			matches += n
 		}
@@ -602,7 +611,8 @@ func evalStore(g *graph.Graph, a *partition.Assignment, w *query.Workload, repli
 	if err != nil {
 		return err
 	}
-	fmt.Printf("store: path queries=%d (skipped %d non-path) matches=%d\n", len(paths), skipped, matches)
+	fmt.Printf("store: queries=%d (paths=%d patterns=%d) matches=%d\n",
+		len(queries), pathN, len(queries)-pathN, matches)
 	fmt.Printf("store: messages=%d (local=%d remote=%d)\n", before.Messages, before.LocalReads, before.RemoteReads)
 	if replicas <= 0 {
 		return nil
@@ -622,63 +632,6 @@ func evalStore(g *graph.Graph, a *partition.Assignment, w *query.Workload, repli
 	fmt.Printf("store: messages after replication=%d (%+.1f%%, replica reads=%d)\n",
 		after.Messages, delta, after.ReplicaReads)
 	return nil
-}
-
-// pathLabels extracts the label sequence of a path-shaped pattern: n
-// vertices, n-1 edges, max degree 2 (with max degree ≤ 2 and two
-// endpoints that is necessarily a simple path). The walk starts from the
-// lower-ID endpoint for determinism.
-func pathLabels(p *graph.Graph) ([]graph.Label, bool) {
-	n := p.NumVertices()
-	if n == 0 || p.NumEdges() != n-1 {
-		return nil, false
-	}
-	if n == 1 {
-		v := p.Vertices()[0]
-		l, _ := p.Label(v)
-		return []graph.Label{l}, true
-	}
-	var ends []graph.VertexID
-	for _, v := range p.Vertices() {
-		switch d := p.Degree(v); {
-		case d > 2:
-			return nil, false
-		case d == 1:
-			ends = append(ends, v)
-		}
-	}
-	if len(ends) != 2 {
-		return nil, false
-	}
-	start := ends[0]
-	if ends[1] < start {
-		start = ends[1]
-	}
-	labels := make([]graph.Label, 0, n)
-	cur, prev := start, start
-	hasPrev := false
-	for {
-		l, _ := p.Label(cur)
-		labels = append(labels, l)
-		next := cur
-		found := false
-		p.EachNeighbor(cur, func(u graph.VertexID) bool {
-			if hasPrev && u == prev {
-				return true
-			}
-			next = u
-			found = true
-			return false
-		})
-		if !found {
-			break
-		}
-		prev, cur, hasPrev = cur, next, true
-	}
-	if len(labels) != n {
-		return nil, false
-	}
-	return labels, true
 }
 
 func cmdInspect(args []string) error {

@@ -8,6 +8,7 @@ import (
 
 	"loom/internal/graph"
 	"loom/internal/partition"
+	"loom/internal/query"
 	"loom/internal/stream"
 )
 
@@ -280,16 +281,16 @@ func TestCLIEvaluateStore(t *testing.T) {
 }
 
 func TestPathLabels(t *testing.T) {
-	if labels, ok := pathLabels(graph.Path("a", "b", "c")); !ok || len(labels) != 3 {
+	if labels, ok := query.PathLabels(graph.Path("a", "b", "c")); !ok || len(labels) != 3 {
 		t.Fatalf("path: %v %v", labels, ok)
 	}
-	if _, ok := pathLabels(graph.Cycle("a", "b", "c")); ok {
+	if _, ok := query.PathLabels(graph.Cycle("a", "b", "c")); ok {
 		t.Fatal("cycle misclassified as path")
 	}
-	if _, ok := pathLabels(graph.Star("a", "b", "c", "d")); ok {
+	if _, ok := query.PathLabels(graph.Star("a", "b", "c", "d")); ok {
 		t.Fatal("star misclassified as path")
 	}
-	if labels, ok := pathLabels(graph.Star("a", "b")); !ok || len(labels) != 2 {
+	if labels, ok := query.PathLabels(graph.Star("a", "b")); !ok || len(labels) != 2 {
 		// A two-vertex star is a path.
 		t.Fatalf("2-star: %v %v", labels, ok)
 	}

@@ -55,6 +55,12 @@ type Meta struct {
 	Restreams     int
 	SinceRestream int
 	EverRestream  bool
+	// VertsAtSwap is the vertex count at the last restream swap — the
+	// baseline of the adaptive ExpectedVertices re-plan. Persisted so a
+	// recovered server re-plans the next swap exactly like an
+	// uninterrupted one (0 before the first swap, and in snapshots
+	// written before the field existed).
+	VertsAtSwap int
 	// NextSeq is the sequence number of the first WAL record not covered
 	// by this snapshot: recovery replays records with seq >= NextSeq.
 	NextSeq uint64
@@ -105,6 +111,7 @@ func WriteSnapshot(w io.Writer, m Meta, g *graph.Graph, a *partition.Assignment)
 		{"restreams", strconv.Itoa(m.Restreams)},
 		{"since_restream", strconv.Itoa(m.SinceRestream)},
 		{"ever_restream", boolVal(m.EverRestream)},
+		{"verts_at_swap", strconv.Itoa(m.VertsAtSwap)},
 		{"next_seq", strconv.FormatUint(m.NextSeq, 10)},
 	}
 	for _, kv := range meta {
@@ -263,6 +270,8 @@ func parseMetaLine(m *Meta, line string) error {
 		m.SinceRestream, err = strconv.Atoi(val)
 	case "ever_restream":
 		m.EverRestream = val == "1"
+	case "verts_at_swap":
+		m.VertsAtSwap, err = strconv.Atoi(val)
 	case "next_seq":
 		m.NextSeq, err = strconv.ParseUint(val, 10, 64)
 	}

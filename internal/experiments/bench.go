@@ -16,6 +16,7 @@ import (
 	"loom/internal/graph"
 	"loom/internal/metrics"
 	"loom/internal/partition"
+	"loom/internal/qserve"
 	"loom/internal/query"
 	"loom/internal/serve"
 	"loom/internal/stream"
@@ -49,6 +50,15 @@ type BenchRecord struct {
 	// end-to-end ingest throughput through a durable server: wire decode,
 	// writer-side partitioning and WAL append, per stream element.
 	IngestElementsPerSec float64 `json:"ingest_elements_per_sec,omitempty"`
+	// QueryPerSec (query-serve scenario only) is served queries per second
+	// through the online query engine (lock-free view reads, full message
+	// accounting). MsgsPerQueryBefore/After bracket the workload feedback
+	// loop: mean cross-shard messages per query of a fixed hot-pattern mix
+	// on the streamed placement, and after one observed-workload restream
+	// of the same server.
+	QueryPerSec        float64 `json:"query_per_sec,omitempty"`
+	MsgsPerQueryBefore float64 `json:"msgs_per_query_before,omitempty"`
+	MsgsPerQueryAfter  float64 `json:"msgs_per_query_after,omitempty"`
 }
 
 // measure runs fn, returning its wall time and the number of heap
@@ -196,7 +206,116 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 		fmt.Sprintf("community-%d", n)); err != nil {
 		return nil, err
 	}
+
+	// Online query serving and the observed-workload loop: throughput of
+	// POST /query's engine and the msgs/query delta one feedback restream
+	// buys on a fixed hot-pattern mix.
+	if err := benchQueries(&out, graphs[fmt.Sprintf("community-%d", n)], alphabet, seed, k,
+		fmt.Sprintf("community-%d/query-serve", n)); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// benchQueries measures the online query path (internal/qserve) and the
+// workload feedback loop it closes: ingest the community graph into a
+// plain windowed-LDG server, serve a fixed hot-pattern mix (recording it
+// in the observed-workload tracker), then restream against that observed
+// workload and serve the same mix again. query_per_sec is the serving
+// throughput; msgs_per_query_before/after bracket what the feedback
+// restream buys.
+func benchQueries(out *[]BenchRecord, g *graph.Graph, alphabet []graph.Label, seed int64, k int, scenario string) error {
+	s, err := serve.New(serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: seed},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Alphabet: alphabet,
+		Drift:    serve.DriftConfig{Passes: 2},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Stop()
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(elems); i += ingestBenchBatch {
+		end := min(i+ingestBenchBatch, len(elems))
+		if err := s.IngestSync(elems[i:end]); err != nil {
+			return err
+		}
+	}
+	if err := s.Drain(); err != nil {
+		return err
+	}
+
+	e := qserve.New(s, qserve.Options{MatchLimit: -1})
+	l := func(i int) string { return string(alphabet[i%len(alphabet)]) }
+	hot := []string{
+		"path " + l(0) + " " + l(1),
+		"path " + l(1) + " " + l(0) + " " + l(1),
+		"cycle " + l(0) + " " + l(1) + " " + l(2),
+	}
+	const reps = 20
+	mix := func() (msgs, queries int, err error) {
+		for r := 0; r < reps; r++ {
+			for _, spec := range hot {
+				resp, qerr := e.Query(qserve.Request{Spec: spec})
+				if qerr != nil {
+					return 0, 0, qerr
+				}
+				msgs += resp.Messages
+				queries++
+			}
+		}
+		return msgs, queries, nil
+	}
+
+	var msgs, queries int
+	elapsed, _, err := measure(func() error {
+		var merr error
+		msgs, queries, merr = mix()
+		return merr
+	})
+	if err != nil {
+		return err
+	}
+	before := float64(msgs) / float64(queries)
+	qps := float64(queries) / elapsed.Seconds()
+
+	// One feedback restream: the tracker already holds the mix, so the
+	// loom pass scores against exactly what was served.
+	if err := s.TriggerRestream("workload"); err != nil {
+		return err
+	}
+	if err := e.Refresh(); err != nil {
+		return err
+	}
+	msgs, queries, err = mix()
+	if err != nil {
+		return err
+	}
+	after := float64(msgs) / float64(queries)
+
+	a, err := s.Export()
+	if err != nil {
+		return err
+	}
+	*out = append(*out, BenchRecord{
+		Scenario:           scenario,
+		CutFraction:        metrics.CutFraction(g, a),
+		Imbalance:          metrics.VertexImbalance(a),
+		Vertices:           g.NumVertices(),
+		Edges:              g.NumEdges(),
+		K:                  k,
+		QueryPerSec:        qps,
+		MsgsPerQueryBefore: before,
+		MsgsPerQueryAfter:  after,
+	})
+	return nil
 }
 
 // benchRecover measures serve.Open over a data directory holding a
@@ -446,6 +565,16 @@ func CompareBaseline(records, baseline []BenchRecord, tol float64) []string {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: ingest_elements_per_sec %.0f below baseline %.0f by more than %.0f%%",
 					r.Scenario, r.IngestElementsPerSec, b.IngestElementsPerSec, tol*100))
+		}
+		if b.QueryPerSec > 0 && r.QueryPerSec < b.QueryPerSec*(1-tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: query_per_sec %.0f below baseline %.0f by more than %.0f%%",
+					r.Scenario, r.QueryPerSec, b.QueryPerSec, tol*100))
+		}
+		if b.MsgsPerQueryAfter > 0 && r.MsgsPerQueryAfter > b.MsgsPerQueryAfter*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: msgs_per_query_after %.2f exceeds baseline %.2f by more than %.0f%%",
+					r.Scenario, r.MsgsPerQueryAfter, b.MsgsPerQueryAfter, tol*100))
 		}
 	}
 	return regressions

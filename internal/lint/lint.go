@@ -151,6 +151,7 @@ var DeterministicPackages = map[string]bool{
 	"loom/internal/gen":         true,
 	"loom/internal/query":       true,
 	"loom/internal/store":       true,
+	"loom/internal/qserve":      true,
 }
 
 // A Directive is one parsed //loom:<name> <reason> comment.

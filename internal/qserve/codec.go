@@ -1,0 +1,111 @@
+package qserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"loom/internal/graph"
+	"loom/internal/query"
+)
+
+// ErrBadQuery is the base error of every request-parse failure: the
+// caller sent something the codec or the pattern grammar rejects.
+// errors.Is(err, ErrBadQuery) matches; HTTP handlers map it to 400.
+var ErrBadQuery = errors.New("qserve: bad query")
+
+// Request is one query call. The Spec uses the internal/query pattern
+// grammar: "path a b c", "cycle a b c", "star c l1 l2", or
+// "graph v0:a v1:b e0-1".
+type Request struct {
+	// ID is echoed into the response; optional.
+	ID string `json:"id,omitempty"`
+	// Spec is the pattern in query-grammar form.
+	Spec string `json:"query"`
+	// Limit caps the match count for this request; it can only tighten
+	// the engine's configured limit, never lift it. Zero means "engine
+	// default".
+	Limit int `json:"limit,omitempty"`
+}
+
+// ParseRequest decodes one request body. JSON content types carry a
+// Request object; anything else is treated as plain text whose whole
+// (trimmed) body is the Spec. Parse failures wrap ErrBadQuery.
+func ParseRequest(contentType string, body []byte) (Request, error) {
+	if isJSON(contentType) {
+		var r Request
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&r); err != nil {
+			return Request{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		if r.Limit < 0 {
+			return Request{}, fmt.Errorf("%w: negative limit %d", ErrBadQuery, r.Limit)
+		}
+		return r, nil
+	}
+	spec := strings.TrimSpace(string(body))
+	if spec == "" {
+		return Request{}, fmt.Errorf("%w: empty body", ErrBadQuery)
+	}
+	return Request{Spec: spec}, nil
+}
+
+// isJSON reports whether the content type's media type is JSON,
+// tolerating parameters ("application/json; charset=utf-8").
+func isJSON(contentType string) bool {
+	mt := contentType
+	if i := strings.IndexByte(mt, ';'); i >= 0 {
+		mt = mt[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(mt)) == "application/json"
+}
+
+// EncodeRequest renders r as its canonical JSON body.
+func EncodeRequest(r Request) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Unreachable: Request has only marshalable fields.
+		panic(err)
+	}
+	return b
+}
+
+// Pattern parses and validates the request's spec into a pattern graph.
+// Failures wrap ErrBadQuery.
+func (r Request) Pattern() (*graph.Graph, error) {
+	if strings.TrimSpace(r.Spec) == "" {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	p, err := query.ParsePatternSpec(r.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if !p.IsConnected() {
+		return nil, fmt.Errorf("%w: pattern is disconnected", ErrBadQuery)
+	}
+	return p, nil
+}
+
+// Response is the answer to one served query.
+type Response struct {
+	// ID echoes the request's ID.
+	ID string `json:"id,omitempty"`
+	// Matches is the embedding count, capped by Limit.
+	Matches int `json:"matches"`
+	// Limit is the effective cap this query ran under (0 = unlimited).
+	Limit int `json:"limit"`
+	// Messages is the cross-shard message count the traversal charged —
+	// the LOOM cost model's figure of merit for this query.
+	Messages int `json:"messages"`
+	// LocalReads/RemoteReads/ReplicaReads break down the vertex fetches.
+	LocalReads   int `json:"local_reads"`
+	RemoteReads  int `json:"remote_reads"`
+	ReplicaReads int `json:"replica_reads"`
+	// Epoch is the server epoch the serving view was cut at;
+	// ViewGeneration counts view refreshes.
+	Epoch          uint64 `json:"epoch"`
+	ViewGeneration uint64 `json:"view_generation"`
+}

@@ -1,0 +1,87 @@
+package qserve
+
+import (
+	"errors"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestParseRequestJSONAndText(t *testing.T) {
+	r, err := ParseRequest("application/json; charset=utf-8",
+		[]byte(`{"id":"q1","query":"path a b","limit":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "q1" || r.Spec != "path a b" || r.Limit != 5 {
+		t.Fatalf("parsed %+v", r)
+	}
+	r, err = ParseRequest("text/plain", []byte("  cycle a b c \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spec != "cycle a b c" || r.ID != "" || r.Limit != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []struct {
+		ct   string
+		body string
+	}{
+		{"application/json", `{"query":`},
+		{"application/json", `{"query":"path a b","nope":1}`},
+		{"application/json", `{"query":"path a b","limit":-1}`},
+		{"text/plain", "   "},
+	} {
+		if _, err := ParseRequest(bad.ct, []byte(bad.body)); !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("%q %q: err = %v, want ErrBadQuery", bad.ct, bad.body, err)
+		}
+	}
+}
+
+func TestRequestPatternValidation(t *testing.T) {
+	if _, err := (Request{Spec: "path a b c"}).Pattern(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "   ", "path a", "frob x y", "graph v0:a v1:b"} {
+		if _, err := (Request{Spec: bad}).Pattern(); !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("%q: err = %v, want ErrBadQuery", bad, err)
+		}
+	}
+}
+
+// FuzzQueryRequest drives the request codec with arbitrary bytes (must
+// never panic) and checks decode(encode(q)) round-trips for every
+// encodable request.
+func FuzzQueryRequest(f *testing.F) {
+	f.Add("q1", "path a b c", 5, []byte(`{"query":"path a b"}`))
+	f.Add("", "cycle a b a b", 0, []byte("star c l1 l2"))
+	f.Add("x", "graph v0:a v1:b e0-1", 1, []byte{0xff, 0xfe, 0x00})
+	f.Add("", "", -3, []byte(`{"query":"path a b","limit":-1}`))
+	f.Fuzz(func(t *testing.T, id, spec string, limit int, raw []byte) {
+		// Arbitrary bytes through both content types: parse and pattern
+		// extraction may fail but must never panic.
+		for _, ct := range []string{"application/json", "text/plain", ""} {
+			if r, err := ParseRequest(ct, raw); err == nil {
+				_, _ = r.Pattern()
+			}
+		}
+		// Round trip. JSON strings cannot carry invalid UTF-8 losslessly
+		// (the encoder substitutes U+FFFD), so restrict to valid strings.
+		if !utf8.ValidString(id) || !utf8.ValidString(spec) {
+			return
+		}
+		q := Request{ID: id, Spec: spec, Limit: limit}
+		back, err := ParseRequest("application/json", EncodeRequest(q))
+		if limit < 0 {
+			if !errors.Is(err, ErrBadQuery) {
+				t.Fatalf("negative limit round-trip: err = %v", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if back != q {
+			t.Fatalf("round trip changed the request: %+v -> %+v", q, back)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package qserve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"loom/internal/graph"
+	"loom/internal/query"
+)
+
+// Defaults applied by NewObserved for zero-valued options.
+const (
+	// DefaultObservedWindow is the number of recorded queries per decay
+	// step.
+	DefaultObservedWindow = 512
+	// DefaultObservedDecay is the weight multiplier applied each window.
+	DefaultObservedDecay = 0.5
+	// DefaultMaxPatterns caps the workload the tracker reports.
+	DefaultMaxPatterns = 32
+	// DefaultMinWeight evicts patterns once decay pushes them below it.
+	DefaultMinWeight = 0.5
+)
+
+// ObservedOptions parameterises the observed-workload tracker.
+type ObservedOptions struct {
+	// Window is the number of recorded queries between decay steps.
+	// Counting queries instead of wall-clock time keeps the tracker
+	// deterministic: the same query sequence always yields the same
+	// workload. Zero defaults to DefaultObservedWindow.
+	Window int
+	// Decay multiplies every pattern weight once per window, so the
+	// table tracks the recent mix instead of the lifetime mix. Zero
+	// defaults to DefaultObservedDecay; must stay in (0, 1).
+	Decay float64
+	// MaxPatterns caps the workload Workload returns (hottest first).
+	// Zero defaults to DefaultMaxPatterns.
+	MaxPatterns int
+	// MinWeight evicts a pattern once decay pushes its weight below it.
+	// Zero defaults to DefaultMinWeight.
+	MinWeight float64
+}
+
+func (o ObservedOptions) withDefaults() ObservedOptions {
+	if o.Window <= 0 {
+		o.Window = DefaultObservedWindow
+	}
+	if o.Decay <= 0 || o.Decay >= 1 {
+		o.Decay = DefaultObservedDecay
+	}
+	if o.MaxPatterns <= 0 {
+		o.MaxPatterns = DefaultMaxPatterns
+	}
+	if o.MinWeight <= 0 {
+		o.MinWeight = DefaultMinWeight
+	}
+	return o
+}
+
+type obsPattern struct {
+	spec    string
+	pattern *graph.Graph
+	weight  float64
+}
+
+// Observed is a windowed, decayed frequency table of served query
+// patterns, keyed by their canonical spec (query.FormatPatternSpec). It
+// is the live workload source the serving stack feeds back into LOOM:
+// Workload snapshots the current table as a query.Workload for the
+// pattern tracker and restream scoring.
+type Observed struct {
+	mu         sync.Mutex
+	opts       ObservedOptions
+	served     int64
+	sinceDecay int
+	pats       map[string]*obsPattern
+}
+
+// NewObserved returns an empty tracker.
+func NewObserved(opts ObservedOptions) *Observed {
+	return &Observed{
+		opts: opts.withDefaults(),
+		pats: make(map[string]*obsPattern),
+	}
+}
+
+// Record counts one served query with the given canonical spec and
+// pattern. The pattern is deep-copied; the caller keeps ownership of p.
+func (o *Observed) Record(spec string, p *graph.Graph) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.served++
+	if op, ok := o.pats[spec]; ok {
+		op.weight++
+	} else {
+		o.pats[spec] = &obsPattern{spec: spec, pattern: clonePattern(p), weight: 1}
+	}
+	o.sinceDecay++
+	if o.sinceDecay >= o.opts.Window {
+		o.sinceDecay = 0
+		o.decayLocked()
+	}
+}
+
+// decayLocked ages every weight by one window and evicts the cold tail.
+func (o *Observed) decayLocked() {
+	//loom:orderinvariant per-entry scale+evict; no cross-entry state
+	for spec, op := range o.pats {
+		op.weight *= o.opts.Decay
+		if op.weight < o.opts.MinWeight {
+			delete(o.pats, spec)
+		}
+	}
+}
+
+// Served returns the total number of recorded queries.
+func (o *Observed) Served() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.served
+}
+
+// Patterns returns the number of live (not yet evicted) patterns.
+func (o *Observed) Patterns() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pats)
+}
+
+// PatternStat is one row of the tracker's public view.
+type PatternStat struct {
+	Spec   string  `json:"spec"`
+	Weight float64 `json:"weight"`
+}
+
+// Top returns up to n patterns ordered by descending weight (ties by
+// spec, for determinism).
+func (o *Observed) Top(n int) []PatternStat {
+	o.mu.Lock()
+	ranked := o.rankedLocked()
+	o.mu.Unlock()
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	out := make([]PatternStat, len(ranked))
+	for i, op := range ranked {
+		out[i] = PatternStat{Spec: op.spec, Weight: op.weight}
+	}
+	return out
+}
+
+// rankedLocked returns the live patterns hottest-first.
+func (o *Observed) rankedLocked() []*obsPattern {
+	ranked := make([]*obsPattern, 0, len(o.pats))
+	for _, op := range o.pats {
+		ranked = append(ranked, op)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].weight != ranked[j].weight {
+			return ranked[i].weight > ranked[j].weight
+		}
+		return ranked[i].spec < ranked[j].spec
+	})
+	return ranked
+}
+
+// Workload snapshots the hottest MaxPatterns patterns as a
+// query.Workload, or nil while the table is empty. The returned workload
+// shares nothing with the tracker (patterns are deep-copied with fresh
+// interners), so it can cross goroutines — it is handed to the serve
+// writer at restream launch via Server.SetWorkloadSource.
+func (o *Observed) Workload() *query.Workload {
+	o.mu.Lock()
+	ranked := o.rankedLocked()
+	if len(ranked) > o.opts.MaxPatterns {
+		ranked = ranked[:o.opts.MaxPatterns]
+	}
+	qs := make([]query.Query, len(ranked))
+	for i, op := range ranked {
+		qs[i] = query.Query{
+			ID:      "obs" + strconv.Itoa(i),
+			Pattern: clonePattern(op.pattern),
+			Weight:  op.weight,
+		}
+	}
+	o.mu.Unlock()
+	if len(qs) == 0 {
+		return nil
+	}
+	w, err := query.NewWorkload(qs...)
+	if err != nil {
+		// Unreachable: specs parsed into connected patterns with positive
+		// decayed weights and unique IDs.
+		panic(err)
+	}
+	return w
+}
+
+// clonePattern deep-copies p with a fresh interner so the copy can cross
+// goroutines (graph.Clone shares the label interner, which is not
+// concurrency-safe).
+func clonePattern(p *graph.Graph) *graph.Graph {
+	c := graph.NewWithCapacity(p.NumVertices())
+	for _, v := range p.Vertices() {
+		l, _ := p.Label(v)
+		c.AddVertex(v, l)
+	}
+	for _, e := range p.Edges() {
+		// Endpoints were just added; AddEdge cannot fail.
+		if err := c.AddEdge(e.U, e.V); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}

@@ -1,0 +1,109 @@
+package qserve
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/query"
+)
+
+func mustPattern(t *testing.T, spec string) *graph.Graph {
+	t.Helper()
+	p, err := query.ParsePatternSpec(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	return p
+}
+
+func TestObservedWorkloadRanking(t *testing.T) {
+	o := NewObserved(ObservedOptions{})
+	if o.Workload() != nil {
+		t.Fatal("empty tracker should report a nil workload")
+	}
+	hot := mustPattern(t, "path a b c")
+	cold := mustPattern(t, "cycle a b c")
+	for i := 0; i < 5; i++ {
+		o.Record(query.FormatPatternSpec(hot), hot)
+	}
+	o.Record(query.FormatPatternSpec(cold), cold)
+
+	w := o.Workload()
+	if w == nil || w.Len() != 2 {
+		t.Fatalf("workload = %v", w)
+	}
+	qs := w.Queries()
+	if qs[0].ID != "obs0" || qs[0].Weight != 5 || !qs[0].Pattern.Equal(hot) {
+		t.Fatalf("hottest = %+v", qs[0])
+	}
+	if qs[1].ID != "obs1" || qs[1].Weight != 1 {
+		t.Fatalf("second = %+v", qs[1])
+	}
+	// The workload is detached: mutating it must not reach the tracker.
+	qs[0].Pattern.AddVertex(99, "zz")
+	if w2 := o.Workload(); w2.Queries()[0].Pattern.NumVertices() != 3 {
+		t.Fatal("workload shares pattern storage with the tracker")
+	}
+	if o.Served() != 6 || o.Patterns() != 2 {
+		t.Fatalf("served=%d patterns=%d", o.Served(), o.Patterns())
+	}
+}
+
+func TestObservedDecayEvictsColdPatterns(t *testing.T) {
+	// Window 4, decay 0.5, eviction below 0.5: a pattern served once is
+	// gone after two windows without further traffic.
+	o := NewObserved(ObservedOptions{Window: 4, Decay: 0.5, MinWeight: 0.5})
+	cold := mustPattern(t, "star c l1 l2")
+	hot := mustPattern(t, "path a b")
+	o.Record(query.FormatPatternSpec(cold), cold)
+	for i := 0; i < 7; i++ {
+		o.Record(query.FormatPatternSpec(hot), hot)
+	}
+	// Two windows elapsed: cold's weight is 1*0.5*0.5 = 0.25 < 0.5.
+	if got := o.Patterns(); got != 1 {
+		t.Fatalf("patterns = %d, want 1 (cold evicted)", got)
+	}
+	top := o.Top(8)
+	if len(top) != 1 || top[0].Spec != query.FormatPatternSpec(hot) {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestObservedMaxPatternsCap(t *testing.T) {
+	o := NewObserved(ObservedOptions{MaxPatterns: 2})
+	specs := []string{"path a b", "path b c", "path c d"}
+	for i, s := range specs {
+		p := mustPattern(t, s)
+		for j := 0; j <= i; j++ { // later specs are hotter
+			o.Record(query.FormatPatternSpec(p), p)
+		}
+	}
+	w := o.Workload()
+	if w.Len() != 2 {
+		t.Fatalf("workload len = %d, want cap 2", w.Len())
+	}
+	if qs := w.Queries(); qs[0].Weight != 3 || qs[1].Weight != 2 {
+		t.Fatalf("kept weights %v/%v, want the two hottest", qs[0].Weight, qs[1].Weight)
+	}
+}
+
+func TestObservedDeterministicTieBreak(t *testing.T) {
+	// Equal weights rank by spec; the workload is reproducible.
+	o := NewObserved(ObservedOptions{})
+	for _, s := range []string{"path b c", "path a b", "cycle a b c"} {
+		p := mustPattern(t, s)
+		o.Record(query.FormatPatternSpec(p), p)
+	}
+	w1, w2 := o.Workload(), o.Workload()
+	q1, q2 := w1.Queries(), w2.Queries()
+	for i := range q1 {
+		if q1[i].ID != q2[i].ID || !q1[i].Pattern.Equal(q2[i].Pattern) {
+			t.Fatalf("workload snapshot not deterministic at %d", i)
+		}
+	}
+	for i := 1; i < len(q1); i++ {
+		if query.FormatPatternSpec(q1[i-1].Pattern) >= query.FormatPatternSpec(q1[i].Pattern) {
+			t.Fatalf("equal-weight patterns not spec-ordered: %d", i)
+		}
+	}
+}

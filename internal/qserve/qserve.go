@@ -1,0 +1,398 @@
+// Package qserve is the online query subsystem: it executes path and
+// pattern traversals from internal/query against a sharded store
+// (internal/store) built from the serving runtime's copy-on-write views,
+// counting real cross-shard messages per query under the LOOM cost model.
+//
+// Serving a query feeds three loops back into the partitioner:
+//
+//   - Observed workload: every served pattern lands in a windowed,
+//     decayed frequency table (Observed) that replaces the static
+//     workload the next loom restream scores against, via
+//     serve.Server.SetWorkloadSource.
+//   - Drift: a per-window cross-shard message rate is compared against
+//     DriftConfig.MaxMessagesPerQuery; crossing it fires a background
+//     TriggerRestream("workload"), so workload shift alone — without any
+//     ingest — can re-partition the graph.
+//   - Replication: remote fetches accumulate a heat map that seeds a
+//     store.Advisor on every view refresh, replicating vertices on hot
+//     query paths within a budget (Yang et al. hotspot replication).
+//
+// Queries read lock-free off a store built from an immutable View: the
+// writer goroutine is involved only when a view is (re)built, never per
+// query.
+package qserve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/serve"
+	"loom/internal/store"
+)
+
+// Defaults applied by New for zero-valued options.
+const (
+	// DefaultMatchLimit caps matches per query unless the engine or the
+	// request says otherwise.
+	DefaultMatchLimit = 200
+	// DefaultQueryWindow is the message-rate window in served queries
+	// when neither Options nor the server's DriftConfig set one.
+	DefaultQueryWindow = 64
+)
+
+// Options parameterises a query Engine.
+type Options struct {
+	// MatchLimit caps the match count per query (requests can tighten it
+	// further). Zero defaults to DefaultMatchLimit; negative means
+	// unlimited.
+	MatchLimit int
+	// ReplicaBudget is the number of hotspot replicas placed per view
+	// refresh (0 = replication off).
+	ReplicaBudget int
+	// Observed configures the observed-workload tracker.
+	Observed ObservedOptions
+	// MaxMessagesPerQuery overrides the server's
+	// DriftConfig.MaxMessagesPerQuery trigger threshold (0 = inherit).
+	MaxMessagesPerQuery float64
+	// QueryWindow overrides DriftConfig.QueryWindow (0 = inherit, then
+	// DefaultQueryWindow).
+	QueryWindow int
+	// CooldownQueries is the minimum number of served queries between
+	// workload-triggered restreams. Zero defaults to 4*QueryWindow.
+	CooldownQueries int
+	// RefreshQueries rebuilds the serving view every N served queries,
+	// picking up placements that changed since the last refresh (0 =
+	// refresh only on demand and after workload restreams).
+	RefreshQueries int
+	// StaticWorkload keeps the server's static workload: the engine does
+	// not install the observed tracker as the live workload source. The
+	// tracker still records (for stats); only the feedback is off.
+	StaticWorkload bool
+}
+
+// view is one generation of the serving store, immutable once published.
+type view struct {
+	st         *store.Store
+	epoch      uint64
+	generation uint64
+	vertices   int
+	edges      int
+	replicas   int
+}
+
+type heatKey struct {
+	v    graph.VertexID
+	from partition.ID
+}
+
+// Engine serves queries over a Server's exported views. All methods are
+// safe for concurrent use.
+type Engine struct {
+	srv  *serve.Server
+	opts Options
+	obs  *Observed
+
+	// Resolved trigger parameters (Options over DriftConfig over
+	// defaults), fixed at New.
+	matchLimit int
+	maxMsgs    float64
+	window     int
+	cooldown   int
+
+	// cur is the published view; queries load it lock-free. refreshMu
+	// serialises rebuilds.
+	cur        atomic.Pointer[view]
+	refreshMu  sync.Mutex
+	generation atomic.Uint64
+
+	// mu guards the feedback state below.
+	mu          sync.Mutex
+	heat        map[heatKey]int
+	queries     int64
+	winQueries  int
+	winMessages int
+	lastRate    float64
+	rateValid   bool
+	sinceTrig   int
+	everTrig    bool
+	triggers    int64
+
+	// restreamBusy/refreshBusy collapse concurrent background triggers
+	// into one in-flight restream/refresh each.
+	restreamBusy atomic.Bool
+	refreshBusy  atomic.Bool
+}
+
+// New builds an Engine over srv and, unless opts.StaticWorkload is set,
+// installs its observed-workload tracker as the server's live workload
+// source — from then on every loom restream scores against what was
+// actually served.
+func New(srv *serve.Server, opts Options) *Engine {
+	d := srv.DriftConfig()
+	e := &Engine{
+		srv:  srv,
+		opts: opts,
+		obs:  NewObserved(opts.Observed),
+		heat: make(map[heatKey]int),
+	}
+	e.matchLimit = opts.MatchLimit
+	if e.matchLimit == 0 {
+		e.matchLimit = DefaultMatchLimit
+	}
+	if e.matchLimit < 0 {
+		e.matchLimit = 0 // unlimited
+	}
+	e.maxMsgs = opts.MaxMessagesPerQuery
+	if e.maxMsgs == 0 {
+		e.maxMsgs = d.MaxMessagesPerQuery
+	}
+	e.window = opts.QueryWindow
+	if e.window == 0 {
+		e.window = d.QueryWindow
+	}
+	if e.window <= 0 {
+		e.window = DefaultQueryWindow
+	}
+	e.cooldown = opts.CooldownQueries
+	if e.cooldown <= 0 {
+		e.cooldown = 4 * e.window
+	}
+	if !opts.StaticWorkload {
+		srv.SetWorkloadSource(e.obs.Workload)
+	}
+	return e
+}
+
+// Observed returns the engine's workload tracker.
+func (e *Engine) Observed() *Observed { return e.obs }
+
+// Refresh rebuilds the serving view from the server's current state:
+// export, shard, then replay the accumulated remote-fetch heat into a
+// replication advisor (budget permitting). Concurrent refreshes
+// serialise; queries keep answering from the old view until the new one
+// is published.
+func (e *Engine) Refresh() error {
+	e.refreshMu.Lock()
+	defer e.refreshMu.Unlock()
+	v, err := e.srv.ExportView()
+	if err != nil {
+		return err
+	}
+	st, err := store.Build(v.Graph, v.Assignment)
+	if err != nil {
+		return err
+	}
+	replicas := 0
+	if e.opts.ReplicaBudget > 0 {
+		adv := store.NewAdvisor(st)
+		type heatEntry struct {
+			k heatKey
+			h int
+		}
+		e.mu.Lock()
+		entries := make([]heatEntry, 0, len(e.heat))
+		for k, h := range e.heat {
+			entries = append(entries, heatEntry{k: k, h: h})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].k.v != entries[j].k.v {
+				return entries[i].k.v < entries[j].k.v
+			}
+			return entries[i].k.from < entries[j].k.from
+		})
+		// Seed the advisor with the full accumulated heat, then halve it:
+		// hotspots persist across view generations but age out once the
+		// workload stops touching them.
+		for _, en := range entries {
+			adv.Add(en.k.v, en.k.from, en.h)
+			if en.h/2 == 0 {
+				delete(e.heat, en.k)
+			} else {
+				e.heat[en.k] = en.h / 2
+			}
+		}
+		e.mu.Unlock()
+		replicas = adv.Apply(e.opts.ReplicaBudget)
+	}
+	nv := &view{
+		st:         st,
+		epoch:      v.Epoch,
+		generation: e.generation.Add(1),
+		vertices:   v.Graph.NumVertices(),
+		edges:      v.Graph.NumEdges(),
+		replicas:   replicas,
+	}
+	e.cur.Store(nv)
+	return nil
+}
+
+// Query executes one request against the current view and feeds the
+// outcome into the workload, drift, and replication loops. The first
+// query (or any query before a view exists) refreshes implicitly.
+func (e *Engine) Query(req Request) (Response, error) {
+	p, err := req.Pattern()
+	if err != nil {
+		return Response{}, err
+	}
+	v := e.cur.Load()
+	if v == nil {
+		if err := e.Refresh(); err != nil {
+			return Response{}, err
+		}
+		v = e.cur.Load()
+	}
+	limit := e.matchLimit
+	if req.Limit > 0 && (limit == 0 || req.Limit < limit) {
+		limit = req.Limit
+	}
+
+	eng := store.NewEngine(v.st)
+	var fetches []heatKey
+	eng.SetObserver(func(fv graph.VertexID, from partition.ID) {
+		fetches = append(fetches, heatKey{v: fv, from: from})
+	})
+	var matches int
+	if labels, ok := query.PathLabels(p); ok {
+		matches, err = eng.MatchPath(labels, limit)
+	} else {
+		matches, err = eng.MatchPattern(p, limit)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	stats := eng.Stats()
+
+	e.obs.Record(query.FormatPatternSpec(p), p)
+	trigger := e.noteServed(fetches, stats.Messages)
+	if trigger {
+		e.fireWorkloadRestream()
+	}
+	if n := e.opts.RefreshQueries; n > 0 && !trigger {
+		e.mu.Lock()
+		due := e.queries%int64(n) == 0
+		e.mu.Unlock()
+		if due {
+			e.backgroundRefresh()
+		}
+	}
+
+	return Response{
+		ID:             req.ID,
+		Matches:        matches,
+		Limit:          limit,
+		Messages:       stats.Messages,
+		LocalReads:     stats.LocalReads,
+		RemoteReads:    stats.RemoteReads,
+		ReplicaReads:   stats.ReplicaReads,
+		Epoch:          v.epoch,
+		ViewGeneration: v.generation,
+	}, nil
+}
+
+// noteServed folds one served query into the heat map and the windowed
+// message-rate estimator, returning true when the window just closed
+// above the trigger threshold (outside its cooldown).
+func (e *Engine) noteServed(fetches []heatKey, messages int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries++
+	for _, f := range fetches {
+		e.heat[f]++
+	}
+	e.winQueries++
+	e.winMessages += messages
+	e.sinceTrig++
+	if e.winQueries < e.window {
+		return false
+	}
+	rate := float64(e.winMessages) / float64(e.winQueries)
+	e.lastRate, e.rateValid = rate, true
+	e.winQueries, e.winMessages = 0, 0
+	if e.maxMsgs <= 0 || rate <= e.maxMsgs {
+		return false
+	}
+	if e.everTrig && e.sinceTrig < e.cooldown {
+		return false
+	}
+	e.everTrig = true
+	e.sinceTrig = 0
+	e.triggers++
+	return true
+}
+
+// fireWorkloadRestream asks the server for an observed-workload restream
+// in the background, refreshing the view once the swap is adopted. A
+// restream already in flight (ours or anyone's) collapses the request.
+func (e *Engine) fireWorkloadRestream() {
+	if !e.restreamBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.restreamBusy.Store(false)
+		if err := e.srv.TriggerRestream("workload"); err == nil {
+			_ = e.Refresh()
+		}
+	}()
+}
+
+// backgroundRefresh rebuilds the view without blocking the query path.
+func (e *Engine) backgroundRefresh() {
+	if !e.refreshBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.refreshBusy.Store(false)
+		_ = e.Refresh()
+	}()
+}
+
+// EngineStats is the reader-visible state of the query engine.
+type EngineStats struct {
+	// Queries counts served queries; WorkloadTriggers counts restreams
+	// the message-rate trigger fired.
+	Queries          int64 `json:"queries"`
+	WorkloadTriggers int64 `json:"workload_triggers"`
+	// MsgsPerQuery is the cross-shard message rate of the last completed
+	// window; meaningful only while RateValid.
+	MsgsPerQuery float64 `json:"msgs_per_query"`
+	RateValid    bool    `json:"rate_valid"`
+	// View describes the published serving view (zero before the first
+	// refresh).
+	ViewEpoch      uint64 `json:"view_epoch"`
+	ViewGeneration uint64 `json:"view_generation"`
+	ViewVertices   int    `json:"view_vertices"`
+	ViewEdges      int    `json:"view_edges"`
+	ViewReplicas   int    `json:"view_replicas"`
+	// ObservedPatterns/ObservedServed summarise the workload tracker;
+	// TopPatterns lists its hottest entries.
+	ObservedPatterns int           `json:"observed_patterns"`
+	ObservedServed   int64         `json:"observed_served"`
+	TopPatterns      []PatternStat `json:"top_patterns,omitempty"`
+}
+
+// Stats snapshots the engine's counters. Safe for any goroutine.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		ObservedPatterns: e.obs.Patterns(),
+		ObservedServed:   e.obs.Served(),
+		TopPatterns:      e.obs.Top(8),
+	}
+	e.mu.Lock()
+	st.Queries = e.queries
+	st.WorkloadTriggers = e.triggers
+	st.MsgsPerQuery = e.lastRate
+	st.RateValid = e.rateValid
+	e.mu.Unlock()
+	if v := e.cur.Load(); v != nil {
+		st.ViewEpoch = v.epoch
+		st.ViewGeneration = v.generation
+		st.ViewVertices = v.vertices
+		st.ViewEdges = v.edges
+		st.ViewReplicas = v.replicas
+	}
+	return st
+}

@@ -1,0 +1,233 @@
+package qserve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/serve"
+	"loom/internal/store"
+	"loom/internal/stream"
+)
+
+// startServer ingests a deterministic labelled graph into a fresh server
+// (drift triggers off unless cfg overrides) and drains it.
+func startServer(t *testing.T, n, k int, seed int64, drift serve.DriftConfig) (*serve.Server, *graph.Graph, []graph.Label) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	alphabet := gen.DefaultAlphabet(4)
+	g, err := gen.PlantedPartitionDegrees(n, k, 8, 2, &gen.UniformLabeler{Alphabet: alphabet, Rand: r}, r)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	w, err := query.GenerateWorkload(query.DefaultMix(8), alphabet, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	s, err := serve.New(serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: k, ExpectedVertices: n, Slack: 1.2, Seed: 1},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+		Drift:    drift,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	elems, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if err := s.IngestSync(elems); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return s, g, alphabet
+}
+
+// TestQueryParityWithOfflineStore pins the served path to the offline
+// evaluator's: a query through the engine returns exactly the matches and
+// messages of the same traversal over store.Build(g, Export()).
+func TestQueryParityWithOfflineStore(t *testing.T) {
+	srv, g, alphabet := startServer(t, 300, 3, 17, serve.DriftConfig{})
+	defer srv.Stop()
+	e := New(srv, Options{MatchLimit: -1, StaticWorkload: true})
+
+	a, err := srv.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	st, err := store.Build(g, a)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	specs := []string{
+		"path " + string(alphabet[0]) + " " + string(alphabet[1]),
+		"path " + string(alphabet[0]) + " " + string(alphabet[1]) + " " + string(alphabet[2]),
+		"cycle " + string(alphabet[0]) + " " + string(alphabet[1]) + " " + string(alphabet[2]),
+		"star " + string(alphabet[2]) + " " + string(alphabet[0]) + " " + string(alphabet[1]),
+	}
+	for _, spec := range specs {
+		resp, err := e.Query(Request{Spec: spec})
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		p := mustPattern(t, spec)
+		off := store.NewEngine(st)
+		var want int
+		if labels, ok := query.PathLabels(p); ok {
+			want, err = off.MatchPath(labels, 0)
+		} else {
+			want, err = off.MatchPattern(p, 0)
+		}
+		if err != nil {
+			t.Fatalf("%q offline: %v", spec, err)
+		}
+		if resp.Matches != want {
+			t.Errorf("%q: served %d matches, offline %d", spec, resp.Matches, want)
+		}
+		if os := off.Stats(); resp.Messages != os.Messages ||
+			resp.LocalReads != os.LocalReads || resp.RemoteReads != os.RemoteReads {
+			t.Errorf("%q: served cost %+v, offline %+v", spec, resp, os)
+		}
+	}
+
+	// Serving is deterministic: the same query replays bit-identically.
+	r1, _ := e.Query(Request{Spec: specs[1]})
+	r2, _ := e.Query(Request{Spec: specs[1]})
+	if r1 != r2 {
+		t.Fatalf("served query not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestQueryLimitAndErrors(t *testing.T) {
+	srv, _, alphabet := startServer(t, 200, 2, 23, serve.DriftConfig{})
+	defer srv.Stop()
+	e := New(srv, Options{MatchLimit: 10, StaticWorkload: true})
+
+	spec := "path " + string(alphabet[0]) + " " + string(alphabet[1])
+	resp, err := e.Query(Request{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Limit != 10 || resp.Matches > 10 {
+		t.Fatalf("resp %+v, want limit 10 honoured", resp)
+	}
+	// A request can tighten the limit but not lift it.
+	resp, err = e.Query(Request{Spec: spec, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Limit != 2 || resp.Matches > 2 {
+		t.Fatalf("resp %+v, want request limit 2", resp)
+	}
+	resp, err = e.Query(Request{Spec: spec, Limit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Limit != 10 {
+		t.Fatalf("resp %+v: request lifted the engine limit", resp)
+	}
+	if _, err := e.Query(Request{Spec: "frob a b"}); err == nil {
+		t.Fatal("bad spec must fail")
+	}
+}
+
+// TestReplicationLoop checks the third feedback loop: remote fetches
+// accumulate heat, a refresh spends the replica budget on it, and the
+// same query then crosses fewer shard boundaries with the same result.
+func TestReplicationLoop(t *testing.T) {
+	srv, _, alphabet := startServer(t, 300, 3, 29, serve.DriftConfig{})
+	defer srv.Stop()
+	e := New(srv, Options{MatchLimit: -1, ReplicaBudget: 16, StaticWorkload: true})
+
+	spec := "path " + string(alphabet[0]) + " " + string(alphabet[1]) + " " + string(alphabet[2])
+	before, err := e.Query(Request{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Messages == 0 {
+		t.Skip("no cross-shard traffic for this layout")
+	}
+	if err := e.Refresh(); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	st := e.Stats()
+	if st.ViewReplicas == 0 {
+		t.Fatal("refresh placed no replicas despite observed heat")
+	}
+	if st.ViewGeneration != 2 {
+		t.Fatalf("view generation = %d, want 2", st.ViewGeneration)
+	}
+	after, err := e.Query(Request{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Matches != before.Matches {
+		t.Fatalf("replicas changed the result: %d vs %d", after.Matches, before.Matches)
+	}
+	if after.Messages >= before.Messages {
+		t.Fatalf("messages did not drop: %d -> %d", before.Messages, after.Messages)
+	}
+	if after.ReplicaReads == 0 {
+		t.Fatal("no replica reads after replication")
+	}
+}
+
+// TestWorkloadTriggerFiresRestream closes the drift loop from the query
+// side: queries alone (no ingest) push the message rate over the
+// threshold, the engine fires a workload restream, and the server adopts
+// an observed-workload assignment.
+func TestWorkloadTriggerFiresRestream(t *testing.T) {
+	srv, _, alphabet := startServer(t, 400, 2, 31, serve.DriftConfig{
+		MaxMessagesPerQuery: 0.001, // any cross-shard traffic trips it
+		QueryWindow:         8,
+	})
+	defer srv.Stop()
+	e := New(srv, Options{MatchLimit: -1})
+
+	spec := "path " + string(alphabet[0]) + " " + string(alphabet[1])
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Stats().Restreams == 0 {
+		resp, err := e.Query(Request{Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Messages == 0 {
+			t.Skip("no cross-shard traffic for this layout")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workload restream never fired: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Let the background goroutine finish its post-restream refresh.
+	for e.Stats().ViewGeneration < 2 && !time.Now().After(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rep := srv.Stats().LastRestream
+	if rep == nil || rep.Trigger != "workload" {
+		t.Fatalf("report = %+v, want workload trigger", rep)
+	}
+	if rep.WorkloadSource != "observed" {
+		t.Fatalf("report = %+v, want observed workload source", rep)
+	}
+	st := e.Stats()
+	if st.WorkloadTriggers == 0 || !st.RateValid || st.MsgsPerQuery <= 0 {
+		t.Fatalf("engine stats %+v", st)
+	}
+	if st.ObservedPatterns == 0 || st.ObservedServed == 0 {
+		t.Fatalf("tracker never recorded: %+v", st)
+	}
+}

@@ -85,33 +85,69 @@ func parseQueryLine(line string) (Query, error) {
 	if err != nil {
 		return Query{}, fmt.Errorf("bad weight %q: %v", fields[2], err)
 	}
-	form, rest := fields[3], fields[4:]
-	var pattern *graph.Graph
+	pattern, err := parsePatternForm(fields[3], fields[4:])
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{ID: id, Pattern: pattern, Weight: weight}, nil
+}
+
+// ParsePatternSpec parses one pattern in the workload format's shape
+// forms, without the "query <id> <weight>" prefix:
+//
+//	path <label> <label> ...
+//	cycle <label> <label> <label> ...
+//	star <center> <leaf> ...
+//	graph v<id>:<label> ... e<u>-<v> ...
+//
+// It is the request syntax of the online /query endpoint.
+func ParsePatternSpec(spec string) (*graph.Graph, error) {
+	fields := strings.Fields(spec)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("query: want '<form> args...', got %q", spec)
+	}
+	return parsePatternForm(fields[0], fields[1:])
+}
+
+// FormatPatternSpec renders p in the graph form, which is lossless and
+// canonical: two patterns with the same vertex IDs, labels and edges
+// format to the same string (Vertices and Edges are sorted), so the
+// result doubles as a dedup key for observed-workload tracking.
+func FormatPatternSpec(p *graph.Graph) string {
+	var sb strings.Builder
+	sb.WriteString("graph")
+	for _, v := range p.Vertices() {
+		l, _ := p.Label(v)
+		fmt.Fprintf(&sb, " v%d:%s", v, l)
+	}
+	for _, e := range p.Edges() {
+		fmt.Fprintf(&sb, " e%d-%d", e.U, e.V)
+	}
+	return sb.String()
+}
+
+// parsePatternForm dispatches one shape form with its argument tokens.
+func parsePatternForm(form string, rest []string) (*graph.Graph, error) {
 	switch form {
 	case "path":
 		if len(rest) < 2 {
-			return Query{}, fmt.Errorf("path needs >= 2 labels")
+			return nil, fmt.Errorf("path needs >= 2 labels")
 		}
-		pattern = graph.Path(toLabels(rest)...)
+		return graph.Path(toLabels(rest)...), nil
 	case "cycle":
 		if len(rest) < 3 {
-			return Query{}, fmt.Errorf("cycle needs >= 3 labels")
+			return nil, fmt.Errorf("cycle needs >= 3 labels")
 		}
-		pattern = graph.Cycle(toLabels(rest)...)
+		return graph.Cycle(toLabels(rest)...), nil
 	case "star":
 		if len(rest) < 2 {
-			return Query{}, fmt.Errorf("star needs a center and >= 1 leaf")
+			return nil, fmt.Errorf("star needs a center and >= 1 leaf")
 		}
-		pattern = graph.Star(graph.Label(rest[0]), toLabels(rest[1:])...)
+		return graph.Star(graph.Label(rest[0]), toLabels(rest[1:])...), nil
 	case "graph":
-		pattern, err = parseGraphForm(rest)
-		if err != nil {
-			return Query{}, err
-		}
-	default:
-		return Query{}, fmt.Errorf("unknown form %q", form)
+		return parseGraphForm(rest)
 	}
-	return Query{ID: id, Pattern: pattern, Weight: weight}, nil
+	return nil, fmt.Errorf("unknown form %q", form)
 }
 
 func toLabels(ss []string) []graph.Label {

@@ -1,0 +1,62 @@
+package query
+
+import "loom/internal/graph"
+
+// PathLabels extracts the label sequence of a path-shaped pattern: n
+// vertices, n-1 edges, max degree 2 (with max degree ≤ 2 and two
+// endpoints that is necessarily a simple path). The walk starts from the
+// lower-ID endpoint for determinism. ok is false for every other shape;
+// those go through the general pattern matcher instead of the cheaper
+// path traversal.
+func PathLabels(p *graph.Graph) ([]graph.Label, bool) {
+	n := p.NumVertices()
+	if n == 0 || p.NumEdges() != n-1 {
+		return nil, false
+	}
+	if n == 1 {
+		v := p.Vertices()[0]
+		l, _ := p.Label(v)
+		return []graph.Label{l}, true
+	}
+	var ends []graph.VertexID
+	for _, v := range p.Vertices() {
+		switch d := p.Degree(v); {
+		case d > 2:
+			return nil, false
+		case d == 1:
+			ends = append(ends, v)
+		}
+	}
+	if len(ends) != 2 {
+		return nil, false
+	}
+	start := ends[0]
+	if ends[1] < start {
+		start = ends[1]
+	}
+	labels := make([]graph.Label, 0, n)
+	cur, prev := start, start
+	hasPrev := false
+	for {
+		l, _ := p.Label(cur)
+		labels = append(labels, l)
+		next := cur
+		found := false
+		p.EachNeighbor(cur, func(u graph.VertexID) bool {
+			if hasPrev && u == prev {
+				return true
+			}
+			next = u
+			found = true
+			return false
+		})
+		if !found {
+			break
+		}
+		prev, cur, hasPrev = cur, next, true
+	}
+	if len(labels) != n {
+		return nil, false
+	}
+	return labels, true
+}

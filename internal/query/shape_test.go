@@ -1,0 +1,63 @@
+package query
+
+import "testing"
+
+func TestParsePatternSpecForms(t *testing.T) {
+	cases := []struct {
+		spec       string
+		wantV      int
+		wantE      int
+		asPathKnot bool // path-shaped per PathLabels
+	}{
+		{"path a b c", 3, 2, true},
+		{"cycle a b c", 3, 3, false},
+		{"star c l1 l2 l3", 4, 3, false},
+		{"graph v0:a v1:b v2:c e0-1 e1-2", 3, 2, true},
+		{"graph v0:a", 1, 0, true},
+	}
+	for _, c := range cases {
+		p, err := ParsePatternSpec(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if p.NumVertices() != c.wantV || p.NumEdges() != c.wantE {
+			t.Errorf("%q: |V|=%d |E|=%d", c.spec, p.NumVertices(), p.NumEdges())
+		}
+		if _, ok := PathLabels(p); ok != c.asPathKnot {
+			t.Errorf("%q: PathLabels ok=%v, want %v", c.spec, ok, c.asPathKnot)
+		}
+	}
+	for _, bad := range []string{"", "path", "path a", "cycle a b", "star c", "frob a b", "graph v0:a vX", "graph e0-1"} {
+		if _, err := ParsePatternSpec(bad); err == nil {
+			t.Errorf("%q: want error", bad)
+		}
+	}
+}
+
+func TestFormatPatternSpecRoundTripAndCanonical(t *testing.T) {
+	for _, spec := range []string{"path a b c", "cycle a b a b", "star c l1 l2", "graph v3:x v7:y e3-7"} {
+		p, err := ParsePatternSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := FormatPatternSpec(p)
+		back, err := ParsePatternSpec(s)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s, err)
+		}
+		if !back.Equal(p) {
+			t.Errorf("%q: round trip through %q changed the pattern", spec, s)
+		}
+		if s2 := FormatPatternSpec(back); s2 != s {
+			t.Errorf("%q: formatting is not canonical: %q vs %q", spec, s, s2)
+		}
+	}
+	// The path form and its explicit graph form format identically, so the
+	// spec doubles as an observed-workload dedup key.
+	a, _ := ParsePatternSpec("path a b c")
+	b, _ := ParsePatternSpec("graph v0:a v1:b v2:c e0-1 e1-2")
+	if FormatPatternSpec(a) != FormatPatternSpec(b) {
+		t.Errorf("equivalent patterns format differently: %q vs %q",
+			FormatPatternSpec(a), FormatPatternSpec(b))
+	}
+}

@@ -196,6 +196,7 @@ func (s *Server) restoreSnapshot(rec *checkpoint.Recovered) error {
 	s.restreams = m.Restreams
 	s.sinceRestream = m.SinceRestream
 	s.everRestream = m.EverRestream
+	s.vertsAtSwap = m.VertsAtSwap
 	// publish() pre-increments, so the first publish after restore lands
 	// on the snapshot's epoch — the same number an uninterrupted server
 	// showed at the barrier.

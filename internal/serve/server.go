@@ -106,6 +106,30 @@ type DriftConfig struct {
 	// Heuristic picks the restream engine: "loom" (workload-aware, the
 	// default), "ldg" (ReLDG) or "fennel" (ReFennel).
 	Heuristic string
+	// WindowEdges sizes the drift estimator window in observed
+	// (assigned-assigned) edges. When set, the cut trigger compares the
+	// cut fraction of the last completed window instead of the lifetime
+	// counters, so a long well-partitioned prefix cannot mask fresh
+	// drift. Zero keeps the lifetime estimator.
+	WindowEdges int
+	// MaxMigrationFraction bounds the data movement an automatically
+	// triggered restream may impose: if the finished plan would move more
+	// than this fraction of the assigned vertices, the swap is refused
+	// and the old assignment keeps serving (the cooldown then spaces out
+	// the next attempt). Manual restreams are operator decisions and
+	// exempt. Zero means unlimited.
+	MaxMigrationFraction float64
+	// MaxMessagesPerQuery triggers a workload restream when the served
+	// queries' cross-shard message rate (messages per query, averaged
+	// over QueryWindow queries) exceeds it. The serve layer does not see
+	// queries itself: the query engine (internal/qserve) reads this via
+	// DriftConfig() and calls TriggerRestream("workload"). Zero disables
+	// the trigger.
+	MaxMessagesPerQuery float64
+	// QueryWindow is the number of served queries per message-rate
+	// window for the MaxMessagesPerQuery trigger. Zero lets the query
+	// engine pick its default.
+	QueryWindow int
 }
 
 // Config parameterises a Server.
@@ -149,6 +173,7 @@ const (
 	ctrlDrain
 	ctrlRestream
 	ctrlExport
+	ctrlView
 	ctrlCheckpoint
 )
 
@@ -157,6 +182,10 @@ type envelope struct {
 	kind   ctrlKind
 	reply  chan error                 // buffered(1) when non-nil
 	replyA chan *partition.Assignment // ctrlExport only, buffered(1)
+	replyV chan *View                 // ctrlView only, buffered(1)
+	// trigger labels a ctrlRestream request ("manual", "workload", ...)
+	// for the restream report and the migration-budget exemption.
+	trigger string
 	// raw is the binary frame payload elems were decoded from, when the
 	// batch arrived through the binary decode stage: if the writer
 	// accepts every element it is appended to the WAL verbatim instead
@@ -175,6 +204,14 @@ type restreamOutcome struct {
 	err     error
 	trigger string
 	started time.Time
+	// trie is the restream's private TPSTry++ (loom heuristic only): on
+	// adoption it becomes the live trie, so the pattern tracker follows
+	// the workload the restream was scored against.
+	trie *motif.Trie
+	// workload records which workload the loom heuristic scored against:
+	// "static" (Config.Workload) or "observed" (live workload source).
+	// Empty for ldg/fennel.
+	workload string
 }
 
 // Server is an online partition server. Ingest/IngestSync feed the graph
@@ -220,6 +257,13 @@ type Server struct {
 	// admission is the ingest token bucket; nil when Admission.Rate is 0.
 	// It runs on the caller's goroutine in send, ahead of the mailbox.
 	admission *tokenBucket
+
+	// workloadSrc is the live workload source installed by
+	// SetWorkloadSource; nil serves the static Config.Workload. An
+	// atomic pointer because the installer (query engine) and the
+	// consumer (writer goroutine, at restream launch) are different
+	// goroutines.
+	workloadSrc atomic.Pointer[workloadSource]
 
 	// decode is the parallel binary-frame decode stage (ingest.go):
 	// workers start lazily on the first IngestFrames call and exit with
@@ -281,6 +325,35 @@ type Server struct {
 	lastRestream  *RestreamReport
 	manualWait    chan error
 	restreamCh    chan *restreamOutcome
+
+	// Windowed drift estimator (Drift.WindowEdges > 0): winStart* mark
+	// the counters at the open window's start; winRate/winValid hold the
+	// last completed window's cut fraction.
+	winStartCut      int
+	winStartObserved int
+	winRate          float64
+	winValid         bool
+	// vertsAtSwap is the vertex count at the last restream swap, the
+	// baseline of the adaptive ExpectedVertices re-plan (0 before the
+	// first swap).
+	vertsAtSwap int
+}
+
+// workloadSource wraps the observed-workload callback for atomic storage.
+type workloadSource struct {
+	fn func() *query.Workload
+}
+
+// View is a detached copy of the assigned portion of the serving state:
+// every vertex in Graph has a placement in Assignment. Window residents
+// (ingested but not yet placed) are excluded, so a View can always back a
+// sharded store. The copy shares nothing with the server — readers may
+// keep it indefinitely.
+type View struct {
+	Graph      *graph.Graph
+	Assignment *partition.Assignment
+	// Epoch is the published epoch the view was cut at.
+	Epoch uint64
 }
 
 // buildTrie captures w (possibly nil) into a fresh TPSTry++ with its own
@@ -428,13 +501,42 @@ func (s *Server) Drain() error {
 // Restream requests a restream now, regardless of drift thresholds, and
 // waits for the new assignment to be adopted. It fails if a restream is
 // already in flight.
-func (s *Server) Restream() error {
-	env := envelope{kind: ctrlRestream, reply: make(chan error, 1)}
+func (s *Server) Restream() error { return s.TriggerRestream("manual") }
+
+// TriggerRestream is Restream with a caller-supplied trigger label for
+// the restream report ("workload" for the query engine's message-rate
+// trigger; empty defaults to "manual"). Triggers other than "manual" are
+// subject to the Drift.MaxMigrationFraction budget.
+func (s *Server) TriggerRestream(trigger string) error {
+	if trigger == "" {
+		trigger = "manual"
+	}
+	env := envelope{kind: ctrlRestream, trigger: trigger, reply: make(chan error, 1)}
 	if err := s.send(env); err != nil {
 		return err
 	}
 	return <-env.reply
 }
+
+// SetWorkloadSource installs (or, with nil, removes) a live workload
+// source. When set, every subsequent loom-heuristic restream asks fn for
+// the current observed workload and scores against it instead of the
+// static Config.Workload (falling back to the static workload when fn
+// returns nil or an empty workload). fn is called on the writer goroutine
+// at restream launch and must be safe for that; the returned workload
+// must not be mutated afterwards.
+func (s *Server) SetWorkloadSource(fn func() *query.Workload) {
+	if fn == nil {
+		s.workloadSrc.Store(nil)
+		return
+	}
+	s.workloadSrc.Store(&workloadSource{fn: fn})
+}
+
+// DriftConfig returns the effective drift configuration (defaults
+// applied). Safe for any goroutine; the query engine reads its
+// MaxMessagesPerQuery/QueryWindow trigger parameters from it.
+func (s *Server) DriftConfig() DriftConfig { return s.cfg.Drift }
 
 // Export returns an independent copy of the current assignment (assigned
 // vertices only).
@@ -449,6 +551,23 @@ func (s *Server) Export() (*partition.Assignment, error) {
 		return nil, ErrStopped
 	}
 	return a, nil
+}
+
+// ExportView returns a detached copy of the assigned portion of the
+// serving state — graph and placements — suitable for building a sharded
+// query store (internal/store). Window residents are excluded: queries
+// over the view see the placed portion of the graph only.
+func (s *Server) ExportView() (*View, error) {
+	env := envelope{kind: ctrlView, replyV: make(chan *View, 1)}
+	if err := s.send(env); err != nil {
+		return nil, err
+	}
+	v := <-env.replyV
+	if v == nil {
+		// An abort raced the request: the envelope was refused.
+		return nil, ErrStopped
+	}
+	return v, nil
 }
 
 // Checkpoint forces a durable snapshot now. Like Drain, it assigns every
@@ -731,6 +850,9 @@ func (s *Server) process(env envelope) error {
 	case ctrlExport:
 		env.replyA <- s.p.Assignment().Clone()
 		return nil
+	case ctrlView:
+		env.replyV <- s.buildView()
+		return nil
 	case ctrlRestream:
 		switch {
 		case s.restreaming:
@@ -739,7 +861,7 @@ func (s *Server) process(env envelope) error {
 			env.reply <- errors.New("serve: nothing to restream")
 		default:
 			s.manualWait = env.reply
-			s.launchRestream("manual")
+			s.launchRestream(env.trigger)
 		}
 		return nil
 	}
@@ -956,6 +1078,10 @@ func (s *Server) publish() {
 	if s.observed > 0 {
 		st.CutFraction = float64(s.cut) / float64(s.observed)
 	}
+	if s.winValid {
+		st.WindowCutFraction = s.winRate
+		st.WindowCutValid = true
+	}
 	s.cur.Store(&Snapshot{tab: s.tab, stats: st})
 }
 
@@ -981,6 +1107,38 @@ func (s *Server) seedEngine(a *partition.Assignment) (*core.Partitioner, error) 
 		return nil, serr
 	}
 	return np, nil
+}
+
+// buildView deep-copies the assigned subgraph and its placements with
+// fresh interners (like detachedClone: the identity layer is not
+// concurrency-safe, so the copy must share nothing). Runs on the writer.
+func (s *Server) buildView() *View {
+	cur := s.p.Assignment()
+	g := graph.NewWithCapacity(cur.Len())
+	a := partition.MustNewAssignment(s.k)
+	s.g.EachVertex(func(v graph.VertexID) bool {
+		p := cur.Get(v)
+		if p == partition.Unassigned {
+			return true // window resident: not in the view
+		}
+		l, _ := s.g.Label(v)
+		g.AddVertex(v, l)
+		// p came from a live assignment over the same k; Set cannot fail.
+		if err := a.Set(v, p); err != nil {
+			panic(err)
+		}
+		return true
+	})
+	s.g.EachEdge(func(u, v graph.VertexID) bool {
+		if g.HasVertex(u) && g.HasVertex(v) {
+			// Endpoints were just added; AddEdge cannot fail.
+			if err := g.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+		return true
+	})
+	return &View{Graph: g, Assignment: a, Epoch: s.epoch}
 }
 
 // rebuildEngine reseeds the live engine in place with its own current
@@ -1045,6 +1203,7 @@ func (s *Server) writeSnapshot() error {
 		Restreams:        s.restreams,
 		SinceRestream:    s.sinceRestream,
 		EverRestream:     s.everRestream,
+		VertsAtSwap:      s.vertsAtSwap,
 	}
 	if err := s.persist.store.WriteSnapshot(m, s.g, cur); err != nil {
 		s.notePersistErr(err)
@@ -1062,9 +1221,38 @@ func (s *Server) notePersistErr(err error) {
 	s.persist.lastErr.Store(&msg)
 }
 
+// rollDriftWindow closes the open drift window once WindowEdges observed
+// edges have accumulated in it, freezing that window's cut fraction as
+// the rate the cut trigger compares.
+func (s *Server) rollDriftWindow() {
+	w := s.cfg.Drift.WindowEdges
+	if w <= 0 {
+		return
+	}
+	if n := s.observed - s.winStartObserved; n >= w {
+		s.winRate = float64(s.cut-s.winStartCut) / float64(n)
+		s.winValid = true
+		s.winStartCut, s.winStartObserved = s.cut, s.observed
+	}
+}
+
+// driftCutRate returns the cut fraction the trigger should compare:
+// the last completed window's rate when windowing is configured (ok is
+// false until one window has completed), the lifetime fraction otherwise.
+func (s *Server) driftCutRate() (float64, bool) {
+	if s.cfg.Drift.WindowEdges > 0 {
+		return s.winRate, s.winValid
+	}
+	if s.observed == 0 {
+		return 0, false
+	}
+	return float64(s.cut) / float64(s.observed), true
+}
+
 // maybeDriftRestream fires a background restream when the incremental
 // estimators cross their thresholds.
 func (s *Server) maybeDriftRestream() {
+	s.rollDriftWindow()
 	if s.restreaming {
 		return
 	}
@@ -1081,9 +1269,9 @@ func (s *Server) maybeDriftRestream() {
 		return
 	}
 	trigger := ""
+	rate, rateOK := s.driftCutRate()
 	switch {
-	case d.MaxCutFraction > 0 && s.observed > 0 &&
-		float64(s.cut)/float64(s.observed) > d.MaxCutFraction:
+	case d.MaxCutFraction > 0 && rateOK && rate > d.MaxCutFraction:
 		trigger = "cut"
 	case d.MaxImbalance > 0 && metrics.VertexImbalance(cur) > d.MaxImbalance:
 		trigger = "imbalance"
@@ -1103,18 +1291,36 @@ func (s *Server) launchRestream(trigger string) {
 	gc := detachedClone(s.g)
 	prior := s.p.Assignment().Clone()
 	cfg := s.cfg
+	// Resolve the workload the loom heuristic scores against: the live
+	// observed workload when a source is installed and has data, the
+	// static Config.Workload otherwise. Resolved here, on the writer, so
+	// the background goroutine never touches the source.
+	w, wsrc := cfg.Workload, ""
+	if h := cfg.Drift.Heuristic; h == "" || h == "loom" {
+		wsrc = "static"
+		if src := s.workloadSrc.Load(); src != nil {
+			if ow := src.fn(); ow != nil && ow.Len() > 0 {
+				w, wsrc = ow, "observed"
+			}
+		}
+	}
 	ch := s.restreamCh
 	started := time.Now()
 	go func() {
-		res, err := runRestream(cfg, gc, prior)
-		ch <- &restreamOutcome{res: res, err: err, trigger: trigger, started: started}
+		res, trie, err := runRestream(cfg, w, gc, prior)
+		ch <- &restreamOutcome{
+			res: res, err: err, trigger: trigger, started: started,
+			trie: trie, workload: wsrc,
+		}
 	}()
 }
 
 // runRestream executes the configured restream heuristic over the
-// detached clone. It runs on a background goroutine and must not touch
-// any writer-owned state.
-func runRestream(cfg Config, gc *graph.Graph, prior *partition.Assignment) (*partition.RestreamResult, error) {
+// detached clone, scoring against workload w (loom heuristic only). It
+// runs on a background goroutine and must not touch any writer-owned
+// state. For the loom heuristic the returned trie is the private
+// TPSTry++ built from w, ready to become the live trie at adoption.
+func runRestream(cfg Config, w *query.Workload, gc *graph.Graph, prior *partition.Assignment) (*partition.RestreamResult, *motif.Trie, error) {
 	d := cfg.Drift
 	rcfg := partition.RestreamConfig{Passes: d.Passes, Priority: d.Priority, SelfWeight: d.SelfWeight}
 	base := gc.Vertices()
@@ -1122,13 +1328,17 @@ func runRestream(cfg Config, gc *graph.Graph, prior *partition.Assignment) (*par
 	pcfg.ExpectedVertices = gc.NumVertices()
 	switch d.Heuristic {
 	case "", "loom":
-		trie, err := buildTrie(cfg.Workload, cfg.Alphabet, cfg.MaxMotifVertices)
+		trie, err := buildTrie(w, cfg.Alphabet, cfg.MaxMotifVertices)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ccfg := cfg.Core
 		ccfg.Partition = pcfg
-		return core.Restream(gc, trie, ccfg, rcfg, base, prior)
+		res, err := core.Restream(gc, trie, ccfg, rcfg, base, prior)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, trie, nil
 	case "ldg", "fennel":
 		rs := &partition.Restreamer{
 			Config: rcfg,
@@ -1139,9 +1349,10 @@ func runRestream(cfg Config, gc *graph.Graph, prior *partition.Assignment) (*par
 				return partition.NewLDG(pcfg)
 			},
 		}
-		return rs.Run(gc, base, prior)
+		res, err := rs.Run(gc, base, prior)
+		return res, nil, err
 	}
-	return nil, fmt.Errorf("serve: unknown restream heuristic %q", d.Heuristic)
+	return nil, nil, fmt.Errorf("serve: unknown restream heuristic %q", d.Heuristic)
 }
 
 // adopt swaps a finished restream into the serving path: it drains the
@@ -1158,9 +1369,10 @@ func (s *Server) adopt(out *restreamOutcome) {
 	s.manualWait = nil
 	if out.err != nil {
 		s.lastRestream = &RestreamReport{
-			Trigger:    out.trigger,
-			Err:        out.err.Error(),
-			DurationMS: time.Since(out.started).Milliseconds(),
+			Trigger:        out.trigger,
+			Err:            out.err.Error(),
+			WorkloadSource: out.workload,
+			DurationMS:     time.Since(out.started).Milliseconds(),
 		}
 		s.publish()
 		if reply != nil {
@@ -1199,10 +1411,11 @@ func (s *Server) adopt(out *restreamOutcome) {
 	}
 
 	report := &RestreamReport{
-		Trigger:    out.trigger,
-		Passes:     out.res.Passes,
-		Vertices:   restreamed,
-		DurationMS: time.Since(out.started).Milliseconds(),
+		Trigger:        out.trigger,
+		Passes:         out.res.Passes,
+		Vertices:       restreamed,
+		WorkloadSource: out.workload,
+		DurationMS:     time.Since(out.started).Milliseconds(),
 	}
 	prev.EachVertex(func(v graph.VertexID, from partition.ID) {
 		if to := merged.Get(v); to != partition.Unassigned && to != from {
@@ -1217,13 +1430,59 @@ func (s *Server) adopt(out *restreamOutcome) {
 		report.MigrationFraction = float64(report.Migrated) / float64(n)
 	}
 
-	// Rebuild the engine around the merged assignment. ExpectedVertices
-	// grows with the observed stream so the capacity constraint keeps
-	// headroom for future arrivals; the growth sticks in s.ccfg so later
-	// barriers (checkpoints, recovery) rebuild with the same capacity.
-	if s.ccfg.Partition.ExpectedVertices < 2*s.g.NumVertices() {
-		s.ccfg.Partition.ExpectedVertices = 2 * s.g.NumVertices()
+	// The migration budget gates automatically triggered swaps: when the
+	// plan would move more of the graph than the operator allowed, keep
+	// serving the old assignment. The check uses metrics.MigrationFraction
+	// over the full pre/post assignments (vertices first assigned at the
+	// barrier included), the same measure the offline evaluator reports.
+	// The cooldown (sinceRestream was reset above) spaces out the retry.
+	if bud := s.cfg.Drift.MaxMigrationFraction; bud > 0 && out.trigger != "manual" {
+		if mf := metrics.MigrationFraction(prev, merged); mf > bud {
+			report.BudgetRejected = true
+			report.Err = fmt.Sprintf("serve: migration fraction %.4f exceeds budget %.4f", mf, bud)
+			s.lastRestream = report
+			// The window was drained above; mirror its placements before
+			// republishing so Where stays consistent with Assigned.
+			s.sweep()
+			s.publish()
+			if reply != nil {
+				reply <- errors.New(report.Err)
+			}
+			return
+		}
 	}
+
+	// Adopt the restream's trie as the live one (loom heuristic): the
+	// pattern tracker and every later engine reseed then score against
+	// the workload this restream was built from — the observed workload
+	// once a source is installed, closing the feedback loop.
+	if out.trie != nil {
+		s.trie = out.trie
+	}
+
+	// Rebuild the engine around the merged assignment. ExpectedVertices
+	// is re-planned from the observed arrival ratio since the last swap
+	// (clamped to [1.25x, 4x] headroom over the current population, 2x
+	// before a baseline exists) instead of blindly doubling: a plateaued
+	// stream no longer inflates the capacity constraint, a fast-growing
+	// one gets more headroom. The growth sticks in s.ccfg so later
+	// barriers (checkpoints, recovery) rebuild with the same capacity.
+	n := s.g.NumVertices()
+	growth := 2.0
+	if s.vertsAtSwap > 0 {
+		growth = float64(n) / float64(s.vertsAtSwap)
+		if growth < 1.25 {
+			growth = 1.25
+		}
+		if growth > 4 {
+			growth = 4
+		}
+	}
+	if target := int(float64(n) * growth); s.ccfg.Partition.ExpectedVertices < target {
+		s.ccfg.Partition.ExpectedVertices = target
+	}
+	s.vertsAtSwap = n
+	report.ExpectedVertices = s.ccfg.Partition.ExpectedVertices
 	np, err := s.seedEngine(merged)
 	if err != nil {
 		// Unreachable with a validated config; keep serving the old state.
@@ -1253,6 +1512,11 @@ func (s *Server) adopt(out *restreamOutcome) {
 		}
 		return true
 	})
+	// The swap starts a fresh drift window: the recomputed counters are
+	// the new baseline, and the pre-swap window rate no longer describes
+	// the serving assignment.
+	s.winStartCut, s.winStartObserved = s.cut, s.observed
+	s.winRate, s.winValid = 0, false
 	s.restreams++
 	s.lastRestream = report
 	s.publish()
@@ -1364,6 +1628,9 @@ func (s *Server) abortShutdown() {
 			}
 			if env.replyA != nil {
 				env.replyA <- nil
+			}
+			if env.replyV != nil {
+				env.replyV <- nil
 			}
 			return true
 		default:

@@ -112,10 +112,16 @@ type Stats struct {
 	ObservedEdges int     `json:"observed_edges"`
 	CutEdges      int     `json:"cut_edges"`
 	CutFraction   float64 `json:"cut_fraction"`
-	Imbalance     float64 `json:"imbalance"`
-	Sizes         []int   `json:"sizes"`
-	Restreams     int     `json:"restreams"`
-	RestreamLive  bool    `json:"restream_live"`
+	// WindowCutFraction is the cut fraction over the last completed drift
+	// window (DriftConfig.WindowEdges observed edges); meaningful only
+	// while WindowCutValid is true — windowing configured and at least
+	// one window completed since the last restream swap.
+	WindowCutFraction float64 `json:"window_cut_fraction"`
+	WindowCutValid    bool    `json:"window_cut_valid"`
+	Imbalance         float64 `json:"imbalance"`
+	Sizes             []int   `json:"sizes"`
+	Restreams         int     `json:"restreams"`
+	RestreamLive      bool    `json:"restream_live"`
 	// LastRestream reports the most recent completed (or failed) restream;
 	// nil before the first one. The pointed-to report is immutable.
 	LastRestream *RestreamReport `json:"last_restream,omitempty"`
@@ -144,10 +150,22 @@ type Move struct {
 // RestreamReport describes one background restream: what triggered it, the
 // per-pass statistics, and the migration plan the swap implies.
 type RestreamReport struct {
-	// Trigger is "cut", "imbalance" or "manual".
+	// Trigger is "cut", "imbalance", "manual", or "workload" (the query
+	// engine's message-rate trigger).
 	Trigger string `json:"trigger"`
 	// Err is non-empty when the restream failed (the old assignment stays).
 	Err string `json:"err,omitempty"`
+	// WorkloadSource is "static" (Config.Workload) or "observed" (a live
+	// source installed by SetWorkloadSource) — the workload the loom
+	// heuristic scored against. Empty for ldg/fennel.
+	WorkloadSource string `json:"workload_source,omitempty"`
+	// BudgetRejected is true when the restream finished but its migration
+	// plan exceeded Drift.MaxMigrationFraction and the swap was refused;
+	// Err then carries the detail and the old assignment keeps serving.
+	BudgetRejected bool `json:"budget_rejected,omitempty"`
+	// ExpectedVertices is the capacity constraint after the swap's
+	// adaptive re-plan (successful swaps only).
+	ExpectedVertices int `json:"expected_vertices,omitempty"`
 	// Passes holds the per-pass cut/balance/migration statistics.
 	Passes []partition.PassStats `json:"passes,omitempty"`
 	// Vertices is the size of the graph snapshot that was restreamed.

@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/query"
+	"loom/internal/store"
+	"loom/internal/stream"
+)
+
+// TestExportView checks that a view carries exactly the assigned portion
+// of the serving state, is detached from the server, and can back a
+// sharded store.
+func TestExportView(t *testing.T) {
+	g, w, alphabet := testGraph(t, 300, 2, 13)
+	s, err := New(Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: 2, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: 1},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Stop()
+
+	if err := s.IngestSync(elementsOf(t, g)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Mid-stream: some vertices are window residents. The view must skip
+	// them — every view vertex has a placement.
+	v1, err := s.ExportView()
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	st := s.Stats()
+	if st.PendingWindow == 0 {
+		t.Fatal("test wants window residents; tune WindowSize/graph")
+	}
+	if v1.Graph.NumVertices() != st.Assigned {
+		t.Fatalf("view vertices = %d, assigned = %d", v1.Graph.NumVertices(), st.Assigned)
+	}
+	if v1.Assignment.Len() != v1.Graph.NumVertices() {
+		t.Fatalf("view assignment covers %d of %d vertices", v1.Assignment.Len(), v1.Graph.NumVertices())
+	}
+	v1.Graph.EachVertex(func(v graph.VertexID) bool {
+		if p, ok := s.Where(v); !ok || p != v1.Assignment.Get(v) {
+			t.Fatalf("view vertex %d: Where=%v,%v assignment=%v", v, p, ok, v1.Assignment.Get(v))
+		}
+		return true
+	})
+	// A view is always storable: Build rejects unassigned vertices, so
+	// this doubles as the no-window-residents check.
+	if _, err := store.Build(v1.Graph, v1.Assignment); err != nil {
+		t.Fatalf("store over view: %v", err)
+	}
+	// Detached: mutating the view cannot disturb the server.
+	v1.Graph.AddVertex(1_000_000, "zz")
+	if s.Stats().Vertices != st.Vertices {
+		t.Fatal("view shares graph state with the server")
+	}
+
+	// After a drain the view covers everything.
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	v2, err := s.ExportView()
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	if v2.Graph.NumVertices() != g.NumVertices() || v2.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("drained view %d/%d, want %d/%d",
+			v2.Graph.NumVertices(), v2.Graph.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if v2.Epoch == 0 {
+		t.Fatal("view epoch not stamped")
+	}
+}
+
+// TestWorkloadSourceDrivesRestream closes the loop at the serve layer: a
+// restream launched after SetWorkloadSource scores against the observed
+// workload and reports it, and removing the source falls back to static.
+func TestWorkloadSourceDrivesRestream(t *testing.T) {
+	g, w, alphabet := testGraph(t, 400, 2, 5)
+	s, err := New(Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: 2, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: 1},
+			WindowSize: 32,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Stop()
+	if err := s.IngestSync(elementsOf(t, g)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	observed := query.MustNewWorkload(query.Query{
+		ID:      "obs0",
+		Pattern: graph.Path(alphabet[0], alphabet[1]),
+		Weight:  3,
+	})
+	s.SetWorkloadSource(func() *query.Workload { return observed })
+	if err := s.TriggerRestream("workload"); err != nil {
+		t.Fatalf("workload restream: %v", err)
+	}
+	rep := s.Stats().LastRestream
+	if rep == nil || rep.Trigger != "workload" || rep.WorkloadSource != "observed" {
+		t.Fatalf("report = %+v, want trigger=workload source=observed", rep)
+	}
+	if rep.ExpectedVertices == 0 {
+		t.Fatal("adaptive re-plan did not stamp ExpectedVertices")
+	}
+
+	// An empty observed workload falls back to the static one.
+	s.SetWorkloadSource(func() *query.Workload { return nil })
+	if err := s.Restream(); err != nil {
+		t.Fatalf("restream: %v", err)
+	}
+	rep = s.Stats().LastRestream
+	if rep == nil || rep.Trigger != "manual" || rep.WorkloadSource != "static" {
+		t.Fatalf("report = %+v, want trigger=manual source=static", rep)
+	}
+}
+
+// TestMigrationBudget checks that an automatically triggered restream
+// whose plan exceeds MaxMigrationFraction is refused — old assignment
+// keeps serving — while a manual restream is exempt.
+func TestMigrationBudget(t *testing.T) {
+	g, w, alphabet := testGraph(t, 400, 4, 9)
+	s, err := New(Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: 4, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: 1},
+			WindowSize: 32,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+		Drift: DriftConfig{
+			MaxMigrationFraction: 1e-9, // any movement at all exceeds it
+			Passes:               2,
+			Priority:             partition.PriorityDegree,
+		},
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Stop()
+	if err := s.IngestSync(elementsOf(t, g)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	before, err := s.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	err = s.TriggerRestream("workload")
+	if err == nil || !strings.Contains(err.Error(), "exceeds budget") {
+		t.Fatalf("budget-violating restream returned %v", err)
+	}
+	st := s.Stats()
+	if st.Restreams != 0 {
+		t.Fatalf("rejected restream counted as adopted: %d", st.Restreams)
+	}
+	rep := st.LastRestream
+	if rep == nil || !rep.BudgetRejected || rep.Trigger != "workload" {
+		t.Fatalf("report = %+v, want BudgetRejected on workload trigger", rep)
+	}
+	// The old assignment keeps serving.
+	before.EachVertex(func(v graph.VertexID, p partition.ID) {
+		if got, ok := s.Where(v); !ok || got != p {
+			t.Fatalf("Where(%d) = %v,%v, want pre-restream %v", v, got, ok, p)
+		}
+	})
+
+	// Manual restreams are operator decisions: the budget does not apply.
+	if err := s.Restream(); err != nil {
+		t.Fatalf("manual restream under budget: %v", err)
+	}
+	st = s.Stats()
+	if st.Restreams != 1 || st.LastRestream.BudgetRejected {
+		t.Fatalf("manual restream not adopted: %+v", st.LastRestream)
+	}
+	if st.LastRestream.Migrated == 0 {
+		t.Fatal("test wants a plan that moves vertices; tune the seed")
+	}
+}
+
+// TestWindowedDriftTrigger runs the drift monitor over a rolling window
+// and checks both the published window rate and that the cut trigger
+// still fires from it.
+func TestWindowedDriftTrigger(t *testing.T) {
+	g, w, alphabet := testGraph(t, 800, 4, 11)
+	s, err := New(Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: 4, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: 1},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+		Drift: DriftConfig{
+			MaxCutFraction:   0.001, // any realistic cut trips it
+			MinAssigned:      128,
+			CooldownAssigned: 1 << 30, // one restream only
+			WindowEdges:      200,
+			Heuristic:        "ldg",
+		},
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Stop()
+
+	if err := s.IngestSync(elementsOf(t, g)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Restreams >= 1 && !st.RestreamLive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("windowed restream never completed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep := s.Stats().LastRestream
+	if rep.Trigger != "cut" || rep.Err != "" {
+		t.Fatalf("report = %+v, want clean cut trigger", rep)
+	}
+
+	// Keep streaming past another full window: the published window rate
+	// becomes valid again after the swap reset it.
+	more, _, _ := testGraph(t, 800, 4, 12)
+	elems := elementsOf(t, more)
+	shifted := make([]stream.Element, 0, len(elems))
+	for _, el := range elems {
+		el.V += 10_000
+		if el.Kind == stream.EdgeElement {
+			el.U += 10_000
+		}
+		shifted = append(shifted, el)
+	}
+	if err := s.IngestSync(shifted); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	st := s.Stats()
+	if !st.WindowCutValid {
+		t.Fatalf("window rate never became valid: %+v", st)
+	}
+	if st.WindowCutFraction < 0 || st.WindowCutFraction > 1 {
+		t.Fatalf("window cut fraction %v out of range", st.WindowCutFraction)
+	}
+}
+
+// TestAdaptiveExpectedVertices pins the capacity re-plan: the first swap
+// keeps the historical 2x headroom, and a plateaued stream no longer
+// doubles the constraint on every subsequent swap.
+func TestAdaptiveExpectedVertices(t *testing.T) {
+	g, w, alphabet := testGraph(t, 300, 2, 21)
+	s, err := New(Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: 2, ExpectedVertices: 64, Slack: 1.2, Seed: 1},
+			WindowSize: 32,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Stop()
+	if err := s.IngestSync(elementsOf(t, g)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	n := g.NumVertices()
+	if err := s.Restream(); err != nil {
+		t.Fatalf("restream: %v", err)
+	}
+	first := s.Stats().LastRestream.ExpectedVertices
+	if first != 2*n {
+		t.Fatalf("first swap ExpectedVertices = %d, want %d", first, 2*n)
+	}
+	// No arrivals since: the re-plan targets 1.25x the population, which
+	// the constraint already exceeds — it must not double again.
+	if err := s.Restream(); err != nil {
+		t.Fatalf("restream: %v", err)
+	}
+	second := s.Stats().LastRestream.ExpectedVertices
+	if second != first {
+		t.Fatalf("plateaued stream grew ExpectedVertices %d -> %d", first, second)
+	}
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// MatchPattern finds embeddings of an arbitrary connected labelled
+// pattern: injective mappings of the pattern's vertices onto distinct
+// store vertices with matching labels, such that every pattern edge maps
+// onto a store edge (subgraph homomorphism on distinct vertices — the
+// same semantics as MatchPath, which counts a symmetric path once per
+// direction). Like MatchPath it walks the store shard by shard under the
+// online traversal cost model: anchors are found by local label scans,
+// every candidate's label is read through the engine (charged when
+// remote), and a bound vertex's adjacency is fetched once and carried in
+// the traversal state, so edge checks against already-fetched lists are
+// free. The count is capped by limit when limit > 0.
+func (e *Engine) MatchPattern(p *graph.Graph, limit int) (int, error) {
+	if p == nil || p.NumVertices() == 0 {
+		return 0, nil
+	}
+	plan, err := planPattern(p)
+	if err != nil {
+		return 0, err
+	}
+	m := &patternMatcher{
+		eng:    e,
+		plan:   plan,
+		mapped: make([]graph.VertexID, len(plan.order)),
+		refs:   make([][]Ref, len(plan.order)),
+	}
+	count := 0
+	// Anchor scan: every shard scans its own vertices for the root label —
+	// no messages; index lookups are local.
+	for _, sh := range e.st.shards {
+		anchors := make([]graph.VertexID, 0)
+		for v, l := range sh.labels {
+			if l == plan.labels[0] {
+				anchors = append(anchors, v)
+			}
+		}
+		sort.Slice(anchors, func(i, j int) bool { return anchors[i] < anchors[j] })
+		for _, a := range anchors {
+			at := sh.id
+			m.mapped[0] = a
+			if plan.needsAdj[0] {
+				refs, now, err := e.read(at, a)
+				if err != nil {
+					return count, err
+				}
+				at = now
+				m.refs[0] = refs
+			}
+			n, err := m.extend(at, 1, limit-count)
+			if err != nil {
+				return count, err
+			}
+			count += n
+			if limit > 0 && count >= limit {
+				return count, nil
+			}
+		}
+	}
+	return count, nil
+}
+
+// patternPlan is the bind order of a pattern: a BFS from its lowest-ID
+// vertex, so every non-root vertex has at least one earlier-bound
+// neighbour to enumerate candidates from.
+type patternPlan struct {
+	order  []graph.VertexID // pattern vertices in bind order
+	labels []graph.Label    // labels[i] = label of order[i]
+	// parent[i] is the earliest-bound pattern neighbour of order[i]
+	// (index into order; -1 for the root): candidates for step i are the
+	// fetched adjacency of parent's image.
+	parent []int
+	// required[i] lists the other earlier-bound neighbours (indices into
+	// order): a candidate must appear in each of their fetched adjacency
+	// lists.
+	required [][]int
+	// needsAdj[i] is true when order[i] has a later-bound neighbour, i.e.
+	// its image's adjacency must be fetched and carried.
+	needsAdj []bool
+}
+
+func planPattern(p *graph.Graph) (*patternPlan, error) {
+	vs := p.Vertices()
+	// BFS from the lowest vertex ID with sorted expansion: deterministic.
+	order := make([]graph.VertexID, 0, len(vs))
+	seen := map[graph.VertexID]bool{vs[0]: true}
+	queue := []graph.VertexID{vs[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range p.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != len(vs) {
+		return nil, fmt.Errorf("store: pattern is disconnected")
+	}
+	idx := make(map[graph.VertexID]int, len(order))
+	for i, v := range order {
+		idx[v] = i
+	}
+	plan := &patternPlan{
+		order:    order,
+		labels:   make([]graph.Label, len(order)),
+		parent:   make([]int, len(order)),
+		required: make([][]int, len(order)),
+		needsAdj: make([]bool, len(order)),
+	}
+	for i, v := range order {
+		l, _ := p.Label(v)
+		plan.labels[i] = l
+		plan.parent[i] = -1
+		for _, u := range p.Neighbors(v) {
+			j := idx[u]
+			if j > i {
+				plan.needsAdj[i] = true
+				continue
+			}
+			if plan.parent[i] == -1 || j < plan.parent[i] {
+				if plan.parent[i] != -1 {
+					plan.required[i] = append(plan.required[i], plan.parent[i])
+				}
+				plan.parent[i] = j
+			} else {
+				plan.required[i] = append(plan.required[i], j)
+			}
+		}
+		sort.Ints(plan.required[i])
+	}
+	return plan, nil
+}
+
+// patternMatcher is the in-flight traversal state: the partial embedding
+// and the adjacency lists fetched for it.
+type patternMatcher struct {
+	eng    *Engine
+	plan   *patternPlan
+	mapped []graph.VertexID
+	refs   [][]Ref
+}
+
+// extend binds pattern step i and recurses; at is the shard where the
+// execution currently resides. budget caps the count when positive.
+func (m *patternMatcher) extend(at partition.ID, i int, budget int) (int, error) {
+	if i == len(m.plan.order) {
+		return 1, nil
+	}
+	cands := append([]Ref(nil), m.refs[m.plan.parent[i]]...)
+	sort.Slice(cands, func(a, b int) bool { return cands[a].V < cands[b].V })
+	count := 0
+	for _, r := range cands {
+		if m.bound(i, r.V) {
+			continue
+		}
+		// Sibling candidates are all probed from the parent's position;
+		// only the successful binding advances the cursor (the same
+		// threading as extendPath, so a path pattern costs exactly what
+		// MatchPath charges).
+		l, childAt, err := m.eng.Label(at, r.V)
+		if err != nil {
+			return count, err
+		}
+		if l != m.plan.labels[i] {
+			continue
+		}
+		ok := true
+		for _, q := range m.plan.required[i] {
+			if !refsContain(m.refs[q], r.V) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if m.plan.needsAdj[i] {
+			refs, now, err := m.eng.read(childAt, r.V)
+			if err != nil {
+				return count, err
+			}
+			childAt = now
+			m.refs[i] = refs
+		} else {
+			m.refs[i] = nil
+		}
+		m.mapped[i] = r.V
+		n, err := m.extend(childAt, i+1, budget-count)
+		count += n
+		if err != nil {
+			return count, err
+		}
+		if budget > 0 && count >= budget {
+			return count, nil
+		}
+	}
+	return count, nil
+}
+
+// bound reports whether v is already the image of an earlier step
+// (injectivity).
+func (m *patternMatcher) bound(i int, v graph.VertexID) bool {
+	for _, u := range m.mapped[:i] {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func refsContain(refs []Ref, v graph.VertexID) bool {
+	for _, r := range refs {
+		if r.V == v {
+			return true
+		}
+	}
+	return false
+}

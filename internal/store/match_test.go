@@ -1,0 +1,202 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/gen"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/query"
+)
+
+// refMatchCount counts pattern embeddings by brute force directly on the
+// graph: every injective label-preserving mapping whose pattern edges all
+// map to graph edges. The store matcher must agree exactly.
+func refMatchCount(g *graph.Graph, p *graph.Graph) int {
+	pvs := p.Vertices()
+	gvs := g.Vertices()
+	used := make(map[graph.VertexID]bool)
+	mapped := make(map[graph.VertexID]graph.VertexID)
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == len(pvs) {
+			return 1
+		}
+		pv := pvs[i]
+		pl, _ := p.Label(pv)
+		count := 0
+		for _, gv := range gvs {
+			if used[gv] {
+				continue
+			}
+			gl, _ := g.Label(gv)
+			if gl != pl {
+				continue
+			}
+			ok := true
+			for _, pu := range p.Neighbors(pv) {
+				if gu, bound := mapped[pu]; bound && !g.HasEdge(gv, gu) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[gv] = true
+			mapped[pv] = gv
+			count += rec(i + 1)
+			delete(mapped, pv)
+			used[gv] = false
+		}
+		return count
+	}
+	return rec(0)
+}
+
+func TestMatchPatternAgreesWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alphabet := gen.DefaultAlphabet(3)
+	g, err := gen.ErdosRenyi(60, 150, &gen.UniformLabeler{Alphabet: alphabet, Rand: r}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := partition.MustNewAssignment(3)
+	for _, v := range g.Vertices() {
+		if err := a.Set(v, partition.ID(int(v)%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []*graph.Graph{
+		graph.Path("l0", "l1"),
+		graph.Path("l0", "l1", "l2"),
+		graph.Cycle("l0", "l1", "l2"),
+		graph.Star("l1", "l0", "l2"),
+		graph.Cycle("l0", "l1", "l0", "l1"),
+	}
+	for _, p := range patterns {
+		want := refMatchCount(g, p)
+		got, err := NewEngine(st).MatchPattern(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("pattern %s: MatchPattern = %d, brute force = %d",
+				query.FormatPatternSpec(p), got, want)
+		}
+	}
+}
+
+func TestMatchPatternAgreesWithMatchPathOnPaths(t *testing.T) {
+	st, _ := fig1Store(t)
+	for _, labels := range [][]graph.Label{
+		{"a", "b"},
+		{"a", "b", "c"},
+		{"a", "b", "c", "d"},
+	} {
+		pe := NewEngine(st)
+		wantN, err := pe.MatchPath(labels, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge := NewEngine(st)
+		gotN, err := ge.MatchPattern(graph.Path(labels...), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN {
+			t.Errorf("path %v: MatchPattern = %d, MatchPath = %d", labels, gotN, wantN)
+		}
+		// Identical execution plan for a path: identical message counts.
+		if gs, ps := ge.Stats(), pe.Stats(); gs.Messages != ps.Messages {
+			t.Errorf("path %v: MatchPattern messages = %d, MatchPath = %d", labels, gs.Messages, ps.Messages)
+		}
+	}
+}
+
+func TestMatchPatternLimitAndDeterminism(t *testing.T) {
+	st, _ := fig1Store(t)
+	p := graph.Cycle("a", "b", "a", "b")
+	full, err := NewEngine(st).MatchPattern(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == 0 {
+		t.Fatal("fig1 must contain the a-b-a-b square")
+	}
+	capped, err := NewEngine(st).MatchPattern(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped != 1 {
+		t.Fatalf("limit 1: got %d", capped)
+	}
+	// Deterministic replay: counts and message totals are bit-identical.
+	e1, e2 := NewEngine(st), NewEngine(st)
+	n1, _ := e1.MatchPattern(p, 0)
+	n2, _ := e2.MatchPattern(p, 0)
+	if n1 != n2 || e1.Stats() != e2.Stats() {
+		t.Fatalf("non-deterministic: %d/%v vs %d/%v", n1, e1.Stats(), n2, e2.Stats())
+	}
+}
+
+func TestMatchPatternRejectsDisconnected(t *testing.T) {
+	st, _ := fig1Store(t)
+	p := graph.New()
+	p.AddVertex(0, "a")
+	p.AddVertex(1, "b")
+	if _, err := NewEngine(st).MatchPattern(p, 0); err == nil {
+		t.Fatal("disconnected pattern should be rejected")
+	}
+}
+
+func TestMatchPatternReplicasReduceMessages(t *testing.T) {
+	st, _ := fig1Store(t)
+	p := graph.Cycle("a", "b", "a", "b")
+	adv := NewAdvisor(st)
+	e := NewInstrumentedEngine(st, adv)
+	before, err := e.MatchPattern(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Messages == 0 {
+		t.Skip("no cross-shard traffic for this layout")
+	}
+	if adv.Apply(4) == 0 {
+		t.Fatal("advisor placed nothing despite observed heat")
+	}
+	e2 := NewEngine(st)
+	after, err := e2.MatchPattern(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("replicas changed the result: %d vs %d", after, before)
+	}
+	if e2.Stats().Messages >= e.Stats().Messages {
+		t.Fatalf("messages did not drop: %d -> %d", e.Stats().Messages, e2.Stats().Messages)
+	}
+	if e2.Stats().ReplicaReads == 0 {
+		t.Fatal("no replica reads recorded")
+	}
+}
+
+func TestAdvisorAddSeedsHeat(t *testing.T) {
+	st, _ := fig1Store(t)
+	adv := NewAdvisor(st)
+	adv.Add(3, 0, 5)
+	adv.Add(2, 1, 2)
+	adv.Add(2, 1, 0) // no-op
+	hs := adv.Hotspots()
+	if len(hs) != 2 || hs[0].V != 3 || hs[0].Heat != 5 || hs[1].V != 2 || hs[1].Heat != 2 {
+		t.Fatalf("hotspots = %+v", hs)
+	}
+	if placed := adv.Apply(10); placed != 2 {
+		t.Fatalf("placed = %d", placed)
+	}
+}

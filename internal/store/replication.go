@@ -35,6 +35,17 @@ func (a *Advisor) Observe(v graph.VertexID, from partition.ID) {
 	a.heat[heatKey{v: v, from: from}]++
 }
 
+// Add records n remote fetches of v by shard from at once, so a caller
+// that aggregated heat externally (e.g. across the view generations of
+// an online serving engine) can seed a fresh Advisor without replaying
+// the trace fetch by fetch. n <= 0 is a no-op.
+func (a *Advisor) Add(v graph.VertexID, from partition.ID, n int) {
+	if n <= 0 {
+		return
+	}
+	a.heat[heatKey{v: v, from: from}] += n
+}
+
 // Hotspot is a replication candidate.
 type Hotspot struct {
 	V    graph.VertexID

@@ -47,6 +47,7 @@ import (
 	"loom/internal/metrics"
 	"loom/internal/motif"
 	"loom/internal/partition"
+	"loom/internal/qserve"
 	"loom/internal/query"
 	"loom/internal/serve"
 	"loom/internal/signature"
@@ -486,6 +487,51 @@ var ErrServerOverloaded = serve.ErrOverloaded
 // with Server.Ingest/IngestSync, query it with Server.Where/Route/Stats,
 // and shut it down with Server.Stop.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// Online queries (internal/qserve): pattern traversals served lock-free
+// over the Server's copy-on-write views, feeding the observed workload,
+// drift, and hotspot-replication loops back into the partitioner.
+type (
+	// QueryEngine serves pattern queries over a Server's exported views.
+	QueryEngine = qserve.Engine
+	// QueryEngineOptions parameterises NewQueryEngine.
+	QueryEngineOptions = qserve.Options
+	// QueryRequest is one query: a pattern spec plus optional id/limit.
+	QueryRequest = qserve.Request
+	// QueryResponse reports matches and the real cross-shard cost.
+	QueryResponse = qserve.Response
+	// QueryEngineStats is the reader-visible engine state.
+	QueryEngineStats = qserve.EngineStats
+	// ObservedWorkload is the windowed, decayed frequency table of served
+	// patterns that replaces the static workload at restream time.
+	ObservedWorkload = qserve.Observed
+	// ObservedWorkloadOptions parameterises the tracker.
+	ObservedWorkloadOptions = qserve.ObservedOptions
+)
+
+// ErrBadQuery is the typed refusal for a malformed query request.
+var ErrBadQuery = qserve.ErrBadQuery
+
+// NewQueryEngine builds a query engine over srv and (unless
+// opts.StaticWorkload is set) installs its observed-workload tracker as
+// the server's live workload source.
+func NewQueryEngine(srv *Server, opts QueryEngineOptions) *QueryEngine {
+	return qserve.New(srv, opts)
+}
+
+// ParseQueryRequest decodes a query request body (text pattern spec or
+// JSON, switched on contentType) — the codec behind POST /query.
+func ParseQueryRequest(contentType string, body []byte) (QueryRequest, error) {
+	return qserve.ParseRequest(contentType, body)
+}
+
+// ParsePatternSpec parses the textual pattern form ("path a b c",
+// "cycle a b c", "star hub leaf...", "graph v0:a v1:b e0-1 ...") into a
+// query pattern graph.
+func ParsePatternSpec(spec string) (*Graph, error) { return query.ParsePatternSpec(spec) }
+
+// FormatPatternSpec renders p canonically in the textual pattern form.
+func FormatPatternSpec(p *Graph) string { return query.FormatPatternSpec(p) }
 
 // Durable serving (internal/checkpoint): snapshots of graph + assignment
 // + serve metadata, plus a write-ahead log of accepted batches, so a
