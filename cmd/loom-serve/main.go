@@ -17,6 +17,7 @@
 //	           [-refresh-queries 0] [-static-workload]
 //	           [-data-dir /var/lib/loom] [-fsync always|none]
 //	           [-admit-rate 0] [-admit-burst 0] [-reanchor]
+//	           [-snapshot-every-batches 0] [-decay-span 0]
 //	           [-shutdown-timeout 10s]
 //
 // With -data-dir the server is durable: accepted batches are written to a
@@ -29,7 +30,8 @@
 // API:
 //
 //	POST /ingest      body: graph text codec ("v <id> <label>" / "e <u> <v>"
-//	                  lines); decoded incrementally, applied in order.
+//	                  lines, plus "rv <id>" / "re <u> <v>" removals);
+//	                  decoded incrementally, applied in order.
 //	                  With Content-Type: application/x-loom-frame the body
 //	                  is length-prefixed binary frames instead, decoded on
 //	                  a parallel worker pool (same ordering and durability
@@ -123,6 +125,8 @@ func main() {
 	admitRate := flag.Float64("admit-rate", 0, "admission control: sustained elements/sec accepted into the mailbox (0 = unlimited)")
 	admitBurst := flag.Float64("admit-burst", 0, "admission control: burst size in elements (0 = admit-rate)")
 	reanchor := flag.Bool("reanchor", true, "self-heal a wedged server: retry the re-anchoring snapshot with capped backoff (needs -data-dir)")
+	snapshotEvery := flag.Int("snapshot-every-batches", 0, "periodic checkpoint: snapshot after every N accepted batches, bounding the WAL tail (0 = off; needs -data-dir)")
+	decaySpan := flag.Int64("decay-span", 0, "age edges out of restream scoring after this many accepted elements (0 = never)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget for in-flight HTTP requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -135,6 +139,7 @@ func main() {
 		passes: *passes, priority: *priorityName, heuristic: *heuristic,
 		mailbox: *mailbox, dataDir: *dataDir, fsync: *fsync,
 		admitRate: *admitRate, admitBurst: *admitBurst, reanchor: *reanchor,
+		snapshotEvery: *snapshotEvery, decaySpan: *decaySpan,
 		queryLimit: *queryLimit, replicaBudget: *replicaBudget,
 		maxMsgsPerQuery: *maxMsgsPerQuery, queryWindow: *queryWindow,
 		refreshQueries: *refreshQueries, staticWorkload: *staticWorkload,
@@ -215,6 +220,8 @@ type serverOptions struct {
 	admitRate            float64
 	admitBurst           float64
 	reanchor             bool
+	snapshotEvery        int
+	decaySpan            int64
 	queryLimit           int
 	replicaBudget        int
 	maxMsgsPerQuery      float64
@@ -256,8 +263,10 @@ func buildServer(o serverOptions) (*serve.Server, error) {
 			Priority:             priority,
 			Heuristic:            o.heuristic,
 		},
-		Admission: serve.AdmissionConfig{Rate: o.admitRate, Burst: o.admitBurst},
-		Reanchor:  serve.ReanchorPolicy{Enabled: o.reanchor && o.dataDir != ""},
+		Admission:            serve.AdmissionConfig{Rate: o.admitRate, Burst: o.admitBurst},
+		Reanchor:             serve.ReanchorPolicy{Enabled: o.reanchor && o.dataDir != ""},
+		SnapshotEveryBatches: o.snapshotEvery,
+		DecaySpan:            o.decaySpan,
 	}
 	// Validate the fsync policy even without -data-dir, so a typo does not
 	// lie dormant until durability is turned on.

@@ -674,3 +674,222 @@ func TestServeBinaryCrashRecoveryE2E(t *testing.T) {
 		}
 	}
 }
+
+// churnTextOf renders elems in the text stream codec, removals included.
+func churnTextOf(elems []stream.Element) string {
+	var sb strings.Builder
+	for i := range elems {
+		el := &elems[i]
+		switch el.Kind {
+		case stream.VertexElement:
+			fmt.Fprintf(&sb, "v %d %s\n", el.V, el.Label)
+		case stream.EdgeElement:
+			fmt.Fprintf(&sb, "e %d %d\n", el.V, el.U)
+		case stream.RemoveVertexElement:
+			fmt.Fprintf(&sb, "rv %d\n", el.V)
+		case stream.RemoveEdgeElement:
+			fmt.Fprintf(&sb, "re %d %d\n", el.V, el.U)
+		}
+	}
+	return sb.String()
+}
+
+// spliceChurn injects deterministic, never-rejectable removals into an
+// insert-only stream: vertices still referenced later are re-added
+// immediately, vertices past their last reference are removed for good.
+func spliceChurn(elems []stream.Element, seed int64) (out []stream.Element, sticky []graph.VertexID) {
+	lastRef := make(map[graph.VertexID]int)
+	for i, el := range elems {
+		lastRef[el.V] = i
+		if el.Kind == stream.EdgeElement {
+			lastRef[el.U] = i
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := make(map[graph.VertexID]graph.Label)
+	var liveV []graph.VertexID
+	var liveE [][2]graph.VertexID
+	for i, el := range elems {
+		out = append(out, el)
+		switch el.Kind {
+		case stream.VertexElement:
+			labels[el.V] = el.Label
+			liveV = append(liveV, el.V)
+		case stream.EdgeElement:
+			liveE = append(liveE, [2]graph.VertexID{el.V, el.U})
+		}
+		switch x := rng.Float64(); {
+		case x < 0.04 && len(liveV) > 0:
+			j := rng.Intn(len(liveV))
+			v := liveV[j]
+			out = append(out, stream.Element{Kind: stream.RemoveVertexElement, V: v})
+			keep := liveE[:0]
+			for _, e := range liveE {
+				if e[0] != v && e[1] != v {
+					keep = append(keep, e)
+				}
+			}
+			liveE = keep
+			if lastRef[v] > i {
+				out = append(out, stream.Element{Kind: stream.VertexElement, V: v, Label: labels[v]})
+			} else {
+				liveV[j] = liveV[len(liveV)-1]
+				liveV = liveV[:len(liveV)-1]
+				sticky = append(sticky, v)
+			}
+		case x < 0.08 && len(liveE) > 0:
+			j := rng.Intn(len(liveE))
+			e := liveE[j]
+			liveE[j] = liveE[len(liveE)-1]
+			liveE = liveE[:len(liveE)-1]
+			out = append(out, stream.Element{Kind: stream.RemoveEdgeElement, V: e[0], U: e[1]})
+		}
+	}
+	return out, sticky
+}
+
+// TestServeChurnCrashRecoveryE2E is the acceptance drill for deletions
+// over the wire: a churny stream (adds, removals, re-adds) is fed over
+// HTTP to a durable server; after a mid-stream checkpoint the server is
+// hard-killed with removal records in the unsnapshotted WAL tail,
+// restarted from -data-dir, fed the rest, and must answer every /place
+// (not-found for deleted vertices included) and every /stats counter
+// exactly like a control that never went down. The control is durable
+// too and checkpoints at the same stream position: a checkpoint is a
+// drain barrier, so equivalence requires the same barrier schedule
+// (exactly how the chaos harness replays its control).
+func TestServeChurnCrashRecoveryE2E(t *testing.T) {
+	const k = 4
+	rng := rand.New(rand.NewSource(33))
+	alphabet := gen.DefaultAlphabet(4)
+	g, err := gen.PlantedPartitionDegrees(600, k, 8, 2, &gen.UniformLabeler{Alphabet: alphabet, Rand: rng}, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	base, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	elems, sticky := spliceChurn(base, 29)
+	snapAt, cut := len(elems)*2/5, len(elems)*3/5
+	// The WAL tail behind the crash (after the checkpoint) must carry
+	// removals, including at least one vertex that never comes back.
+	tailRemovals := 0
+	var preSticky []graph.VertexID
+	for _, el := range elems[snapAt:cut] {
+		if el.Kind == stream.RemoveVertexElement || el.Kind == stream.RemoveEdgeElement {
+			tailRemovals++
+		}
+	}
+	for _, v := range sticky {
+		for _, el := range elems[snapAt:cut] {
+			if el.Kind == stream.RemoveVertexElement && el.V == v {
+				preSticky = append(preSticky, v)
+				break
+			}
+		}
+	}
+	if tailRemovals == 0 || len(preSticky) == 0 {
+		t.Fatalf("WAL tail carries %d removals, %d sticky — widen the schedule", tailRemovals, len(preSticky))
+	}
+
+	opts := serverOptions{
+		k: k, expected: g.NumVertices(), window: 32, threshold: 0.05,
+		slack: 1.2, seed: 1, labels: 4, workloadN: 8, mailbox: 8,
+		passes: 1, priority: "none", heuristic: "loom", minAssigned: 1 << 30,
+		dataDir: t.TempDir(), fsync: "always",
+	}
+	_, controlHS := startTestServer(t, opts)
+	dopts := opts
+	dopts.dataDir = t.TempDir()
+	durable, durableHS := startTestServer(t, dopts)
+
+	feed := func(hs *httptest.Server, body string) ingestResponse {
+		t.Helper()
+		var ing ingestResponse
+		if code := postBody(t, hs.URL+"/ingest", body, &ing); code != http.StatusOK {
+			t.Fatalf("ingest status %d", code)
+		}
+		return ing
+	}
+	first, tail, second := churnTextOf(elems[:snapAt]), churnTextOf(elems[snapAt:cut]), churnTextOf(elems[cut:])
+	feed(controlHS, first)
+	feed(durableHS, first)
+	if code := postBody(t, controlHS.URL+"/checkpoint", "", nil); code != http.StatusOK {
+		t.Fatalf("control checkpoint status %d", code)
+	}
+	if code := postBody(t, durableHS.URL+"/checkpoint", "", nil); code != http.StatusOK {
+		t.Fatalf("durable checkpoint status %d", code)
+	}
+	ingCtl := feed(controlHS, tail)
+	ingDur := feed(durableHS, tail)
+	if ingCtl.Accepted != ingDur.Accepted || ingDur.Rejected != 0 {
+		t.Fatalf("accept mismatch before crash: control %+v durable %+v", ingCtl, ingDur)
+	}
+
+	// Hard crash: the removals fed after the checkpoint exist only as WAL
+	// tail records now.
+	durable.Abort()
+	durableHS.Close()
+
+	restarted, restartedHS := startTestServer(t, dopts)
+	rst := restarted.Stats()
+	if rst.Persist == nil {
+		t.Fatal("restarted server has no persistence stats")
+	}
+	if !rst.Persist.Recover.SnapshotLoaded {
+		t.Fatalf("recovery ignored the checkpoint snapshot: %+v", rst.Persist.Recover)
+	}
+
+	feed(controlHS, second)
+	feed(restartedHS, second)
+	if code := postBody(t, controlHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatalf("control drain status %d", code)
+	}
+	if code := postBody(t, restartedHS.URL+"/drain", "", nil); code != http.StatusOK {
+		t.Fatalf("restarted drain status %d", code)
+	}
+
+	var stCtl, stDur serve.Stats
+	if code := getJSON(t, controlHS.URL+"/stats", &stCtl); code != http.StatusOK {
+		t.Fatal("control /stats failed")
+	}
+	if code := getJSON(t, restartedHS.URL+"/stats", &stDur); code != http.StatusOK {
+		t.Fatal("restarted /stats failed")
+	}
+	stCtl.MailboxDepth, stDur.MailboxDepth = 0, 0
+	stCtl.Persist, stDur.Persist = nil, nil
+	// Replay publishes per WAL record while live ingest publishes per
+	// batch, and the snapshot reload adds an epoch: the only cosmetic
+	// divergence the recovery contract allows.
+	stCtl.Epoch, stDur.Epoch = 0, 0
+	ctlJSON, _ := json.Marshal(stCtl)
+	durJSON, _ := json.Marshal(stDur)
+	if string(ctlJSON) != string(durJSON) {
+		t.Fatalf("stats diverge after churny crash recovery:\ncontrol   %s\nrestarted %s", ctlJSON, durJSON)
+	}
+
+	for _, v := range g.Vertices() {
+		var pc, pd struct {
+			Assigned  bool `json:"assigned"`
+			Partition int  `json:"partition"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", controlHS.URL, v), &pc); code != http.StatusOK {
+			t.Fatalf("control /place/%d status %d", v, code)
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", restartedHS.URL, v), &pd); code != http.StatusOK {
+			t.Fatalf("restarted /place/%d status %d", v, code)
+		}
+		if pc != pd {
+			t.Fatalf("placement of %d diverges: control %+v restarted %+v", v, pc, pd)
+		}
+	}
+	for _, v := range preSticky {
+		var pd struct {
+			Assigned bool `json:"assigned"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/place/%d", restartedHS.URL, v), &pd); code != http.StatusOK || pd.Assigned {
+			t.Fatalf("/place/%d after recovery = assigned %v (status %d); the deletion was in the replayed tail", v, pd.Assigned, code)
+		}
+	}
+}

@@ -95,9 +95,26 @@ func FuzzWALRecord(f *testing.F) {
 		f.Fatal(err)
 	}
 	r2 := encodeRecordBody(2, RecordBatchBinary, binBody)
-	full := mkSeg(0, r0, r1, r2)
+	r3, err := encodeRecord(3, RecordBatch, []stream.Element{
+		{Kind: stream.RemoveEdgeElement, V: 1, U: 2},
+		{Kind: stream.RemoveVertexElement, V: 2},
+		{Kind: stream.VertexElement, V: 2, Label: "b"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var renc stream.FrameEncoder
+	rmBody, err := renc.AppendPayload(nil, []stream.Element{
+		{Kind: stream.RemoveVertexElement, V: 3},
+		{Kind: stream.RemoveEdgeElement, V: 1, U: 3},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	r4 := encodeRecordBody(4, RecordBatchBinary, rmBody)
+	full := mkSeg(0, r0, r1, r2, r3, r4)
 	f.Add(full)
-	f.Add(full[:len(full)-3]) // torn final (binary) record
+	f.Add(full[:len(full)-3]) // torn final (binary removal) record
 	f.Add(mkSeg(7))           // header only
 	f.Add([]byte(walMagic))   // short header
 	f.Add([]byte{})

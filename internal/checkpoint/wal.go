@@ -24,7 +24,8 @@ import (
 //	u64 LE sequence number | u8 record kind | body
 //
 // where the body of a text batch record is the graph-stream text codec
-// ("v <id> <label>" / "e <u> <v>" lines) — the same shape loom-serve
+// ("v <id> <label>" / "e <u> <v>" lines, removals as "rv <id>" /
+// "re <u> <v>") — the same shape loom-serve
 // ingests over HTTP, so replay reuses stream.FromReader unchanged — and
 // the body of a binary batch record is a binary ingest frame payload
 // verbatim (see internal/stream's binary codec), so an accepted binary
@@ -107,6 +108,10 @@ func encodeElements(buf *bytes.Buffer, elems []stream.Element) error {
 			fmt.Fprintf(buf, "v %d %s\n", el.V, el.Label)
 		case stream.EdgeElement:
 			fmt.Fprintf(buf, "e %d %d\n", el.V, el.U)
+		case stream.RemoveVertexElement:
+			fmt.Fprintf(buf, "rv %d\n", el.V)
+		case stream.RemoveEdgeElement:
+			fmt.Fprintf(buf, "re %d %d\n", el.V, el.U)
 		default:
 			return fmt.Errorf("checkpoint: unknown element kind %d", el.Kind)
 		}

@@ -231,6 +231,10 @@ func (p *Partitioner) Consume(el stream.Element) error {
 		return p.AddVertex(el.V, el.Label)
 	case stream.EdgeElement:
 		return p.AddEdge(el.V, el.U)
+	case stream.RemoveVertexElement:
+		return p.RemoveVertex(el.V)
+	case stream.RemoveEdgeElement:
+		return p.RemoveEdge(el.V, el.U)
 	}
 	return fmt.Errorf("core: unknown element kind %d", el.Kind)
 }
@@ -269,6 +273,53 @@ func (p *Partitioner) AddEdge(u, v graph.VertexID) error {
 		return nil
 	}
 	return p.tracker.ObserveEdge(u, v, p.window.Graph())
+}
+
+// RemoveVertex deletes a previously seen vertex. A window-resident vertex
+// is discarded without ever being assigned (its window edges and motif
+// matches die with it); an assigned vertex loses its placement, freeing
+// partition capacity. Unseen vertices are an error, mirroring AddEdge's
+// validation.
+func (p *Partitioner) RemoveVertex(v graph.VertexID) error {
+	switch {
+	case p.window.Resident(v):
+		p.window.Discard(v)
+		p.tracker.RemoveVertex(v)
+	case p.Assignment().Assigned(v):
+		p.Assignment().Remove(v)
+		// Residents may hold deferred edges to the assigned vertex; a later
+		// eviction must not surface a deleted endpoint.
+		p.window.ForgetAssigned(v)
+	default:
+		return fmt.Errorf("core: remove of unseen vertex %d", v)
+	}
+	// Forget the label so traversal weighting stops scoring edges into the
+	// deleted vertex above baseline; the handle is recycled on re-add.
+	if h, ok := p.verts.Lookup(int64(v)); ok {
+		if int(h) < len(p.labelIDs) {
+			p.labelIDs[h] = ident.NoLabel
+		}
+		p.verts.Remove(int64(v))
+	}
+	return nil
+}
+
+// RemoveEdge deletes a previously delivered edge. Both endpoints must
+// still be known (resident or assigned); the window's bookkeeping and any
+// motif match built on the edge are unwound. Edges between two assigned
+// vertices have already left the window entirely, so only the tracker
+// check applies there (a no-op: matches never outlive eviction).
+func (p *Partitioner) RemoveEdge(u, v graph.VertexID) error {
+	knownU := p.window.Resident(u) || p.Assignment().Assigned(u)
+	knownV := p.window.Resident(v) || p.Assignment().Assigned(v)
+	if !knownU || !knownV {
+		return fmt.Errorf("core: remove of edge {%d,%d} referencing unseen vertex", u, v)
+	}
+	p.window.RemoveEdge(u, v)
+	if !p.cfg.DisableMotifs {
+		p.tracker.RemoveEdge(u, v)
+	}
+	return nil
 }
 
 // Finish drains the window, assigning every remaining vertex, and returns

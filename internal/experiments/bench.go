@@ -50,6 +50,11 @@ type BenchRecord struct {
 	// end-to-end ingest throughput through a durable server: wire decode,
 	// writer-side partitioning and WAL append, per stream element.
 	IngestElementsPerSec float64 `json:"ingest_elements_per_sec,omitempty"`
+	// ChurnElementsPerSec (churn scenario only) is ingest throughput over
+	// a mixed add/remove stream: vertex and edge deletions interleaved
+	// with arrivals and re-adds, exercising placement-table tombstoning,
+	// drift decrements and WAL-logged removal records end to end.
+	ChurnElementsPerSec float64 `json:"churn_elements_per_sec,omitempty"`
 	// QueryPerSec (query-serve scenario only) is served queries per second
 	// through the online query engine (lock-free view reads, full message
 	// accounting). MsgsPerQueryBefore/After bracket the workload feedback
@@ -212,6 +217,13 @@ func BenchTrajectory(seed int64, quick bool) ([]BenchRecord, error) {
 	// buys on a fixed hot-pattern mix.
 	if err := benchQueries(&out, graphs[fmt.Sprintf("community-%d", n)], alphabet, seed, k,
 		fmt.Sprintf("community-%d/query-serve", n)); err != nil {
+		return nil, err
+	}
+
+	// Deletion churn: the same durable front door fed a mixed add/remove
+	// stream, covering the tombstone/decrement/WAL-removal path.
+	if err := benchChurn(&out, graphs[fmt.Sprintf("community-%d", n)], alphabet, seed, k,
+		fmt.Sprintf("community-%d/churn", n)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -539,6 +551,143 @@ func benchIngest(out *[]BenchRecord, g *graph.Graph, alphabet []graph.Label, see
 	})
 }
 
+// spliceChurn injects deterministic removals and re-adds into an
+// insert-only element stream without ever producing a rejectable
+// element: a vertex still referenced by later elements is re-added
+// immediately after its removal, one past its last reference stays gone,
+// and removed edges never reappear (the source stream carries each edge
+// once).
+func spliceChurn(elems []stream.Element, seed int64) []stream.Element {
+	lastRef := make(map[graph.VertexID]int)
+	for i := range elems {
+		el := &elems[i]
+		lastRef[el.V] = i
+		if el.Kind == stream.EdgeElement {
+			lastRef[el.U] = i
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := make(map[graph.VertexID]graph.Label)
+	var liveV []graph.VertexID
+	var liveE [][2]graph.VertexID
+	out := make([]stream.Element, 0, len(elems)+len(elems)/8)
+	for i := range elems {
+		el := elems[i]
+		out = append(out, el)
+		switch el.Kind {
+		case stream.VertexElement:
+			labels[el.V] = el.Label
+			liveV = append(liveV, el.V)
+		case stream.EdgeElement:
+			liveE = append(liveE, [2]graph.VertexID{el.V, el.U})
+		}
+		switch x := rng.Float64(); {
+		case x < 0.04 && len(liveV) > 0:
+			j := rng.Intn(len(liveV))
+			v := liveV[j]
+			out = append(out, stream.Element{Kind: stream.RemoveVertexElement, V: v})
+			keep := liveE[:0]
+			for _, e := range liveE {
+				if e[0] != v && e[1] != v {
+					keep = append(keep, e)
+				}
+			}
+			liveE = keep
+			if lastRef[v] > i {
+				out = append(out, stream.Element{Kind: stream.VertexElement, V: v, Label: labels[v]})
+			} else {
+				liveV[j] = liveV[len(liveV)-1]
+				liveV = liveV[:len(liveV)-1]
+			}
+		case x < 0.08 && len(liveE) > 0:
+			j := rng.Intn(len(liveE))
+			e := liveE[j]
+			liveE[j] = liveE[len(liveE)-1]
+			liveE = liveE[:len(liveE)-1]
+			out = append(out, stream.Element{Kind: stream.RemoveEdgeElement, V: e[0], U: e[1]})
+		}
+	}
+	return out
+}
+
+// benchChurn measures ingest throughput over a mixed add/remove stream
+// through the same durable front door as benchIngest (IngestSync batches,
+// WAL append per batch, fsync none): every removal exercises the
+// placement-table tombstone, the drift-estimator decrement and a WAL
+// removal record. Quality metrics describe the surviving graph's
+// partitioning. Best of five runs, matching the other ingest scenarios.
+func benchChurn(out *[]BenchRecord, g *graph.Graph, alphabet []graph.Label, seed int64, k int, scenario string) error {
+	base, err := stream.FromGraph(g, stream.TemporalOrder, nil)
+	if err != nil {
+		return err
+	}
+	elems := spliceChurn(base, seed+200)
+
+	cfg := serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: k, ExpectedVertices: g.NumVertices(), Slack: 1.2, Seed: seed},
+			WindowSize: 64,
+			Threshold:  0.05,
+		},
+		Alphabet: alphabet,
+	}
+
+	var best time.Duration
+	var bestMallocs uint64
+	var live *graph.Graph
+	var a *partition.Assignment
+	for rep := 0; rep < 5; rep++ {
+		dir, err := os.MkdirTemp("", "loom-bench-churn-")
+		if err != nil {
+			return err
+		}
+		s, err := serve.Open(cfg, serve.PersistOptions{Dir: dir, Fsync: checkpoint.SyncNone})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		elapsed, mallocs, err := measure(func() error {
+			for i := 0; i < len(elems); i += ingestBenchBatch {
+				end := min(i+ingestBenchBatch, len(elems))
+				if err := s.IngestSync(elems[i:end]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			if err = s.Drain(); err == nil {
+				var v *serve.View
+				if v, err = s.ExportView(); err == nil {
+					live, a = v.Graph, v.Assignment
+				}
+			}
+		}
+		s.Stop()
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		if rep == 0 || elapsed < best {
+			best, bestMallocs = elapsed, mallocs
+		}
+	}
+	perVertex := best.Nanoseconds() / int64(g.NumVertices())
+	*out = append(*out, BenchRecord{
+		Scenario:            scenario,
+		NsPerOp:             perVertex,
+		NsPerVertex:         perVertex,
+		AllocsPerVertex:     float64(bestMallocs) / float64(g.NumVertices()),
+		CutFraction:         metrics.CutFraction(live, a),
+		Imbalance:           metrics.VertexImbalance(a),
+		Vertices:            live.NumVertices(),
+		Edges:               live.NumEdges(),
+		K:                   k,
+		ChurnElementsPerSec: float64(len(elems)) / best.Seconds(),
+	})
+	return nil
+}
+
 // CompareBaseline checks records against a committed baseline and returns
 // one human-readable line per regression beyond tol (a fraction, e.g.
 // 0.20): ns_per_vertex may not grow and ingest_elements_per_sec may not
@@ -565,6 +714,11 @@ func CompareBaseline(records, baseline []BenchRecord, tol float64) []string {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: ingest_elements_per_sec %.0f below baseline %.0f by more than %.0f%%",
 					r.Scenario, r.IngestElementsPerSec, b.IngestElementsPerSec, tol*100))
+		}
+		if b.ChurnElementsPerSec > 0 && r.ChurnElementsPerSec < b.ChurnElementsPerSec*(1-tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: churn_elements_per_sec %.0f below baseline %.0f by more than %.0f%%",
+					r.Scenario, r.ChurnElementsPerSec, b.ChurnElementsPerSec, tol*100))
 		}
 		if b.QueryPerSec > 0 && r.QueryPerSec < b.QueryPerSec*(1-tol) {
 			regressions = append(regressions,

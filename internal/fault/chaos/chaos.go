@@ -60,6 +60,8 @@ type Report struct {
 	Ops        int // applied operations in the final history
 	Batches    int // applied batch ops
 	Binary     int // batch ops driven through the binary wire path
+	Removals   int // removal elements spliced into the schedule
+	Readds     int // removed vertices re-added (ident-handle recycling)
 	Refused    int // batches refused before application (wedge/accept)
 	Unacked    int // ops applied but not acknowledged durable
 	Crashes    int
@@ -224,6 +226,64 @@ func (a fingerprint) equal(b fingerprint) bool {
 	return true
 }
 
+// injectChurn splices removal (and re-add) elements into an insert-only
+// stream, so the chaos schedule drives the full deletion surface through
+// its randomized op mix: removals of resident and assigned vertices, edge
+// removals, and ident-handle recycling via remove→re-add of the same ID —
+// across both ingest front doors, crashes, recoveries and restreams. Any
+// rejections the removals provoke later in the stream (edges into a
+// removed vertex) are part of the timeline and reproduce identically in
+// the control replay.
+func injectChurn(elems []stream.Element, rng *rand.Rand, rep *Report) []stream.Element {
+	out := make([]stream.Element, 0, len(elems)+len(elems)/8)
+	labels := make(map[graph.VertexID]graph.Label)
+	var liveV []graph.VertexID
+	var liveE [][2]graph.VertexID
+	for _, el := range elems {
+		out = append(out, el)
+		switch el.Kind {
+		case stream.VertexElement:
+			labels[el.V] = el.Label
+			liveV = append(liveV, el.V)
+		case stream.EdgeElement:
+			liveE = append(liveE, [2]graph.VertexID{el.V, el.U})
+		}
+		x := rng.Float64()
+		switch {
+		case x < 0.04 && len(liveV) > 0:
+			i := rng.Intn(len(liveV))
+			v := liveV[i]
+			liveV[i] = liveV[len(liveV)-1]
+			liveV = liveV[:len(liveV)-1]
+			// The vertex takes its incident edges with it.
+			kept := liveE[:0]
+			for _, e := range liveE {
+				if e[0] != v && e[1] != v {
+					kept = append(kept, e)
+				}
+			}
+			liveE = kept
+			out = append(out, stream.Element{Kind: stream.RemoveVertexElement, V: v})
+			rep.Removals++
+			if rng.Float64() < 0.5 {
+				// Re-add under the same ID: the serving stack must hand the
+				// recycled handle a fresh, unplaced identity.
+				out = append(out, stream.Element{Kind: stream.VertexElement, V: v, Label: labels[v]})
+				liveV = append(liveV, v)
+				rep.Readds++
+			}
+		case x < 0.08 && len(liveE) > 0:
+			i := rng.Intn(len(liveE))
+			e := liveE[i]
+			liveE[i] = liveE[len(liveE)-1]
+			liveE = liveE[:len(liveE)-1]
+			out = append(out, stream.Element{Kind: stream.RemoveEdgeElement, V: e[0], U: e[1]})
+			rep.Removals++
+		}
+	}
+	return out
+}
+
 // Run executes one seeded chaos schedule and returns its report, or an
 // error describing the first violated invariant.
 func Run(seed int64, opts Options) (*Report, error) {
@@ -254,12 +314,14 @@ func Run(seed int64, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: stream: %w", err)
 	}
+	rep := &Report{Seed: seed, K: k}
+	elems = injectChurn(elems, rand.New(rand.NewSource(seed+2)), rep)
+	rep.Elements = len(elems)
 
 	dir, err := os.MkdirTemp(opts.Scratch, "chaos-run-")
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Seed: seed, K: k, Elements: len(elems)}
 	reg := buildRegistry(seed ^ 0x5eed)
 
 	hook := &timerHook{}

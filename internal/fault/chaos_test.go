@@ -31,6 +31,8 @@ func TestChaosDurability(t *testing.T) {
 		totals.Ops += rep.Ops
 		totals.Batches += rep.Batches
 		totals.Binary += rep.Binary
+		totals.Removals += rep.Removals
+		totals.Readds += rep.Readds
 		totals.Refused += rep.Refused
 		totals.Unacked += rep.Unacked
 		totals.Crashes += rep.Crashes
@@ -38,9 +40,9 @@ func TestChaosDurability(t *testing.T) {
 		totals.Restreams += rep.Restreams
 		totals.Injections += rep.Injections
 	}
-	t.Logf("%d seeds: ops=%d batches=%d binary=%d refused=%d unacked=%d crashes=%d reanchors=%d restreams=%d injections=%d",
-		*chaosSeeds, totals.Ops, totals.Batches, totals.Binary, totals.Refused, totals.Unacked,
-		totals.Crashes, totals.Reanchors, totals.Restreams, totals.Injections)
+	t.Logf("%d seeds: ops=%d batches=%d binary=%d removals=%d readds=%d refused=%d unacked=%d crashes=%d reanchors=%d restreams=%d injections=%d",
+		*chaosSeeds, totals.Ops, totals.Batches, totals.Binary, totals.Removals, totals.Readds,
+		totals.Refused, totals.Unacked, totals.Crashes, totals.Reanchors, totals.Restreams, totals.Injections)
 	// A schedule that never injects, never crashes, or never heals is not
 	// exercising the machinery it exists to prove.
 	if totals.Injections == 0 {
@@ -54,5 +56,8 @@ func TestChaosDurability(t *testing.T) {
 	}
 	if totals.Reanchors == 0 {
 		t.Fatal("no self-healing re-anchors fired across all seeds")
+	}
+	if totals.Removals == 0 || totals.Readds == 0 {
+		t.Fatal("no deletion churn in the schedules; injectChurn wiring is broken")
 	}
 }

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestGraphChurnAgainstReference drives a randomized add/remove schedule
+// against a map-backed reference model, pinning handle recycling across
+// the graph/ident stack: after a RemoveVertex frees a handle, the next
+// AddVertex that reuses it must start with a clean label slot and empty
+// adjacency — no stale state from the previous owner may alias through
+// the recycled handle — and every membership, label, degree and
+// neighbourhood query must keep agreeing with the model.
+func TestGraphChurnAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	labels := make(map[VertexID]Label)
+	edges := make(map[Edge]bool)
+
+	alphabet := []Label{"a", "b", "c", "d"}
+	randV := func() VertexID { return VertexID(rng.Intn(64)) }
+
+	incident := func(v VertexID) []Edge {
+		var out []Edge
+		for e := range edges {
+			if e.U == v || e.V == v {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+
+	verify := func(step int) {
+		t.Helper()
+		if g.NumVertices() != len(labels) {
+			t.Fatalf("step %d: NumVertices=%d, model has %d", step, g.NumVertices(), len(labels))
+		}
+		if g.NumEdges() != len(edges) {
+			t.Fatalf("step %d: NumEdges=%d, model has %d", step, g.NumEdges(), len(edges))
+		}
+		for v, want := range labels {
+			got, ok := g.Label(v)
+			if !ok || got != want {
+				t.Fatalf("step %d: Label(%d)=%q,%v; model %q", step, v, got, ok, want)
+			}
+			var wantN []VertexID
+			for e := range edges {
+				if e.U == v {
+					wantN = append(wantN, e.V)
+				} else if e.V == v {
+					wantN = append(wantN, e.U)
+				}
+			}
+			slices.Sort(wantN)
+			if gotN := g.Neighbors(v); !slices.Equal(gotN, wantN) {
+				t.Fatalf("step %d: Neighbors(%d)=%v, model %v", step, v, gotN, wantN)
+			}
+		}
+		for e := range edges {
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+				t.Fatalf("step %d: model edge %v missing", step, e)
+			}
+		}
+	}
+
+	for step := 0; step < 30000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // add (or relabel) a vertex
+			v, l := randV(), alphabet[rng.Intn(len(alphabet))]
+			g.AddVertex(v, l)
+			labels[v] = l
+		case op < 7: // add an edge
+			u, v := randV(), randV()
+			_, uOK := labels[u]
+			_, vOK := labels[v]
+			err := g.AddEdge(u, v)
+			e := Edge{U: u, V: v}.Normalize()
+			wantErr := u == v || !uOK || !vOK || edges[e]
+			if (err != nil) != wantErr {
+				t.Fatalf("step %d: AddEdge(%d,%d) err=%v, model wanted error=%v", step, u, v, err, wantErr)
+			}
+			if err == nil {
+				edges[e] = true
+			}
+		case op < 8: // remove an edge
+			u, v := randV(), randV()
+			e := Edge{U: u, V: v}.Normalize()
+			if got, want := g.RemoveEdge(u, v), edges[e]; got != want {
+				t.Fatalf("step %d: RemoveEdge(%d,%d)=%v, model %v", step, u, v, got, want)
+			}
+			delete(edges, e)
+		default: // remove a vertex (and its incident edges)
+			v := randV()
+			_, want := labels[v]
+			if got := g.RemoveVertex(v); got != want {
+				t.Fatalf("step %d: RemoveVertex(%d)=%v, model %v", step, v, got, want)
+			}
+			for _, e := range incident(v) {
+				delete(edges, e)
+			}
+			delete(labels, v)
+			if _, ok := g.Label(v); ok {
+				t.Fatalf("step %d: vertex %d still labelled after removal", step, v)
+			}
+		}
+		if step%1171 == 0 {
+			verify(step)
+		}
+	}
+	verify(30000)
+}

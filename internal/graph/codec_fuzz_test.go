@@ -15,6 +15,11 @@ func FuzzCodec(f *testing.F) {
 	f.Add([]byte("v 1 a\nv 2 a\nv 3 b\ne 1 2\ne 2 3\ne 3 1\n"))
 	f.Add([]byte("v 9223372036854775807 big\n"))
 	f.Add([]byte("e 1 2\n"))
+	// Stream-codec removal records: this is the static snapshot format, so
+	// "rv"/"re" must be refused with a clean error, never applied or
+	// panicked on.
+	f.Add([]byte("v 0 a\nv 1 b\ne 0 1\nrv 0\n"))
+	f.Add([]byte("v 0 a\nv 1 b\ne 0 1\nre 0 1\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := Read(bytes.NewReader(data))
 		if err != nil {

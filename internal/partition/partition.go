@@ -129,6 +129,22 @@ func (a *Assignment) Set(v graph.VertexID, p ID) error {
 	return nil
 }
 
+// Remove clears v's placement, keeping load accounting consistent. It
+// reports whether v was assigned. The handle stays interned (its slot is
+// merely stamped stale), so a later re-add reuses it; epoch is never 0
+// (see Reset), so stamping 0 always reads as unassigned.
+func (a *Assignment) Remove(v graph.VertexID) bool {
+	h, ok := a.ids.Lookup(int64(v))
+	if !ok || int(h) >= len(a.place) || a.stamp[h] != a.epoch {
+		return false
+	}
+	a.sizes[a.place[h]]--
+	a.stamp[h] = 0
+	a.place[h] = Unassigned
+	a.n--
+	return true
+}
+
 // Reset clears every placement in O(1) (epoch bump), retaining the interned
 // handle space and slice capacity for reuse.
 func (a *Assignment) Reset() {

@@ -1,0 +1,149 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// churnFingerprint renders the tracker's full observable state as a string:
+// for every live window vertex in ascending order, the matches containing it
+// (ID, motif size, vertex set, edge set), plus the live-match count and the
+// activity counters. Two runs that diverge anywhere — match identity, drop
+// order, ID assignment — produce different strings.
+func churnFingerprint(tk *Tracker, w *graph.Graph) string {
+	var sb strings.Builder
+	verts := w.Vertices()
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	for _, v := range verts {
+		fmt.Fprintf(&sb, "%d:", v)
+		for _, m := range tk.MatchesContaining(v) {
+			fmt.Fprintf(&sb, " #%d%v%v", m.ID, m.Vertices(), m.Edges())
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "active=%d stats=%+v\n", tk.ActiveMatches(), tk.Stats())
+	return sb.String()
+}
+
+// runChurnSchedule replays one fixed seeded schedule of interleaved window
+// mutations — edge arrivals observed by the tracker, edge deletions, vertex
+// deletions and re-additions — and returns a fingerprint accumulated at
+// checkpoints along the way, so a mid-run divergence is caught even if the
+// final states happen to re-converge. MaxMatchesPerVertex is deliberately
+// tiny to force the enforceCaps drop path (the historical source of
+// map-order nondeterminism) on nearly every arrival.
+func runChurnSchedule(t *testing.T, seed int64) string {
+	t.Helper()
+	tr := fig1Trie(t)
+	tk := NewTracker(tr, Options{Threshold: 0.3, MaxMatchesPerVertex: 2})
+	w := graph.New()
+	rng := rand.New(rand.NewSource(seed))
+
+	alphabet := []graph.Label{"a", "b", "c", "d"}
+	labelFor := func(v graph.VertexID) graph.Label { return alphabet[int(v)%len(alphabet)] }
+	randV := func() graph.VertexID { return graph.VertexID(1 + rng.Intn(12)) }
+
+	liveEdges := func() []graph.Edge {
+		var out []graph.Edge
+		for _, v := range w.Vertices() {
+			for _, u := range w.Neighbors(v) {
+				if v < u {
+					out = append(out, graph.Edge{U: v, V: u})
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].U != out[j].U {
+				return out[i].U < out[j].U
+			}
+			return out[i].V < out[j].V
+		})
+		return out
+	}
+
+	var sb strings.Builder
+	for step := 0; step < 600; step++ {
+		switch x := rng.Float64(); {
+		case x < 0.45: // edge arrival, observed by the tracker
+			u, v := randV(), randV()
+			if u == v {
+				continue
+			}
+			if !w.HasVertex(u) {
+				w.AddVertex(u, labelFor(u))
+			}
+			if !w.HasVertex(v) {
+				w.AddVertex(v, labelFor(v))
+			}
+			if w.HasEdge(u, v) {
+				continue
+			}
+			mustAddEdge(t, w, u, v)
+			if err := tk.ObserveEdge(u, v, w); err != nil {
+				t.Fatalf("seed %d step %d: ObserveEdge(%d,%d): %v", seed, step, u, v, err)
+			}
+		case x < 0.60: // edge deletion
+			es := liveEdges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.Intn(len(es))]
+			w.RemoveEdge(e.U, e.V)
+			tk.RemoveEdge(e.U, e.V)
+			for _, m := range tk.MatchesContaining(e.U) {
+				if m.Contains(e.V) {
+					for _, me := range m.Edges() {
+						if me == e {
+							t.Fatalf("seed %d step %d: match #%d still holds removed edge %v", seed, step, m.ID, e)
+						}
+					}
+				}
+			}
+		case x < 0.75: // vertex deletion (group assigned / stream removal)
+			v := randV()
+			if !w.HasVertex(v) {
+				continue
+			}
+			w.RemoveVertex(v)
+			tk.RemoveVertex(v)
+			if ms := tk.MatchesContaining(v); len(ms) != 0 {
+				t.Fatalf("seed %d step %d: %d matches survive RemoveVertex(%d)", seed, step, len(ms), v)
+			}
+		default: // re-add a vertex that may have been deleted earlier
+			v := randV()
+			if !w.HasVertex(v) {
+				w.AddVertex(v, labelFor(v))
+			}
+		}
+		if step%97 == 0 {
+			fmt.Fprintf(&sb, "-- step %d\n%s", step, churnFingerprint(tk, w))
+		}
+	}
+	fmt.Fprintf(&sb, "-- final\n%s", churnFingerprint(tk, w))
+	return sb.String()
+}
+
+// TestTrackerChurnReplayDeterminism replays interleaved add/remove schedules
+// and requires bit-identical tracker state across replays (the PR 6
+// regression style, extended to deletions): serve-layer crash recovery
+// replays the WAL through this code, so any map-order dependence in the
+// remove paths would make a recovered server diverge from its never-stopped
+// control.
+func TestTrackerChurnReplayDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		want := runChurnSchedule(t, seed)
+		if !strings.Contains(want, "#") {
+			t.Fatalf("seed %d: schedule produced no matches; fingerprint is vacuous", seed)
+		}
+		for rep := 1; rep < 5; rep++ {
+			if got := runChurnSchedule(t, seed); got != want {
+				t.Fatalf("seed %d replay %d diverged:\n--- first run ---\n%s\n--- replay ---\n%s", seed, rep, want, got)
+			}
+		}
+	}
+}

@@ -525,6 +525,24 @@ func (t *Tracker) RemoveVertex(v graph.VertexID) {
 	delete(t.byVertex, v)
 }
 
+// RemoveEdge discards every match whose edge set contains {u,v} (a stream
+// deletion invalidated the edge, so any motif occurrence built on it no
+// longer exists in the window). Matches merely touching both endpoints
+// without using the edge survive.
+func (t *Tracker) RemoveEdge(u, v graph.VertexID) {
+	e := graph.Edge{U: u, V: v}.Normalize()
+	ids := make([]int64, 0, len(t.byVertex[e.U]))
+	//loom:orderinvariant snapshots the id set; drop() deletions commute, leaving identical final indexes
+	for id := range t.byVertex[e.U] {
+		if _, has := t.matches[id].edges[e]; has {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		t.drop(id)
+	}
+}
+
 // MatchesContaining returns the live matches containing v, largest first.
 func (t *Tracker) MatchesContaining(v graph.VertexID) []*Match {
 	out := make([]*Match, 0, len(t.byVertex[v]))

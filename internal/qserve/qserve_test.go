@@ -231,3 +231,85 @@ func TestWorkloadTriggerFiresRestream(t *testing.T) {
 		t.Fatalf("tracker never recorded: %+v", st)
 	}
 }
+
+// TestRefreshDropsRemovedVertices pins the deletion path through the view
+// pipeline: once the server applies remove-edge / remove-vertex elements,
+// the next Refresh must rebuild a store in which the removed structure no
+// longer matches queries — stale views may keep answering until then, but
+// never after.
+func TestRefreshDropsRemovedVertices(t *testing.T) {
+	alphabet := gen.DefaultAlphabet(4)
+	w, err := query.GenerateWorkload(query.DefaultMix(8), alphabet, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Core: core.Config{
+			Partition:  partition.Config{K: 2, ExpectedVertices: 16, Slack: 1.5, Seed: 1},
+			WindowSize: 8,
+			Threshold:  0.05,
+		},
+		Workload: w,
+		Alphabet: alphabet,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Stop()
+
+	// A single labelled path 1:a - 2:b - 3:c.
+	if err := srv.IngestSync([]stream.Element{
+		{Kind: stream.VertexElement, V: 1, Label: "a"},
+		{Kind: stream.VertexElement, V: 2, Label: "b"},
+		{Kind: stream.VertexElement, V: 3, Label: "c"},
+		{Kind: stream.EdgeElement, V: 1, U: 2},
+		{Kind: stream.EdgeElement, V: 2, U: 3},
+	}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	e := New(srv, Options{MatchLimit: -1, StaticWorkload: true})
+	matches := func(spec string) int {
+		t.Helper()
+		resp, err := e.Query(Request{Spec: spec})
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		return resp.Matches
+	}
+	if got := matches("path a b c"); got == 0 {
+		t.Fatal("path a b c should match before any removal")
+	}
+
+	// Deleting edge {2,3} severs the 3-path but leaves the 2-path.
+	if err := srv.IngestSync([]stream.Element{{Kind: stream.RemoveEdgeElement, V: 2, U: 3}}); err != nil {
+		t.Fatalf("remove edge: %v", err)
+	}
+	if err := e.Refresh(); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if got := matches("path a b c"); got != 0 {
+		t.Fatalf("path a b c matches %d times after its edge was removed", got)
+	}
+	if got := matches("path a b"); got == 0 {
+		t.Fatal("path a b should survive the {2,3} edge removal")
+	}
+
+	// Deleting vertex 2 kills the remaining match; the removed vertex must
+	// also stop resolving through the placement path.
+	if err := srv.IngestSync([]stream.Element{{Kind: stream.RemoveVertexElement, V: 2}}); err != nil {
+		t.Fatalf("remove vertex: %v", err)
+	}
+	if err := e.Refresh(); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if got := matches("path a b"); got != 0 {
+		t.Fatalf("path a b matches %d times after vertex 2 was removed", got)
+	}
+	if _, ok := srv.Where(2); ok {
+		t.Fatal("Where(2) still resolves after removal")
+	}
+}

@@ -15,6 +15,10 @@ func FuzzParseWorkload(f *testing.F) {
 	f.Add([]byte("# comment\n\nquery solo 0.25 graph v-7:x\n"))
 	f.Add([]byte("query bad nan path a b\n"))
 	f.Add([]byte("query t 3 path a b c d e f\nquery t2 1e-3 star z y\n"))
+	// Stream-codec removal records leaking into a workload file must be
+	// refused cleanly, not applied or panicked on.
+	f.Add([]byte("query q1 1 path a b\nrv 3\n"))
+	f.Add([]byte("re 1 2\nquery q1 1 path a b\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		w, err := ParseWorkload(bytes.NewReader(data))
 		if err != nil {

@@ -47,7 +47,11 @@ type PersistStats struct {
 	// WALRecords/WALBytes/Snapshots count what this process wrote.
 	WALRecords int64 `json:"wal_records"`
 	WALBytes   int64 `json:"wal_bytes"`
-	Snapshots  int64 `json:"snapshots"`
+	// WALTail counts records appended since the last successful snapshot
+	// rotation (including a recovered tail) — what a crash right now
+	// would replay. Config.SnapshotEveryBatches bounds it.
+	WALTail   int64 `json:"wal_tail"`
+	Snapshots int64 `json:"snapshots"`
 	// LastErr is the most recent persistence failure, sticky until the
 	// next one overwrites it.
 	LastErr string `json:"last_err,omitempty"`
@@ -152,6 +156,7 @@ func Open(cfg Config, opts PersistOptions) (*Server, error) {
 	info.RecoverMS = time.Since(start).Milliseconds()
 
 	s.persist.store = st
+	s.persist.walTail.Store(int64(info.ReplayedRecords))
 	s.persist.enabled = true
 	s.persist.dir = opts.Dir
 	s.persist.fsync = opts.Fsync
@@ -191,6 +196,16 @@ func (s *Server) restoreSnapshot(rec *checkpoint.Recovered) error {
 	s.p = np
 	s.tab = buildTable(np.Assignment())
 	s.pending = s.pending[:0]
+	if s.edgeStamp != nil {
+		// The snapshot codec carries no per-edge ages: stamp restored edges
+		// with the snapshot's logical time — the most recent moment they
+		// are known to have existed. WAL-tail replay then re-stamps any
+		// edge the tail touches through the normal apply path.
+		s.g.EachEdge(func(u, v graph.VertexID) bool {
+			s.edgeStamp[mkEdgeKey(u, v)] = m.Ingested
+			return true
+		})
+	}
 	s.cut, s.observed = m.Cut, m.Observed
 	s.ingested, s.rejected = m.Ingested, m.Rejected
 	s.restreams = m.Restreams

@@ -163,6 +163,24 @@ type Config struct {
 	// front of the writer loop (IngestFrames). Zero defaults to
 	// GOMAXPROCS; the workers start lazily on first binary ingest.
 	DecodeWorkers int
+	// SnapshotEveryBatches bounds the WAL tail on long runs: after this
+	// many accepted data batches the writer performs the same drain +
+	// barrier + engine-reseed cycle an explicit Checkpoint does and writes
+	// a durable snapshot, so recovery never replays more than roughly this
+	// many batches. Like Checkpoint, the drain force-assigns window
+	// residents; pick a period long enough that the placement-quality cost
+	// is amortised. Zero disables the trigger. Ignored without
+	// persistence.
+	SnapshotEveryBatches int
+	// DecaySpan ages edges out of restream scoring: when > 0, an edge
+	// whose last add is more than DecaySpan accepted elements in the past
+	// is excluded from the detached clone a background restream scores
+	// over (the same logical-time span semantics stream.TimedWindow
+	// applies to vertex residency — element counts, never the wall
+	// clock). The canonical graph and the served placements are
+	// unaffected; only restream scoring forgets stale structure. Zero
+	// keeps every edge forever.
+	DecaySpan int64
 }
 
 // ctrlKind discriminates control envelopes from data batches.
@@ -243,8 +261,11 @@ type Server struct {
 		fsync      checkpoint.SyncPolicy
 		walRecords atomic.Int64
 		walBytes   atomic.Int64
-		snapshots  atomic.Int64
-		lastErr    atomic.Pointer[string]
+		// walTail counts WAL records appended since the last successful
+		// snapshot rotation — the tail a crash recovery would replay.
+		walTail   atomic.Int64
+		snapshots atomic.Int64
+		lastErr   atomic.Pointer[string]
 		// wedged flips when a WAL append fails: the in-memory state then
 		// holds elements the log does not, so further ingest is refused
 		// (acknowledging it would poison recovery). A successful snapshot
@@ -310,6 +331,14 @@ type Server struct {
 	epoch    uint64
 	ingested int64
 	rejected int64
+	// edgeStamp records each live edge's last-add logical time (accepted
+	// element count) for Config.DecaySpan; nil when decay is off. Only
+	// read at restream launch, where the live graph's deterministic edge
+	// iteration drives the probes, so map order never leaks.
+	edgeStamp map[edgeKey]int64
+	// batchesSinceSnap counts accepted data batches toward the
+	// Config.SnapshotEveryBatches periodic checkpoint trigger.
+	batchesSinceSnap int
 	// walScratch accumulates a batch's accepted elements for the WAL.
 	walScratch []stream.Element
 	// wantSnapshot asks handle to write a snapshot after the next
@@ -342,6 +371,16 @@ type Server struct {
 // workloadSource wraps the observed-workload callback for atomic storage.
 type workloadSource struct {
 	fn func() *query.Workload
+}
+
+// edgeKey is an undirected edge normalised for the decay stamp map.
+type edgeKey struct{ a, b graph.VertexID }
+
+func mkEdgeKey(u, v graph.VertexID) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
 }
 
 // View is a detached copy of the assigned portion of the serving state:
@@ -438,6 +477,15 @@ func newServer(cfg Config) (*Server, error) {
 	}
 	if cfg.DecodeWorkers < 0 {
 		return nil, fmt.Errorf("serve: decode workers %d < 0", cfg.DecodeWorkers)
+	}
+	if cfg.SnapshotEveryBatches < 0 {
+		return nil, fmt.Errorf("serve: snapshot every %d batches < 0", cfg.SnapshotEveryBatches)
+	}
+	if cfg.DecaySpan < 0 {
+		return nil, fmt.Errorf("serve: decay span %d < 0", cfg.DecaySpan)
+	}
+	if cfg.DecaySpan > 0 {
+		s.edgeStamp = make(map[edgeKey]int64)
 	}
 	if cfg.Admission.Rate > 0 {
 		s.admission = newTokenBucket(cfg.Admission)
@@ -711,6 +759,7 @@ func (s *Server) Stats() Stats {
 			Fsync:      s.persist.fsync.String(),
 			WALRecords: s.persist.walRecords.Load(),
 			WALBytes:   s.persist.walBytes.Load(),
+			WALTail:    s.persist.walTail.Load(),
 			Snapshots:  s.persist.snapshots.Load(),
 			Wedged:     s.persist.wedged.Load(),
 			Recover:    s.persist.recover,
@@ -789,6 +838,14 @@ func (s *Server) handle(env envelope) {
 		default:
 			burst = drainBurst
 		}
+	}
+	// Periodic checkpoint (Config.SnapshotEveryBatches): bound the WAL
+	// tail by re-anchoring the log on a fresh snapshot after every N
+	// accepted data batches — the same drain + barrier + reseed cycle an
+	// explicit Checkpoint performs.
+	if n := s.cfg.SnapshotEveryBatches; n > 0 && s.persist.store != nil && s.batchesSinceSnap >= n {
+		s.batchesSinceSnap = 0
+		s.periodicCheckpoint()
 	}
 	s.sweep()
 	s.publish()
@@ -894,6 +951,9 @@ func (s *Server) process(env envelope) error {
 	if dropped > 0 {
 		errs = append(errs, fmt.Errorf("serve: %d further element errors", dropped))
 	}
+	if len(env.elems) > 0 {
+		s.batchesSinceSnap++
+	}
 	// Durability before acknowledgement: the accepted slice of the batch
 	// is in the WAL (fsynced per policy) before handle releases the reply.
 	if logWAL && len(s.walScratch) > 0 {
@@ -945,6 +1005,7 @@ func (s *Server) noteAppend(n int, err error) error {
 	}
 	s.persist.walRecords.Add(1)
 	s.persist.walBytes.Add(int64(n))
+	s.persist.walTail.Add(1)
 	return nil
 }
 
@@ -1000,6 +1061,77 @@ func (s *Server) applyElement(el stream.Element) error {
 				}
 			}
 		}
+		if s.edgeStamp != nil {
+			s.edgeStamp[mkEdgeKey(el.V, el.U)] = s.ingested
+		}
+		return nil
+	case stream.RemoveVertexElement:
+		if !s.g.HasVertex(el.V) {
+			return fmt.Errorf("serve: remove of unknown vertex %d", el.V)
+		}
+		// Engine first: every canonical-graph vertex is window-resident or
+		// assigned in the core (graph and partitioner are fed in lockstep),
+		// so this cannot fail; if it ever did, no serve-side state has been
+		// touched yet.
+		if err := s.p.RemoveVertex(el.V); err != nil {
+			return err
+		}
+		// Drift decrement before the graph forgets the adjacency, mirroring
+		// the exactly-once accounting above and in sweep: an edge was
+		// counted iff BOTH endpoints are in the published table, and table
+		// entries only ever leave through this path (which decrements) or a
+		// restream swap (which recounts from scratch).
+		if pv, ok := s.tab.get(el.V); ok {
+			s.g.EachNeighbor(el.V, func(u graph.VertexID) bool {
+				if pu, ok2 := s.tab.get(u); ok2 {
+					s.observed--
+					if pu != pv {
+						s.cut--
+					}
+				}
+				return true
+			})
+		}
+		if s.edgeStamp != nil {
+			s.g.EachNeighbor(el.V, func(u graph.VertexID) bool {
+				delete(s.edgeStamp, mkEdgeKey(el.V, u))
+				return true
+			})
+		}
+		// Tombstone the published placement and evict any sparse entry so
+		// no reader — of this or any older table generation — resolves the
+		// stale shard off a later recycled handle.
+		s.tabClear(el.V)
+		for i, pv := range s.pending {
+			if pv == el.V {
+				s.pending[i] = s.pending[len(s.pending)-1]
+				s.pending = s.pending[:len(s.pending)-1]
+				break
+			}
+		}
+		s.g.RemoveVertex(el.V)
+		return nil
+	case stream.RemoveEdgeElement:
+		if !s.g.HasEdge(el.V, el.U) {
+			return fmt.Errorf("serve: remove of unknown edge {%d,%d}", el.V, el.U)
+		}
+		if err := s.p.RemoveEdge(el.V, el.U); err != nil {
+			return err
+		}
+		s.g.RemoveEdge(el.V, el.U)
+		// Undo the exactly-once drift accounting: counted iff both
+		// endpoints are in the table (see the edge case above).
+		if pv, ok := s.tab.get(el.V); ok {
+			if pu, ok2 := s.tab.get(el.U); ok2 {
+				s.observed--
+				if pv != pu {
+					s.cut--
+				}
+			}
+		}
+		if s.edgeStamp != nil {
+			delete(s.edgeStamp, mkEdgeKey(el.V, el.U))
+		}
 		return nil
 	}
 	return fmt.Errorf("serve: unknown element kind %d", el.Kind)
@@ -1052,6 +1184,21 @@ func (s *Server) tabSet(v graph.VertexID, p partition.ID) {
 	}
 	t.hasSparse.Store(true)
 	t.sparse.Store(v, p)
+}
+
+// tabClear tombstones one placement. The dense slot (when v is in range)
+// flips back to denseUnassigned atomically, and the sparse entry is
+// deleted unconditionally — the sparse map is shared by every growth
+// generation, so readers holding an older table observe the removal too.
+// Either way, a vertex ID recycled by a later re-add starts unplaced.
+func (s *Server) tabClear(v graph.VertexID) {
+	t := s.tab
+	if v >= 0 && int64(v) < int64(len(t.dense)) {
+		atomic.StoreInt32(&t.dense[v], denseUnassigned)
+	}
+	if t.hasSparse.Load() {
+		t.sparse.Delete(v)
+	}
 }
 
 // publish freezes the current statistics into a new Snapshot epoch.
@@ -1141,6 +1288,25 @@ func (s *Server) buildView() *View {
 	return &View{Graph: g, Assignment: a, Epoch: s.epoch}
 }
 
+// periodicCheckpoint is the SnapshotEveryBatches trigger: the same drain,
+// barrier record and engine reseed an explicit Checkpoint performs, with
+// the snapshot written by handle after the next publish. Runs on the
+// writer.
+func (s *Server) periodicCheckpoint() {
+	s.p.Finish()
+	// While wedged the WAL cannot carry the barrier, but the snapshot
+	// alone still re-anchors everything; keep going either way.
+	if !s.persist.wedged.Load() {
+		_ = s.logRecord(checkpoint.RecordBarrier)
+	}
+	if err := s.rebuildEngine(); err != nil {
+		// Unreachable with a validated config; record and skip this cycle.
+		s.notePersistErr(err)
+		return
+	}
+	s.wantSnapshot = true
+}
+
 // rebuildEngine reseeds the live engine in place with its own current
 // assignment (a checkpoint barrier). The pending list is left alone: the
 // next sweep mirrors those vertices from the reseeded assignment.
@@ -1211,8 +1377,11 @@ func (s *Server) writeSnapshot() error {
 	}
 	s.persist.snapshots.Add(1)
 	// The snapshot captures everything the WAL may have missed and
-	// rotates to a fresh segment: a wedged log is whole again.
+	// rotates to a fresh segment: a wedged log is whole again and the
+	// replayable tail is empty.
 	s.persist.wedged.Store(false)
+	s.persist.walTail.Store(0)
+	s.batchesSinceSnap = 0
 	return nil
 }
 
@@ -1288,7 +1457,7 @@ func (s *Server) launchRestream(trigger string) {
 	s.restreaming = true
 	s.everRestream = true
 	s.sinceRestream = 0
-	gc := detachedClone(s.g)
+	gc := s.restreamClone()
 	prior := s.p.Assignment().Clone()
 	cfg := s.cfg
 	// Resolve the workload the loom heuristic scores against: the live
@@ -1385,6 +1554,19 @@ func (s *Server) adopt(out *restreamOutcome) {
 	s.p.Finish()
 	cur := s.p.Assignment()
 	merged := out.res.Final
+	// Deletions that raced the background pass: the detached clone
+	// predates them, so scrub placements for vertices the live graph no
+	// longer holds — a removed (and possibly later recycled) ID must
+	// never inherit a shard from a stale clone.
+	var gone []graph.VertexID
+	merged.EachVertex(func(v graph.VertexID, _ partition.ID) {
+		if !s.g.HasVertex(v) {
+			gone = append(gone, v)
+		}
+	})
+	for _, v := range gone {
+		merged.Remove(v)
+	}
 	restreamed := merged.Len()
 	// Vertices ingested after the snapshot keep their live placement.
 	var mergeErr error
@@ -1661,6 +1843,36 @@ func (s *Server) abortShutdown() {
 			s.notePersistErr(cerr)
 		}
 	}
+}
+
+// restreamClone snapshots the graph for a background restream. With
+// Config.DecaySpan set, edges whose last add is older than the span (in
+// accepted elements) are left out of the clone: core.Restream and the
+// ldg/fennel restreamers score only from the clone they are handed, so
+// stale edges age out of restream scoring uniformly across heuristics
+// while the canonical graph and the served placements keep them.
+func (s *Server) restreamClone() *graph.Graph {
+	if s.edgeStamp == nil {
+		return detachedClone(s.g)
+	}
+	cutoff := s.ingested - s.cfg.DecaySpan
+	c := graph.NewWithCapacity(s.g.NumVertices())
+	s.g.EachVertex(func(v graph.VertexID) bool {
+		l, _ := s.g.Label(v)
+		c.AddVertex(v, l)
+		return true
+	})
+	s.g.EachEdge(func(u, v graph.VertexID) bool {
+		if s.edgeStamp[mkEdgeKey(u, v)] < cutoff {
+			return true // aged out of scoring
+		}
+		// Endpoints were just added; AddEdge cannot fail.
+		if err := c.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+		return true
+	})
+	return c
 }
 
 // detachedClone deep-copies g with fresh interners, so a background

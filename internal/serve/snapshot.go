@@ -9,12 +9,14 @@ import (
 )
 
 // table is the placement lookup readers answer Where from. It is a
-// write-once publication structure: the single writer stores each vertex's
-// placement exactly once (atomically), and any number of readers load
-// slots lock-free. Placements only ever transition Unassigned -> p; a
-// restream swap replaces the whole table rather than mutating slots, so a
-// reader holding an old table sees a consistent (if slightly stale)
-// assignment.
+// single-writer publication structure: the writer stores placements
+// atomically and any number of readers load slots lock-free. A slot
+// transitions Unassigned -> p when a vertex is placed and p -> Unassigned
+// (a tombstone) when it is deleted; both transitions are monotonic in
+// stream order, so a reader holding an old table generation sees a
+// consistent (if slightly stale) assignment in which removals, like
+// placements, become visible as they happen. A restream swap replaces the
+// whole table rather than re-pointing slots.
 //
 // Dense non-negative vertex IDs live in a flat []int32 indexed by ID (the
 // common case: generators and streams emit 0..n-1). IDs outside the dense

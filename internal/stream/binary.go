@@ -16,7 +16,7 @@ import (
 // A binary element frame is one wire frame (u32 LE payload length |
 // u32 LE CRC32(payload) | payload — see internal/wire) whose payload is
 //
-//	u8 version (= 1)
+//	u8 version (1 or 2)
 //	uvarint labelCount
 //	labelCount × (uvarint byteLen | label bytes)   // batch-scoped dictionary
 //	uvarint elemCount
@@ -24,10 +24,17 @@ import (
 //
 // and each element is
 //
-//	u8 kind 0 (vertex): varint id      | uvarint dictionary index
-//	u8 kind 1 (edge):   varint u       | varint v
+//	u8 kind 0 (vertex):        varint id      | uvarint dictionary index
+//	u8 kind 1 (edge):          varint u       | varint v
+//	u8 kind 2 (remove vertex): varint id                      // version ≥ 2
+//	u8 kind 3 (remove edge):   varint u       | varint v      // version ≥ 2
 //
 // (varint = zigzag-encoded signed LEB128, uvarint = unsigned LEB128.)
+//
+// Version 2 adds the removal kinds; the encoder stamps a frame version 2
+// only when the batch actually carries a removal, so insert-only streams
+// stay readable by version-1 decoders. A removal kind inside a version-1
+// payload is ErrFrameKind.
 //
 // The dictionary is strictly batch-scoped: a frame carries every label it
 // references, so frames are decodable in isolation, connections can be
@@ -37,18 +44,29 @@ import (
 // text codecs cannot replay (wire.SafeLabel), self-loop edges, and
 // trailing bytes; intra-frame duplicate vertices and edges are dropped
 // (counted in Batch.Deduped) so the single-writer loop only ever sees
-// pre-deduplicated work.
+// pre-deduplicated work. Duplicates are tracked per identity as "last
+// operation wins once": an add followed by a removal of the same vertex
+// (or edge), or vice versa, is NOT a duplicate — only the same operation
+// repeated back-to-back within a frame is dropped — so a churny frame can
+// legally carry add → remove → re-add of one identity in order.
 
-// BinaryVersion is the frame payload format version this codec writes.
+// BinaryVersion is the base frame payload format version (insert-only
+// element kinds).
 const BinaryVersion = 1
+
+// BinaryVersionRemovals is the frame payload version that adds the
+// remove-vertex / remove-edge element kinds.
+const BinaryVersionRemovals = 2
 
 // BinaryContentType is the MIME type loom-serve routes to the binary
 // codec on POST /ingest.
 const BinaryContentType = "application/x-loom-frame"
 
 const (
-	frameKindVertex = 0
-	frameKindEdge   = 1
+	frameKindVertex       = 0
+	frameKindEdge         = 1
+	frameKindRemoveVertex = 2
+	frameKindRemoveEdge   = 3
 )
 
 // Typed decode errors: a frame failing any of these is poisoned — the
@@ -117,6 +135,7 @@ func (e *FrameEncoder) AppendPayload(dst []byte, elems []Element) ([]byte, error
 		clear(e.index)
 	}
 	e.labels = e.labels[:0]
+	hasRemovals := false
 	for i := range elems {
 		el := &elems[i]
 		switch el.Kind {
@@ -128,15 +147,24 @@ func (e *FrameEncoder) AppendPayload(dst []byte, elems []Element) ([]byte, error
 				e.index[el.Label] = uint64(len(e.labels))
 				e.labels = append(e.labels, el.Label)
 			}
-		case EdgeElement:
+		case EdgeElement, RemoveEdgeElement:
 			if el.V == el.U {
 				return nil, fmt.Errorf("stream: edge (%d,%d) is a self-loop", el.V, el.U)
 			}
+			if el.Kind == RemoveEdgeElement {
+				hasRemovals = true
+			}
+		case RemoveVertexElement:
+			hasRemovals = true
 		default:
 			return nil, fmt.Errorf("stream: unknown element kind %d", el.Kind)
 		}
 	}
-	dst = append(dst, BinaryVersion)
+	if hasRemovals {
+		dst = append(dst, BinaryVersionRemovals)
+	} else {
+		dst = append(dst, BinaryVersion)
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(e.labels)))
 	for _, l := range e.labels {
 		dst = binary.AppendUvarint(dst, uint64(len(l)))
@@ -145,11 +173,19 @@ func (e *FrameEncoder) AppendPayload(dst []byte, elems []Element) ([]byte, error
 	dst = binary.AppendUvarint(dst, uint64(len(elems)))
 	for i := range elems {
 		el := &elems[i]
-		if el.Kind == VertexElement {
+		switch el.Kind {
+		case VertexElement:
 			dst = append(dst, frameKindVertex)
 			dst = binary.AppendVarint(dst, int64(el.V))
 			dst = binary.AppendUvarint(dst, e.index[el.Label])
-		} else {
+		case RemoveVertexElement:
+			dst = append(dst, frameKindRemoveVertex)
+			dst = binary.AppendVarint(dst, int64(el.V))
+		case RemoveEdgeElement:
+			dst = append(dst, frameKindRemoveEdge)
+			dst = binary.AppendVarint(dst, int64(el.V))
+			dst = binary.AppendVarint(dst, int64(el.U))
+		default:
 			dst = append(dst, frameKindEdge)
 			dst = binary.AppendVarint(dst, int64(el.V))
 			dst = binary.AppendVarint(dst, int64(el.U))
@@ -161,6 +197,12 @@ func (e *FrameEncoder) AppendPayload(dst []byte, elems []Element) ([]byte, error
 // FrameDecoder decodes binary frames. One decoder per goroutine; its
 // label intern cache and generation-stamped dedup maps persist across
 // frames so the steady-state decode path allocates nothing.
+//
+// The dedup maps store gen<<1|op (op 1 = add, 0 = remove): an element is
+// a duplicate only when it repeats the last operation on that identity
+// within the same frame, so add/remove alternation passes through. gen
+// starts at 1, so the zero value of a missing map entry never aliases a
+// mark.
 type FrameDecoder struct {
 	intern map[string]graph.Label
 	dict   []graph.Label
@@ -199,9 +241,10 @@ func (d *FrameDecoder) DecodePayload(b *Batch) error {
 	if len(p) < 1 {
 		return ErrFrameTruncated
 	}
-	if p[0] != BinaryVersion {
+	if p[0] != BinaryVersion && p[0] != BinaryVersionRemovals {
 		return ErrFrameVersion
 	}
+	removals := p[0] == BinaryVersionRemovals
 	o := 1
 	labelCount, o, ok := uvarintAt(p, o)
 	if !ok {
@@ -252,11 +295,12 @@ func (d *FrameDecoder) DecodePayload(b *Batch) error {
 				return ErrFrameDictIndex
 			}
 			v := graph.VertexID(id)
-			if d.seenV[v] == gen {
+			mark := gen<<1 | 1
+			if d.seenV[v] == mark {
 				b.Deduped++
 				continue
 			}
-			d.seenV[v] = gen
+			d.seenV[v] = mark
 			b.Elems = append(b.Elems, Element{
 				Kind: VertexElement, V: v, Label: d.dict[li], Seq: len(b.Elems),
 			})
@@ -275,13 +319,60 @@ func (d *FrameDecoder) DecodePayload(b *Batch) error {
 				return ErrFrameSelfLoop
 			}
 			e := graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)}.Normalize()
-			if d.seenE[e] == gen {
+			mark := gen<<1 | 1
+			if d.seenE[e] == mark {
 				b.Deduped++
 				continue
 			}
-			d.seenE[e] = gen
+			d.seenE[e] = mark
 			b.Elems = append(b.Elems, Element{
 				Kind: EdgeElement, V: graph.VertexID(u), U: graph.VertexID(v), Seq: len(b.Elems),
+			})
+		case frameKindRemoveVertex:
+			if !removals {
+				return ErrFrameKind
+			}
+			id, next, ok := varintAt(p, o)
+			if !ok {
+				return ErrFrameTruncated
+			}
+			o = next
+			v := graph.VertexID(id)
+			mark := gen << 1
+			if d.seenV[v] == mark {
+				b.Deduped++
+				continue
+			}
+			d.seenV[v] = mark
+			b.Elems = append(b.Elems, Element{
+				Kind: RemoveVertexElement, V: v, Seq: len(b.Elems),
+			})
+		case frameKindRemoveEdge:
+			if !removals {
+				return ErrFrameKind
+			}
+			u, next, ok := varintAt(p, o)
+			if !ok {
+				return ErrFrameTruncated
+			}
+			o = next
+			v, next, ok := varintAt(p, o)
+			if !ok {
+				return ErrFrameTruncated
+			}
+			o = next
+			if u == v {
+				return ErrFrameSelfLoop
+			}
+			e := graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)}.Normalize()
+			mark := gen << 1
+			if d.seenE[e] == mark {
+				b.Deduped++
+				continue
+			}
+			d.seenE[e] = mark
+			b.Elems = append(b.Elems, Element{
+				Kind: RemoveEdgeElement, V: graph.VertexID(u), U: graph.VertexID(v), Seq: len(b.Elems),
 			})
 		default:
 			return ErrFrameKind

@@ -10,9 +10,11 @@ import (
 
 // elemsFromFuzzBytes deterministically derives a valid element batch from
 // arbitrary fuzz input: each 4-byte chunk becomes one element. Vertices
-// get labels from a small safe alphabet; edges avoid self-loops. The
-// mapping is total — every input produces some batch — so the fuzzer
-// explores batch shapes (dup vertices, reversed dup edges, label reuse,
+// get labels from a small safe alphabet; edges avoid self-loops; removal
+// kinds appear with the same weight as inserts so version-2 payloads and
+// add/remove alternation get fuzzed. The mapping is total — every input
+// produces some batch — so the fuzzer explores batch shapes (dup
+// vertices, reversed dup edges, add→remove→re-add runs, label reuse,
 // negative ids) rather than input validity.
 func elemsFromFuzzBytes(data []byte) []Element {
 	labels := []graph.Label{"a", "b", "röd", "x:1"}
@@ -20,18 +22,23 @@ func elemsFromFuzzBytes(data []byte) []Element {
 	for i := 0; i+4 <= len(data); i += 4 {
 		sel, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
 		id := graph.VertexID(int8(a))*64 + graph.VertexID(int8(b))
-		if sel%2 == 0 {
+		u := graph.VertexID(int8(c))
+		if u == id {
+			u++
+		}
+		switch sel % 4 {
+		case 0:
 			out = append(out, Element{
 				Kind: VertexElement, V: id,
 				Label: labels[int(c)%len(labels)],
 				Seq:   len(out),
 			})
-		} else {
-			u := graph.VertexID(int8(c))
-			if u == id {
-				u++
-			}
+		case 1:
 			out = append(out, Element{Kind: EdgeElement, V: id, U: u, Seq: len(out)})
+		case 2:
+			out = append(out, Element{Kind: RemoveVertexElement, V: id, Seq: len(out)})
+		default:
+			out = append(out, Element{Kind: RemoveEdgeElement, V: id, U: u, Seq: len(out)})
 		}
 	}
 	return out
@@ -43,10 +50,15 @@ func renderText(elems []Element) []byte {
 	var buf bytes.Buffer
 	for i := range elems {
 		el := &elems[i]
-		if el.Kind == VertexElement {
+		switch el.Kind {
+		case VertexElement:
 			fmt.Fprintf(&buf, "v %d %s\n", el.V, el.Label)
-		} else {
+		case EdgeElement:
 			fmt.Fprintf(&buf, "e %d %d\n", el.V, el.U)
+		case RemoveVertexElement:
+			fmt.Fprintf(&buf, "rv %d\n", el.V)
+		case RemoveEdgeElement:
+			fmt.Fprintf(&buf, "re %d %d\n", el.V, el.U)
 		}
 	}
 	return buf.Bytes()
@@ -62,6 +74,13 @@ func FuzzBinaryCodec(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3})
 	f.Add([]byte{1, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3})
 	f.Add(bytes.Repeat([]byte{0, 5, 5, 1}, 8))
+	// Removal shapes: lone remove-vertex / remove-edge, add→remove→re-add
+	// of one vertex (legal alternation), and a remove-remove repeat that
+	// must dedup.
+	f.Add([]byte{2, 1, 2, 3})
+	f.Add([]byte{3, 1, 2, 3})
+	f.Add([]byte{0, 1, 2, 3, 2, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{3, 1, 2, 3, 3, 1, 2, 3, 1, 1, 2, 3})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// 1. Arbitrary bytes as a frame payload must never panic.
@@ -85,29 +104,41 @@ func FuzzBinaryCodec(f *testing.F) {
 		}
 
 		// 3. Differential against the text codec: parse the same batch
-		// through FromReader and apply the binary decoder's dedup rule
-		// (drop repeated vertex ids and repeated normalized edges) — the
-		// two streams must then be identical, Seq included.
+		// through FromReader and apply the binary decoder's dedup rule —
+		// last operation per identity wins once, so only a repeat of the
+		// SAME operation (add-add or remove-remove) on a vertex id or
+		// normalized edge is dropped, while add/remove alternation passes
+		// through — the two streams must then be identical, Seq included.
 		src := FromReader(bytes.NewReader(renderText(elems)))
-		seenV := make(map[graph.VertexID]bool)
-		seenE := make(map[graph.Edge]bool)
+		const opRemove, opAdd = 1, 2 // 0 = identity unseen this frame
+		seenV := make(map[graph.VertexID]int)
+		seenE := make(map[graph.Edge]int)
 		var want []Element
 		for {
 			el, ok := src.Next()
 			if !ok {
 				break
 			}
-			if el.Kind == VertexElement {
-				if seenV[el.V] {
+			switch el.Kind {
+			case VertexElement, RemoveVertexElement:
+				op := opAdd
+				if el.Kind == RemoveVertexElement {
+					op = opRemove
+				}
+				if seenV[el.V] == op {
 					continue
 				}
-				seenV[el.V] = true
-			} else {
+				seenV[el.V] = op
+			default:
+				op := opAdd
+				if el.Kind == RemoveEdgeElement {
+					op = opRemove
+				}
 				e := graph.Edge{U: el.V, V: el.U}.Normalize()
-				if seenE[e] {
+				if seenE[e] == op {
 					continue
 				}
-				seenE[e] = true
+				seenE[e] = op
 			}
 			el.Seq = len(want)
 			want = append(want, el)

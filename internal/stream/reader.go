@@ -11,7 +11,8 @@ import (
 )
 
 // ReaderSource decodes the graph text codec ("v <id> <label>" /
-// "e <u> <v>" lines, # comments) incrementally from an io.Reader, yielding
+// "e <u> <v>" lines, removals as "rv <id>" / "re <u> <v>", # comments)
+// incrementally from an io.Reader, yielding
 // one stream element per record without materialising the graph. It is the
 // ingestion path of loom-serve and of `loom partition -order file`: memory
 // stays O(1) in the input size, and the consumer starts partitioning
@@ -97,6 +98,28 @@ func (s *ReaderSource) parseLine(line string) (Element, error) {
 			return Element{}, fmt.Errorf("stream: line %d: bad endpoint %q: %v", s.line, fields[2], err)
 		}
 		return Element{Kind: EdgeElement, V: graph.VertexID(u), U: graph.VertexID(v)}, nil
+	case "rv":
+		if len(fields) != 2 {
+			return Element{}, fmt.Errorf("stream: line %d: want 'rv <id>', got %q", s.line, line)
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Element{}, fmt.Errorf("stream: line %d: bad vertex id %q: %v", s.line, fields[1], err)
+		}
+		return Element{Kind: RemoveVertexElement, V: graph.VertexID(id)}, nil
+	case "re":
+		if len(fields) != 3 {
+			return Element{}, fmt.Errorf("stream: line %d: want 're <u> <v>', got %q", s.line, line)
+		}
+		u, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Element{}, fmt.Errorf("stream: line %d: bad endpoint %q: %v", s.line, fields[1], err)
+		}
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return Element{}, fmt.Errorf("stream: line %d: bad endpoint %q: %v", s.line, fields[2], err)
+		}
+		return Element{Kind: RemoveEdgeElement, V: graph.VertexID(u), U: graph.VertexID(v)}, nil
 	}
 	return Element{}, fmt.Errorf("stream: line %d: unknown record %q", s.line, fields[0])
 }

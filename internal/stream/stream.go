@@ -21,25 +21,34 @@ import (
 type ElementKind uint8
 
 // Stream element kinds. A vertex element introduces a vertex and its label;
-// an edge element connects two previously introduced vertices.
+// an edge element connects two previously introduced vertices. The removal
+// kinds make the stream dynamic: a remove-vertex element deletes a vertex
+// and every edge incident to it, a remove-edge element deletes one edge.
 const (
 	VertexElement ElementKind = iota
 	EdgeElement
+	RemoveVertexElement
+	RemoveEdgeElement
 )
 
 // Element is one item of a graph-stream.
 type Element struct {
 	Kind  ElementKind
-	V     graph.VertexID // vertex (VertexElement) or edge endpoint U (EdgeElement)
-	U     graph.VertexID // second endpoint for EdgeElement
+	V     graph.VertexID // vertex (Vertex/RemoveVertex) or edge endpoint U (Edge/RemoveEdge)
+	U     graph.VertexID // second endpoint for Edge/RemoveEdge
 	Label graph.Label    // label for VertexElement
 	Seq   int            // position in the stream, assigned by the streamer
 }
 
 // String implements fmt.Stringer.
 func (e Element) String() string {
-	if e.Kind == VertexElement {
+	switch e.Kind {
+	case VertexElement:
 		return fmt.Sprintf("v%d:%s@%d", e.V, e.Label, e.Seq)
+	case RemoveVertexElement:
+		return fmt.Sprintf("rv%d@%d", e.V, e.Seq)
+	case RemoveEdgeElement:
+		return fmt.Sprintf("re(%d,%d)@%d", e.V, e.U, e.Seq)
 	}
 	return fmt.Sprintf("e(%d,%d)@%d", e.V, e.U, e.Seq)
 }

@@ -201,6 +201,90 @@ func (w *Window) Evict(v graph.VertexID) (Eviction, bool) {
 	return *w.remove(v), true
 }
 
+// Discard deletes a resident vertex outright: unlike Evict, none of its
+// edges survive it — edges to still-resident neighbours are dropped (not
+// deferred), its own deferred edges are cleared, and deferred references
+// other residents hold to it are scrubbed so no later eviction surfaces a
+// deleted vertex as an AssignedNeighbor. It reports false if v is not
+// resident.
+func (w *Window) Discard(v graph.VertexID) bool {
+	if !w.Resident(v) {
+		return false
+	}
+	for i := w.head; i < len(w.arrival); i++ {
+		if w.arrival[i] == v {
+			w.arrival = append(w.arrival[:i], w.arrival[i+1:]...)
+			break
+		}
+	}
+	h, _ := w.g.HandleOf(v)
+	if int(h) < len(w.deferred) {
+		w.deferred[h] = w.deferred[h][:0]
+	}
+	w.g.RemoveVertex(v)
+	w.scrubDeferred(v)
+	return true
+}
+
+// RemoveEdge deletes the stream edge {u,v} from the window's bookkeeping:
+// a resident-resident edge leaves the subgraph, an edge deferred against
+// one resident endpoint loses one deferred entry, and an edge between two
+// already-evicted vertices is a no-op here (the caller unwinds it from
+// the assigned portion). It reports whether anything was removed.
+func (w *Window) RemoveEdge(u, v graph.VertexID) bool {
+	hu, ur := w.g.HandleOf(u)
+	hv, vr := w.g.HandleOf(v)
+	switch {
+	case ur && vr:
+		return w.g.RemoveEdge(u, v)
+	case ur:
+		return w.dropDeferred(hu, v)
+	case vr:
+		return w.dropDeferred(hv, u)
+	}
+	return false
+}
+
+// dropDeferred removes one deferred entry for endpoint other from handle
+// h's slot.
+func (w *Window) dropDeferred(h ident.Handle, other graph.VertexID) bool {
+	if int(h) >= len(w.deferred) {
+		return false
+	}
+	slot := w.deferred[h]
+	for i, x := range slot {
+		if x == other {
+			w.deferred[h] = append(slot[:i], slot[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ForgetAssigned scrubs every deferred reference residents hold to an
+// already-evicted (assigned) vertex that is being deleted, so no later
+// eviction surfaces it as an AssignedNeighbor. For resident vertices use
+// Discard, which scrubs as part of deletion.
+func (w *Window) ForgetAssigned(v graph.VertexID) {
+	w.scrubDeferred(v)
+}
+
+// scrubDeferred deletes every deferred reference any resident holds to
+// the (deleted, formerly assigned or resident) vertex v. Bounded by the
+// total deferred volume, i.e. O(window).
+func (w *Window) scrubDeferred(v graph.VertexID) {
+	for h := range w.deferred {
+		slot := w.deferred[h]
+		kept := slot[:0]
+		for _, x := range slot {
+			if x != v {
+				kept = append(kept, x)
+			}
+		}
+		w.deferred[h] = kept
+	}
+}
+
 // Flush evicts every resident vertex in arrival order and returns the
 // evictions; used at end-of-stream. Unlike the per-vertex eviction entry
 // points, the returned records own their neighbour slices (each one is
